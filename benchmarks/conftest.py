@@ -1,0 +1,71 @@
+"""Shared infrastructure for the benchmark/reproduction harness.
+
+Every bench regenerates one experiment row of DESIGN.md §3: it times the
+computation with pytest-benchmark, asserts the reproduction criteria, and
+records a JSON result row under ``benchmarks/out/`` (the source of the
+numbers in EXPERIMENTS.md).
+
+Resolution: figure benches default to 512 samples per axis (seconds per
+figure).  Set ``REPRO_BENCH_N=1024`` for the full-scale reference images.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+import pytest
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def bench_n(default: int = 512) -> int:
+    """Samples per axis for figure benches (REPRO_BENCH_N overrides)."""
+    return int(os.environ.get("REPRO_BENCH_N", default))
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def record(out_dir):
+    """Write a named JSON result row for EXPERIMENTS.md."""
+
+    def _record(name: str, payload: Dict[str, Any]) -> None:
+        path = out_dir / f"{name}.json"
+
+        def default(o):
+            if isinstance(o, (np.floating, np.integer)):
+                return o.item()
+            if isinstance(o, np.ndarray):
+                return o.tolist()
+            raise TypeError(f"unserialisable {type(o)}")
+
+        path.write_text(json.dumps(payload, indent=2, default=default))
+
+    return _record
+
+
+def region_row(name: str, target_h: float, measured_h: float,
+               target_cl: float | None = None,
+               measured_cl: float | None = None) -> Dict[str, Any]:
+    """One region's target-vs-measured row for the figure benches."""
+    row: Dict[str, Any] = {
+        "region": name,
+        "target_h": target_h,
+        "measured_h": measured_h,
+        "h_rel_error": abs(measured_h - target_h) / target_h,
+    }
+    if target_cl is not None and measured_cl is not None:
+        row.update(
+            target_cl=target_cl,
+            measured_cl=measured_cl,
+            cl_rel_error=abs(measured_cl - target_cl) / target_cl,
+        )
+    return row

@@ -1,0 +1,86 @@
+"""Ablation A4 — continuous-parameter generation: level-count convergence.
+
+The ContinuousGenerator (DESIGN.md extension of the paper's "parameters
+continuously varied from place to place") quantises the cl field onto L
+levels and cross-fades kernels.  This bench measures how the realised
+local correlation length tracks a linear cl gradient as L grows, and the
+cost (one convolution per level).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.spectra import GaussianSpectrum
+from repro.fields.continuous import ContinuousGenerator
+from repro.stats.correlation_length import one_over_e_from_profile
+from repro.stats.acf import acf2d_unbiased
+
+DOMAIN = 1024.0
+CL_LO, CL_HI = 15.0, 60.0
+
+
+def _gen(levels: int) -> ContinuousGenerator:
+    return ContinuousGenerator(
+        family=lambda cl: GaussianSpectrum(h=1.0, clx=cl, cly=cl),
+        h_field=lambda x, y: np.ones(np.shape(x)),
+        cl_field=lambda x, y: CL_LO + (CL_HI - CL_LO) * np.asarray(x) / DOMAIN,
+        grid=Grid2D(nx=512, ny=512, lx=DOMAIN, ly=DOMAIN),
+        levels=levels,
+        truncation=0.999,
+    )
+
+
+def _cl_tracking_error(gen: ContinuousGenerator, n_real: int = 6) -> float:
+    """Mean relative error of the measured local cl against the target."""
+    dx = gen.grid.dx
+    strip_width = 64  # samples per x-strip used to estimate local cl
+    errors = []
+    for strip_i, x0 in enumerate(range(64, 512 - 64, 96)):
+        x_mid = (x0 + strip_width / 2) * dx
+        target = CL_LO + (CL_HI - CL_LO) * x_mid / DOMAIN
+        vals = []
+        for k in range(n_real):
+            s = gen.generate(seed=500 + k)
+            strip = s.heights[x0 : x0 + strip_width, :]
+            acf = acf2d_unbiased(strip.T, max_lag=(min(120, 200), 1))
+            lags = np.arange(acf.shape[0]) * dx
+            try:
+                vals.append(one_over_e_from_profile(lags, acf[:, 0]))
+            except ValueError:
+                continue
+        if vals:
+            errors.append(abs(np.mean(vals) - target) / target)
+    return float(np.mean(errors))
+
+
+def test_bench_a4_continuous_levels(benchmark, record):
+    rows = []
+    for levels in (2, 4, 8):
+        gen = _gen(levels)
+        t0 = time.perf_counter()
+        gen.generate(seed=1)
+        t_gen = time.perf_counter() - t0
+        err = _cl_tracking_error(gen)
+        rows.append({
+            "levels": levels,
+            "cl_tracking_rel_error": err,
+            "generate_s": t_gen,
+        })
+
+    errs = [r["cl_tracking_rel_error"] for r in rows]
+    # more levels must not track worse, and even 2 levels stays sane
+    assert errs[-1] <= errs[0] + 0.05
+    assert errs[-1] < 0.25
+
+    gen8 = _gen(8)
+    benchmark.pedantic(lambda: gen8.generate(seed=2), rounds=2, iterations=1)
+    record("a4_continuous_levels", {
+        "ablation": "A4: cl-level count for continuous parameter fields",
+        "cl_range": [CL_LO, CL_HI],
+        "rows": rows,
+    })

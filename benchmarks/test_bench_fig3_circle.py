@@ -1,0 +1,77 @@
+"""Figure 3 — circular region (pond) with a transition band.
+
+Paper: "Figure 3 shows a 2D RRS with Exponential spectrum of h = 0.2 and
+cl = 50 inside the circle of radius 500 and Gaussian spectrum of h = 1.0
+and cl = 50 outside it.  The transition width was selected as T = 100."
+
+Reproduction criteria: pond interior realises h = 0.2, field exterior
+realises h = 1.0, and the measured local-std radial profile crosses the
+midpoint inside the declared transition annulus [400, 600].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import bench_n, region_row
+
+from repro.core.inhomogeneous import InhomogeneousGenerator
+from repro.figures import REFERENCE_DOMAIN, default_grid, figure3_layout
+from repro.io.pgm import render_terrain
+from repro.stats.local import local_std_map
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return InhomogeneousGenerator(figure3_layout(), default_grid(bench_n()),
+                                  truncation=0.999)
+
+
+def test_bench_fig3(benchmark, generator, record, out_dir):
+    surface = benchmark.pedantic(
+        lambda: generator.generate(seed=2009), rounds=2, iterations=1
+    )
+    grid = generator.grid
+    scale = grid.lx / REFERENCE_DOMAIN
+    radius = 500.0 * scale
+    half_width = 100.0 * scale
+    centre = grid.lx / 2.0
+
+    gx, gy = grid.meshgrid()
+    r = np.hypot(gx - centre, gy - centre)
+    pond = surface.heights[r < radius - half_width - 50.0 * scale]
+    field = surface.heights[r > radius + half_width + 50.0 * scale]
+    # NOTE: at radius 500 in a 1024 domain the pure-field region is only
+    # the domain corners — exactly as in the paper's figure.
+    assert pond.size > 1000 and field.size > 1000
+
+    h_pond = float(pond.std())
+    h_field = float(field.std())
+    rows = [
+        region_row("pond (exponential)", 0.2, h_pond),
+        region_row("field (gaussian)", 1.0, h_field),
+    ]
+    assert h_pond == pytest.approx(0.2, rel=0.3)
+    assert h_field == pytest.approx(1.0, rel=0.3)
+    assert h_field > 3.0 * h_pond
+
+    # transition placement: local std midpoint must fall inside the band
+    win = max(8, int(50.0 * scale / grid.dx))
+    std_map = local_std_map(surface.heights, win)
+    off = win // 2
+    r_map = r[off : off + std_map.shape[0], off : off + std_map.shape[1]]
+    mid = 0.5 * (h_pond + h_field)
+    ring = (r_map > radius - half_width) & (r_map < radius + half_width)
+    inner = r_map < radius - half_width - 50.0 * scale
+    assert np.median(std_map[inner]) < mid
+    assert std_map[ring].min() < mid < std_map[ring].max()
+
+    render_terrain(surface, path=out_dir / "fig3.ppm",
+                   vertical_exaggeration=6.0)
+    record("fig3", {
+        "figure": "Figure 3 (circular pond, T = 100)",
+        "n": grid.nx,
+        "regions": rows,
+        "transition_band": [radius - half_width, radius + half_width],
+        "image": "fig3.ppm",
+    })

@@ -1,0 +1,115 @@
+"""Claim C2 — computation time scales with the kernel (correlation) size.
+
+Paper Section 4: "The computation time of the present algorithm depends
+strongly on the correlation length, because it is proportional to the
+size of the weighting array ... When we simulate a RRS with a large
+correlation length, we need much computation time" — and conversely,
+"we can reduce the size of the weighting array to save computation time
+when the correlation length of a RRS is small" (Section 2.4).
+
+This bench measures windowed-generation time as a function of (a) the
+correlation length at fixed truncation energy, and (b) the truncation
+energy at fixed correlation length, and verifies the claimed trend plus
+the truncation's variance error bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from conftest import bench_n
+
+from repro.core.convolution import ConvolutionGenerator
+from repro.core.grid import Grid2D
+from repro.core.rng import BlockNoise
+from repro.core.spectra import GaussianSpectrum
+
+CLS = [10.0, 20.0, 40.0, 80.0]
+ENERGY = [0.90, 0.99, 0.999, 0.9999]
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid2D(nx=512, ny=512, lx=1024.0, ly=1024.0)
+
+
+def _time_windowed(gen, n_out: int, repeats: int = 3) -> float:
+    noise = BlockNoise(seed=5)
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        gen.generate_window(noise, 0, 0, n_out, n_out)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_c2_kernel_vs_correlation_length(benchmark, grid, record):
+    rows = []
+    for cl in CLS:
+        spec = GaussianSpectrum(h=1.0, clx=cl, cly=cl)
+        gen = ConvolutionGenerator(spec, grid, truncation=0.999)
+        rows.append({
+            "cl": cl,
+            "kernel": list(gen.footprint),
+            "time_s": _time_windowed(gen, 256),
+        })
+    # the paper's trend: footprint grows ~ linearly with cl ...
+    sizes = [r["kernel"][0] for r in rows]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > 4 * sizes[0]
+    # ... and large-cl generation costs more than small-cl generation
+    assert rows[-1]["time_s"] > rows[0]["time_s"]
+
+    # benchmark the largest-kernel case for the timing table
+    spec = GaussianSpectrum(h=1.0, clx=CLS[-1], cly=CLS[-1])
+    gen = ConvolutionGenerator(spec, grid, truncation=0.999)
+    noise = BlockNoise(seed=5)
+    benchmark.pedantic(
+        lambda: gen.generate_window(noise, 0, 0, 256, 256),
+        rounds=3, iterations=1,
+    )
+    record("c2_kernel_vs_cl", {
+        "claim": "C2: cost tracks kernel size, which tracks correlation length",
+        "truncation_energy": 0.999,
+        "rows": rows,
+    })
+
+
+def test_bench_c2_truncation_tradeoff(benchmark, grid, record):
+    spec = GaussianSpectrum(h=1.0, clx=40.0, cly=40.0)
+    full = ConvolutionGenerator(spec, grid, truncation=None)
+    noise_field = np.random.default_rng(11).standard_normal(grid.shape)
+    reference = full.generate(noise=noise_field, exact=True)
+
+    rows = []
+    for e in ENERGY:
+        gen = ConvolutionGenerator(spec, grid, truncation=e)
+        approx = gen.generate(noise=noise_field)
+        err = float(
+            np.sqrt(np.mean((approx - reference) ** 2)) / reference.std()
+        )
+        rows.append({
+            "energy": e,
+            "kernel": list(gen.footprint),
+            "rms_rel_error": err,
+            "time_s": _time_windowed(gen, 256),
+        })
+    # tighter truncation -> bigger kernel, smaller error
+    errs = [r["rms_rel_error"] for r in rows]
+    assert errs == sorted(errs, reverse=True)
+    assert errs[-1] < 0.02  # 99.99% energy: <2% RMS deviation
+    assert rows[0]["kernel"][0] < rows[-1]["kernel"][0]
+
+    gen90 = ConvolutionGenerator(spec, grid, truncation=0.90)
+    noise = BlockNoise(seed=5)
+    benchmark.pedantic(
+        lambda: gen90.generate_window(noise, 0, 0, 256, 256),
+        rounds=3, iterations=1,
+    )
+    record("c2_truncation_tradeoff", {
+        "claim": "C2: truncation trades bounded error for speed",
+        "cl": 40.0,
+        "rows": rows,
+    })

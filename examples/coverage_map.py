@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Full-wave coverage map over generated terrain (the paper's future work).
+
+The paper closes with: the generated surfaces exist to "simulate
+electromagnetic wave propagation along the inhomogeneous RRSs ... a
+future investigation".  This example does that simulation with the
+split-step parabolic-equation solver through the coverage-map API: a
+VHF transmitter on the left edge of an inhomogeneous profile (smooth
+plain -> rough hills), the PE field marched across, and the coverage
+written as a PGM image with the terrain silhouette burned in.
+
+Run:  python examples/coverage_map.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.oned import Gaussian1D, ProfileGenerator
+from repro.io.pgm import write_pgm
+from repro.propagation.coverage import compute_coverage
+
+OUT = Path(__file__).resolve().parent / "out"
+
+FREQ = 150e6                       # 2 m wavelength, VHF
+RANGE = 4000.0                     # 4 km transect
+TX_HEIGHT = 30.0
+
+
+def make_terrain() -> tuple[np.ndarray, np.ndarray]:
+    """Inhomogeneous profile: flat plain for 1.5 km, rough hills after."""
+    n = 2048
+    x = np.linspace(0.0, RANGE, n)
+    gen = ProfileGenerator(Gaussian1D(h=12.0, cl=150.0), 4096, 2.0 * RANGE)
+    rough = gen.generate(seed=31)[:n]
+    rough = rough - rough.min() + 1.0
+    blend = np.clip((x - 1200.0) / 600.0, 0.0, 1.0)  # plain -> hills ramp
+    return x, blend * rough
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    x, z = make_terrain()
+    print(f"marching PE: {RANGE:.0f} m range at {FREQ / 1e6:.0f} MHz ...")
+    cov = compute_coverage(
+        (x, z), FREQ, x_max=RANGE, tx_height=TX_HEIGHT,
+        z_max=320.0, nz=1024, dx=4.0, beamwidth=8.0,
+    )
+
+    print("\nrange [m]   ground [m]   PF at 2 m AGL [dB]")
+    for r_query in (500.0, 1500.0, 2500.0, 3500.0):
+        ground = float(np.interp(r_query, x, z))
+        pf = cov.at(r_query, 2.0)
+        print(f"{r_query:8.0f}   {ground:8.1f}    "
+              f"{20.0 * np.log10(max(pf, 1e-9)):8.1f}")
+
+    img = cov.masked_image(vmin_db=-40.0, vmax_db=6.0)
+    write_pgm(OUT / "coverage.pgm", img)
+    print(f"\nwrote {OUT / 'coverage.pgm'} "
+          f"({img.shape[0]} x {img.shape[1]} px, -40..+6 dB greyscale)")
+    print("visible physics: two-ray lobing fingers over the plain, "
+          "diffraction shadows behind each hill crest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Wireless sensor network over an inhomogeneous terrain.
+
+The paper's introduction is explicit about the application: "Sensors are
+usually distributed randomly on terrestrial surfaces such as deserts,
+vegetable fields, sea surfaces ... studies on propagation characteristics
+along RRSs are strongly required."  This example closes that loop:
+
+1. build a Figure-4-style point-oriented terrain (three roughness zones
+   on a ring, a smooth basin in the middle);
+2. scatter sensor nodes over it;
+3. evaluate the radio link from a central gateway to every node (free
+   space + Deygout terrain diffraction + rough-ground two-ray, at
+   915 MHz ISM);
+4. compare against the Hata open-area empirical baseline (the model the
+   paper cites as ref. [7] and calls inadequate for sensor networks).
+
+Run:  python examples/sensor_network_terrain.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import Grid2D, InhomogeneousGenerator
+from repro.figures import figure4_layout
+from repro.io import render_terrain
+from repro.propagation import evaluate_link, hata_loss_db
+
+OUT = Path(__file__).resolve().parent / "out"
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    rng = np.random.default_rng(7)
+
+    # -- terrain: Figure 4 configuration, physical units = metres ----------
+    domain = 2048.0
+    grid = Grid2D(nx=512, ny=512, lx=domain, ly=domain)
+    layout = figure4_layout(domain=domain)
+    surface = InhomogeneousGenerator(layout, grid, truncation=0.999).generate(
+        seed=2009
+    )
+    render_terrain(surface, path=OUT / "sensor_terrain.ppm",
+                   vertical_exaggeration=8.0)
+
+    # -- deploy nodes --------------------------------------------------------
+    gateway = (domain / 2, domain / 2)
+    n_nodes = 24
+    theta = rng.uniform(0, 2 * np.pi, n_nodes)
+    radius = rng.uniform(0.15, 0.45, n_nodes) * domain
+    nodes = [
+        (gateway[0] + r * np.cos(t), gateway[1] + r * np.sin(t))
+        for r, t in zip(radius, theta)
+    ]
+
+    # -- evaluate links ------------------------------------------------------
+    freq = 915e6
+    budget_db = 120.0  # e.g. +14 dBm Tx, -106 dBm sensitivity
+    print(f"gateway at {gateway}, {n_nodes} nodes, 915 MHz, "
+          f"budget {budget_db:.0f} dB\n")
+    print("node   dist[m]  LoS  terrain[dB]  Hata-open[dB]  link")
+    n_closed = 0
+    for i, node in enumerate(nodes):
+        link = evaluate_link(
+            surface, gateway, node, frequency_hz=freq,
+            tx_height=8.0, rx_height=1.5,
+        )
+        d_km = max(link.distance / 1000.0, 1.0)
+        hata = float(hata_loss_db(np.array(d_km), freq / 1e6,
+                                  base_height_m=30.0, mobile_height_m=1.5,
+                                  environment="open", strict=False))
+        ok = link.total_db <= budget_db
+        n_closed += ok
+        print(f"{i:4d}  {link.distance:8.0f}  {'yes' if link.line_of_sight else ' no'}"
+              f"   {link.total_db:8.1f}      {hata:8.1f}     "
+              f"{'OK' if ok else '--'}")
+    print(f"\n{n_closed}/{n_nodes} links close within budget")
+    print("note: Hata (open) ignores the actual terrain profile - exactly "
+          "the limitation the paper raises; the terrain-aware model "
+          "responds to the local roughness zones of the generated surface.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that offline environments without the ``wheel`` package can still perform
+legacy editable installs (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

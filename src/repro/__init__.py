@@ -1,0 +1,83 @@
+"""repro — inhomogeneous random rough surface generation.
+
+A production-quality reproduction of K. Uchida, J. Honda & K.-Y. Yoon,
+*An Algorithm for Rough Surface Generation with Inhomogeneous
+Parameters* (Journal of Algorithms & Computational Technology 5(2);
+ICPP workshop lineage): spectral synthesis of 2D random rough surfaces
+by the direct DFT method and the convolution method, with plate-oriented
+and point-oriented inhomogeneous parameter layouts, streaming/tiled
+generation of unbounded surfaces, statistical verification tooling, and
+a radio-propagation demo substrate.
+
+Quickstart
+----------
+>>> import repro
+>>> grid = repro.Grid2D(nx=256, ny=256, lx=1024.0, ly=1024.0)
+>>> spec = repro.GaussianSpectrum(h=1.0, clx=40.0, cly=40.0)
+>>> gen = repro.ConvolutionGenerator(spec, grid)
+>>> heights = gen.generate(seed=42)
+
+See ``examples/`` for inhomogeneous terrains (the paper's Figures 1-4)
+and ``DESIGN.md`` / ``EXPERIMENTS.md`` for the reproduction inventory.
+"""
+
+from ._version import __version__
+from .core import (
+    BlockNoise,
+    ConvolutionGenerator,
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    Grid2D,
+    InhomogeneousGenerator,
+    Kernel,
+    Lcg,
+    PointOrientedLayout,
+    PointSpec,
+    PowerLawSpectrum,
+    Spectrum,
+    Surface,
+    build_kernel,
+    convolve_full,
+    convolve_spatial,
+    direct_dft_surface,
+    hermitian_random_array,
+    spectrum_from_dict,
+    standard_normal_field,
+    truncate_kernel,
+    truncate_kernel_energy,
+    weight_array,
+    weight_autocorrelation,
+)
+from .fields import (
+    Circle,
+    Ellipse,
+    HalfPlane,
+    LayeredLayout,
+    PlateLattice,
+    Polygon,
+    Rectangle,
+    Region,
+    RegionSpec,
+    WeightMap,
+)
+
+__all__ = [
+    "__version__",
+    # grids & spectra
+    "Grid2D", "Spectrum", "GaussianSpectrum", "PowerLawSpectrum",
+    "ExponentialSpectrum", "spectrum_from_dict",
+    # generation
+    "ConvolutionGenerator", "InhomogeneousGenerator", "direct_dft_surface",
+    "hermitian_random_array", "convolve_full", "convolve_spatial",
+    "standard_normal_field", "BlockNoise", "Lcg",
+    # kernels & weights
+    "Kernel", "build_kernel", "truncate_kernel", "truncate_kernel_energy",
+    "weight_array", "weight_autocorrelation",
+    # layouts
+    "PlateLattice", "LayeredLayout", "RegionSpec", "WeightMap",
+    "PointOrientedLayout", "PointSpec",
+    # regions
+    "Region", "Rectangle", "Circle", "Ellipse", "HalfPlane", "Polygon",
+    # container
+    "Surface",
+]

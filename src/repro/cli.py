@@ -1,0 +1,328 @@
+"""Command-line interface: ``repro-rrs`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``
+    Homogeneous surface from spectrum parameters; writes NPZ and/or
+    PGM/PPM renders and prints summary statistics.
+``figure``
+    Regenerate one of the paper's Figures 1-4 at a chosen resolution.
+``inspect``
+    Print statistics (and optionally an ASCII preview) of a saved
+    surface.
+``validate``
+    Run the paper's DFT(w)~rho accuracy check and variance closure for a
+    spectrum/grid combination.
+``classify``
+    Fit all spectral families to a saved surface and report the best
+    match (family, h, cl).
+``mesh``
+    Export a saved surface as a Wavefront OBJ mesh.
+``profile1d``
+    Generate a 1D rough profile (direct 1D convolution method).
+
+Examples
+--------
+::
+
+    repro-rrs generate --spectrum gaussian --h 1.0 --cl 40 \\
+        --n 512 --domain 1024 --seed 7 --npz out.npz --ppm out.ppm
+    repro-rrs figure fig3 --n 512 --ppm fig3.ppm
+    repro-rrs inspect out.npz --preview
+    repro-rrs validate --spectrum exponential --h 2 --cl 80 --n 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from ._version import __version__
+from .core.convolution import ConvolutionGenerator
+from .core.grid import Grid2D
+from .core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    PowerLawSpectrum,
+    Spectrum,
+)
+from .core.surface import Surface
+from .figures import FIGURES, figure_surface
+from .io.npzio import load_surface, save_surface
+from .io.pgm import ascii_preview, render_gray, render_terrain
+from .validation.checks import variance_closure, weight_acf_error
+
+__all__ = ["main", "build_parser"]
+
+
+def _spectrum_from_args(args: argparse.Namespace) -> Spectrum:
+    clx = args.clx if args.clx is not None else args.cl
+    cly = args.cly if args.cly is not None else args.cl
+    if clx is None or cly is None:
+        raise SystemExit("specify --cl or both --clx/--cly")
+    if args.spectrum == "gaussian":
+        return GaussianSpectrum(h=args.h, clx=clx, cly=cly)
+    if args.spectrum == "exponential":
+        return ExponentialSpectrum(h=args.h, clx=clx, cly=cly)
+    if args.spectrum == "power_law":
+        return PowerLawSpectrum(h=args.h, clx=clx, cly=cly, order=args.order)
+    raise SystemExit(f"unknown spectrum {args.spectrum!r}")
+
+
+def _add_spectrum_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--spectrum",
+        choices=("gaussian", "power_law", "exponential"),
+        default="gaussian",
+        help="spectral family (paper Section 2.1)",
+    )
+    p.add_argument("--h", type=float, default=1.0, help="height std")
+    p.add_argument("--cl", type=float, default=None, help="isotropic correlation length")
+    p.add_argument("--clx", type=float, default=None, help="x correlation length")
+    p.add_argument("--cly", type=float, default=None, help="y correlation length")
+    p.add_argument(
+        "--order", type=float, default=2.0, help="power-law order N (> 1)"
+    )
+
+
+def _add_grid_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--n", type=int, default=512, help="samples per axis")
+    p.add_argument(
+        "--domain", type=float, default=1024.0, help="physical side length"
+    )
+
+
+def _emit_surface(surface: Surface, args: argparse.Namespace) -> None:
+    print(json.dumps(surface.summary(), indent=2))
+    if args.npz:
+        save_surface(args.npz, surface)
+        print(f"wrote {args.npz}")
+    if args.pgm:
+        render_gray(surface, path=args.pgm)
+        print(f"wrote {args.pgm}")
+    if args.ppm:
+        render_terrain(surface, path=args.ppm)
+        print(f"wrote {args.ppm}")
+    if args.preview:
+        print(ascii_preview(surface))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
+    spectrum = _spectrum_from_args(args)
+    gen = ConvolutionGenerator(spectrum, grid, truncation=args.truncation)
+    heights = gen.generate(seed=args.seed)
+    surface = Surface(
+        heights=heights,
+        grid=grid,
+        provenance={
+            "method": "convolution",
+            "spectrum": spectrum.to_dict(),
+            "seed": args.seed,
+        },
+    )
+    _emit_surface(surface, args)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    surface = figure_surface(
+        args.name, n=args.n, domain=args.domain, seed=args.seed
+    )
+    _emit_surface(surface, args)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    surface = load_surface(args.path)
+    info = {
+        "shape": list(surface.shape),
+        "dx": surface.grid.dx,
+        "dy": surface.grid.dy,
+        "origin": list(surface.origin),
+        "provenance": surface.provenance,
+        "summary": surface.summary(),
+    }
+    print(json.dumps(info, indent=2))
+    if args.preview:
+        print(ascii_preview(surface))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.full:
+        from .validation.report import render_markdown, run_validation_report
+
+        grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
+        report = run_validation_report(grid=grid)
+        print(render_markdown(report))
+        return 0 if report["pass"] else 1
+    grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
+    spectrum = _spectrum_from_args(args)
+    report = weight_acf_error(spectrum, grid)
+    closure = variance_closure(spectrum, grid)
+    out = dict(report.as_dict(), variance_closure_rel_error=closure)
+    print(json.dumps(out, indent=2))
+    # generous sanity bound: discretisation error below 5% of variance
+    ok = report.max_abs_error <= 0.05 * max(spectrum.variance, 1e-30)
+    if not ok:
+        print(
+            "WARNING: DFT(w) deviates from rho by more than 5% of the "
+            "variance; enlarge the domain or refine the grid",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from .stats.fitting import classify_family
+
+    surface = load_surface(args.path)
+    best, fits = classify_family(
+        surface.heights, surface.grid.dx, cl_guess=args.cl_guess
+    )
+    out = {
+        "best": {
+            "family": best.kind,
+            "h": best.h,
+            "cl": best.cl,
+            "order": best.order,
+            "rss": best.rss,
+        },
+        "all": {k: {"h": f.h, "cl": f.cl, "rss": f.rss}
+                for k, f in fits.items()},
+    }
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_mesh(args: argparse.Namespace) -> int:
+    from .io.objmesh import save_obj
+
+    surface = load_surface(args.path)
+    save_obj(args.out, surface, decimate=args.decimate,
+             z_scale=args.z_scale)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_profile1d(args: argparse.Namespace) -> int:
+    from .core.oned import (
+        Exponential1D,
+        Gaussian1D,
+        Matern1D,
+        ProfileGenerator,
+    )
+
+    cl = args.cl if args.cl is not None else 25.0
+    if args.spectrum == "gaussian":
+        spec = Gaussian1D(h=args.h, cl=cl)
+    elif args.spectrum == "exponential":
+        spec = Exponential1D(h=args.h, cl=cl)
+    else:
+        spec = Matern1D(h=args.h, cl=cl, order=args.order)
+    gen = ProfileGenerator(spec, args.n, args.domain)
+    profile = gen.generate(seed=args.seed)
+    summary = {
+        "n": args.n,
+        "dx": args.domain / args.n,
+        "std": float(profile.std()),
+        "min": float(profile.min()),
+        "max": float(profile.max()),
+    }
+    print(json.dumps(summary, indent=2))
+    if args.out:
+        np.savetxt(args.out, np.column_stack(
+            [np.arange(args.n) * (args.domain / args.n), profile]
+        ), header="x height")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rrs",
+        description="Inhomogeneous random rough surface generation "
+        "(Uchida, Honda & Yoon convolution method)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="homogeneous surface")
+    _add_spectrum_args(g)
+    _add_grid_args(g)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--truncation", type=float, default=0.9999)
+    g.add_argument("--npz", default=None, help="write surface NPZ")
+    g.add_argument("--pgm", default=None, help="write grayscale PGM")
+    g.add_argument("--ppm", default=None, help="write terrain PPM")
+    g.add_argument("--preview", action="store_true", help="ASCII preview")
+    g.set_defaults(func=_cmd_generate)
+
+    f = sub.add_parser("figure", help="regenerate a paper figure")
+    f.add_argument("name", choices=FIGURES)
+    _add_grid_args(f)
+    f.add_argument("--seed", type=int, default=2009)
+    f.add_argument("--npz", default=None)
+    f.add_argument("--pgm", default=None)
+    f.add_argument("--ppm", default=None)
+    f.add_argument("--preview", action="store_true")
+    f.set_defaults(func=_cmd_figure)
+
+    i = sub.add_parser("inspect", help="inspect a saved surface")
+    i.add_argument("path")
+    i.add_argument("--preview", action="store_true")
+    i.set_defaults(func=_cmd_inspect)
+
+    v = sub.add_parser("validate", help="DFT(w) ~ rho accuracy check")
+    _add_spectrum_args(v)
+    _add_grid_args(v)
+    v.add_argument("--full", action="store_true",
+                   help="run the complete validation report (all families, "
+                        "all verification layers)")
+    v.set_defaults(func=_cmd_validate)
+
+    c = sub.add_parser("classify", help="fit spectral families to a surface")
+    c.add_argument("path")
+    c.add_argument("--cl-guess", type=float, default=25.0)
+    c.set_defaults(func=_cmd_classify)
+
+    m = sub.add_parser("mesh", help="export a surface as an OBJ mesh")
+    m.add_argument("path")
+    m.add_argument("out")
+    m.add_argument("--decimate", type=int, default=1)
+    m.add_argument("--z-scale", type=float, default=1.0)
+    m.set_defaults(func=_cmd_mesh)
+
+    p1 = sub.add_parser("profile1d", help="generate a 1D rough profile")
+    p1.add_argument(
+        "--spectrum",
+        choices=("gaussian", "exponential", "matern"),
+        default="gaussian",
+    )
+    p1.add_argument("--h", type=float, default=1.0)
+    p1.add_argument("--cl", type=float, default=None)
+    p1.add_argument("--order", type=float, default=2.0)
+    p1.add_argument("--n", type=int, default=4096)
+    p1.add_argument("--domain", type=float, default=4096.0)
+    p1.add_argument("--seed", type=int, default=0)
+    p1.add_argument("--out", default=None, help="write x/height text table")
+    p1.set_defaults(func=_cmd_profile1d)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,313 @@
+"""The convolution method for rough-surface generation (Section 2.4).
+
+The paper rewrites the direct-DFT product (eqn 30) via the convolution
+theorem into the real-space form (eqn 36)
+
+.. math::
+
+    f_{n_x n_y} = \\sum_{k_x}\\sum_{k_y} \\bar w_{k_x k_y}\\,
+        X_{n_x + k_x - M_x,\\ n_y + k_y - M_y},
+
+i.e. a (cross-)correlation of a compact centred kernel ``w-bar`` (built
+by :func:`repro.core.weights.build_kernel`) with an i.i.d. ``N(0,1)``
+noise field ``X``.  Two practical consequences — the paper's two stated
+advantages — follow:
+
+1. **Unbounded surfaces.**  Because any output sample depends only on the
+   noise inside the kernel footprint, surfaces of arbitrary extent can be
+   produced by *successive computations* over windows of a conceptually
+   infinite noise plane (:class:`repro.core.rng.BlockNoise`), with exact
+   agreement in overlaps.  See :func:`generate_window` and
+   :mod:`repro.parallel.streaming`.
+2. **Kernel truncation.**  When the correlation length is small the
+   kernel support is compact; truncating it (``truncate_kernel*``) cuts
+   cost proportionally at a controlled variance/shape error.
+
+Two execution paths are provided and tested against each other:
+
+* :func:`convolve_full` — FFT circular path, *identical* (to rounding)
+  to the direct DFT method with matched noise (experiment C1);
+* :func:`convolve_spatial` / :func:`apply_kernel_valid` — explicit
+  correlation with a (possibly truncated) kernel, used for windowed,
+  streamed and tiled generation.
+
+For literal-minded verification, :func:`convolve_reference` evaluates
+eqn (36) by direct summation (O(N^2 K^2); tests only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from scipy import signal
+
+from .grid import Grid2D
+from .rng import BlockNoise, SeedLike, as_generator, standard_normal_field
+from .spectra import Spectrum
+from .weights import (
+    Kernel,
+    amplitude_array,
+    build_kernel,
+    truncate_kernel,
+    truncate_kernel_energy,
+)
+
+__all__ = [
+    "convolve_full",
+    "convolve_spatial",
+    "convolve_reference",
+    "apply_kernel_valid",
+    "noise_window_for",
+    "generate_window",
+    "resolve_kernel",
+    "ConvolutionGenerator",
+]
+
+TruncationSpec = Union[None, float, Tuple[int, int]]
+
+
+def convolve_full(
+    spectrum: Spectrum,
+    grid: Grid2D,
+    noise: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Full-kernel convolution method via FFT (circular boundary).
+
+    Computes eqn (36) with the untruncated kernel using the spectral
+    identity ``f = sqrt(Nx*Ny) * IDFT(v * DFT(X))`` (derived from the
+    correlation theorem; see module docstring of
+    :mod:`repro.core.direct_dft`).  The result is exactly the direct DFT
+    method's surface for the Hermitian array matched to ``X``.
+
+    Parameters
+    ----------
+    noise:
+        Optional ``(nx, ny)`` i.i.d. ``N(0,1)`` field; drawn from ``seed``
+        when omitted.
+    """
+    if noise is None:
+        noise = standard_normal_field(grid.shape, seed)
+    noise = np.asarray(noise, dtype=float)
+    if noise.shape != grid.shape:
+        raise ValueError(f"noise shape {noise.shape} != grid shape {grid.shape}")
+    v = amplitude_array(spectrum, grid)
+    out = np.fft.ifft2(v * np.fft.fft2(noise)) * np.sqrt(grid.size)
+    return np.ascontiguousarray(out.real)
+
+
+def convolve_spatial(
+    kernel: Kernel,
+    noise: np.ndarray,
+    boundary: str = "wrap",
+) -> np.ndarray:
+    """Apply a centred kernel to a noise field of the output's shape.
+
+    Evaluates eqn (36) as a correlation.  ``boundary`` selects how noise
+    outside the field is treated:
+
+    ``"wrap"``
+        Circular indexing, matching the DFT methods on the same noise.
+    ``"reflect"`` / ``"zero"``
+        Non-periodic edge handling (useful when the physical surface is a
+        patch, not a torus).  ``"zero"`` tapers variance near edges.
+    """
+    noise = np.asarray(noise, dtype=float)
+    if noise.ndim != 2:
+        raise ValueError("noise must be 2D")
+    kx, ky = kernel.shape
+    px_lo, px_hi = kernel.cx, kx - 1 - kernel.cx
+    py_lo, py_hi = kernel.cy, ky - 1 - kernel.cy
+    if boundary == "wrap":
+        mode = "wrap"
+    elif boundary == "reflect":
+        mode = "symmetric"
+    elif boundary == "zero":
+        mode = "constant"
+    else:
+        raise ValueError(f"unknown boundary {boundary!r}")
+    padded = np.pad(noise, ((px_lo, px_hi), (py_lo, py_hi)), mode=mode)
+    return apply_kernel_valid(kernel, padded)
+
+
+def apply_kernel_valid(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
+    """Valid-mode correlation: the core windowed-generation primitive.
+
+    ``out[i, j] = sum_k kernel[k] * noise[i + k_x, j + k_y]`` for every
+    position where the kernel fits entirely inside ``noise``; output shape
+    is ``noise.shape - kernel.shape + 1``.  Output sample ``(i, j)``
+    corresponds to the noise-plane location ``(i + cx, j + cy)``.
+
+    Uses FFT-based correlation (``scipy.signal.fftconvolve`` on the
+    flipped kernel) — O((N+K) log(N+K)) per axis rather than O(N K).
+    """
+    noise = np.asarray(noise, dtype=float)
+    kx, ky = kernel.shape
+    if noise.shape[0] < kx or noise.shape[1] < ky:
+        raise ValueError(
+            f"noise window {noise.shape} smaller than kernel {kernel.shape}"
+        )
+    flipped = kernel.values[::-1, ::-1]
+    out = signal.fftconvolve(noise, flipped, mode="valid")
+    return np.ascontiguousarray(out)
+
+
+def convolve_reference(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
+    """Literal evaluation of paper eqn (36) by direct summation.
+
+    Circular ('wrap') boundary; O(N^2 K^2).  Exists so the optimised
+    paths can be validated against the printed formula; do not use for
+    production sizes.
+    """
+    noise = np.asarray(noise, dtype=float)
+    nx, ny = noise.shape
+    kx, ky = kernel.shape
+    out = np.zeros_like(noise)
+    for dx in range(kx):
+        for dy in range(ky):
+            c = kernel.values[dx, dy]
+            if c == 0.0:
+                continue
+            out += c * np.roll(noise, shift=(-(dx - kernel.cx), -(dy - kernel.cy)),
+                               axis=(0, 1))
+    return out
+
+
+def noise_window_for(
+    kernel: Kernel, x0: int, y0: int, nx: int, ny: int
+) -> Tuple[int, int, int, int]:
+    """Noise-plane window needed to generate surface window ``[x0,x0+nx) x [y0,y0+ny)``.
+
+    Returns ``(wx0, wy0, wnx, wny)`` in global noise coordinates such that
+    valid correlation of the kernel over that window yields exactly the
+    requested surface samples.
+    """
+    kx, ky = kernel.shape
+    return (x0 - kernel.cx, y0 - kernel.cy, nx + kx - 1, ny + ky - 1)
+
+
+def generate_window(
+    kernel: Kernel,
+    noise: BlockNoise,
+    x0: int,
+    y0: int,
+    nx: int,
+    ny: int,
+) -> np.ndarray:
+    """Generate an arbitrary window of the infinite surface (advantage (a)).
+
+    The surface value at global index ``(i, j)`` is a deterministic
+    function of ``(kernel, noise.seed)``; windows generated separately
+    agree on overlaps (exactly in the underlying noise, to FFT rounding
+    ~1e-15 in the heights), which is what enables streaming strips,
+    parallel tiles, and surfaces of unbounded extent.
+    """
+    wx0, wy0, wnx, wny = noise_window_for(kernel, x0, y0, nx, ny)
+    window = noise.window(wx0, wy0, wnx, wny)
+    return apply_kernel_valid(kernel, window)
+
+
+def resolve_kernel(
+    spectrum: Spectrum, grid: Grid2D, truncation: TruncationSpec
+) -> Kernel:
+    """Build (and optionally truncate) the kernel for a generator.
+
+    ``truncation`` may be ``None`` (full kernel), a float in (0, 1]
+    (energy fraction, see :func:`truncate_kernel_energy`), or an explicit
+    ``(half_x, half_y)`` tuple of one-sided supports in samples.
+    """
+    kernel = build_kernel(spectrum, grid)
+    if truncation is None:
+        return kernel
+    if isinstance(truncation, tuple):
+        return truncate_kernel(kernel, *truncation)
+    return truncate_kernel_energy(kernel, float(truncation))
+
+
+class ConvolutionGenerator:
+    """High-level homogeneous-surface generator (the paper's Section 2.4).
+
+    Precomputes the convolution kernel once ("once the weighting array is
+    computed, we can generate any size of continuous RRSs") and exposes
+    both periodic one-shot generation and windowed generation over the
+    infinite noise plane.
+
+    Parameters
+    ----------
+    spectrum:
+        Target spectral density.
+    grid:
+        Kernel-construction grid.  Its *spacing* fixes the sampling of
+        the surface; windows of any extent can then be generated at that
+        spacing.  The grid extent bounds the kernel support, so choose
+        ``lx, ly`` comfortably larger than a few correlation lengths.
+    truncation:
+        Kernel truncation spec, see :func:`resolve_kernel`.  Default
+        retains 99.99% of the kernel energy, which keeps windowed
+        generation cheap while changing the surface variance by < 0.01%.
+
+    Examples
+    --------
+    >>> from repro.core.grid import Grid2D
+    >>> from repro.core.spectra import GaussianSpectrum
+    >>> gen = ConvolutionGenerator(
+    ...     GaussianSpectrum(h=1.0, clx=40.0, cly=40.0),
+    ...     Grid2D(nx=256, ny=256, lx=1024.0, ly=1024.0),
+    ... )
+    >>> heights = gen.generate(seed=7)
+    >>> heights.shape
+    (256, 256)
+    """
+
+    def __init__(
+        self,
+        spectrum: Spectrum,
+        grid: Grid2D,
+        truncation: TruncationSpec = 0.9999,
+    ) -> None:
+        self.spectrum = spectrum
+        self.grid = grid
+        self.truncation = truncation
+        self.kernel = resolve_kernel(spectrum, grid, truncation)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        seed: SeedLike = None,
+        noise: Optional[np.ndarray] = None,
+        boundary: str = "wrap",
+        exact: bool = False,
+    ) -> np.ndarray:
+        """One realisation on the construction grid.
+
+        Parameters
+        ----------
+        exact:
+            If true, use the untruncated FFT path (:func:`convolve_full`)
+            — exactly the direct-DFT surface for matched noise.  The
+            default uses the (possibly truncated) spatial kernel, which
+            is what the windowed/streamed paths use.
+        """
+        if noise is None:
+            noise = standard_normal_field(self.grid.shape, seed)
+        if exact:
+            return convolve_full(self.spectrum, self.grid, noise=noise)
+        return convolve_spatial(self.kernel, noise, boundary=boundary)
+
+    def generate_window(
+        self, noise: BlockNoise, x0: int, y0: int, nx: int, ny: int
+    ) -> np.ndarray:
+        """Window ``[x0, x0+nx) x [y0, y0+ny)`` of the infinite surface."""
+        return generate_window(self.kernel, noise, x0, y0, nx, ny)
+
+    @property
+    def footprint(self) -> Tuple[int, int]:
+        """Kernel support ``(kx, ky)`` in samples (cost driver, claim C2)."""
+        return self.kernel.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConvolutionGenerator(spectrum={self.spectrum!r}, "
+            f"footprint={self.footprint}, truncation={self.truncation!r})"
+        )

@@ -1,0 +1,285 @@
+"""Discrete Fourier grids for 2D rough-surface synthesis.
+
+This module implements the discretisation conventions of Section 2.2 of
+Uchida, Honda & Yoon: a rectangular surface patch of physical lengths
+``Lx x Ly`` sampled on ``Nx x Ny`` points, together with the discrete
+spatial angular frequencies
+
+.. math::
+
+    K_{x,m} = \\frac{2\\pi m}{L_x}, \\qquad
+    K_{y,m} = \\frac{2\\pi m}{L_y}
+    \\qquad (m = 0, 1, \\ldots, M_p),
+
+where ``Mx = Nx/2`` and ``My = Ny/2`` (paper eqn 13), and the index
+*folding* rule of eqn (16) that maps DFT bin indices ``m >= M`` onto
+negative frequencies ``m - 2M``.
+
+The grid object is immutable and cheap; all arrays it hands out are
+computed once and cached.  Every generator in :mod:`repro.core` consumes a
+:class:`Grid2D` so that the spatial/spectral bookkeeping lives in exactly
+one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["Grid2D", "fold_index", "folded_frequency_index"]
+
+
+def fold_index(m: np.ndarray | int, big_m: int) -> np.ndarray | int:
+    """Fold DFT bin indices onto signed frequency indices (paper eqn 16).
+
+    For a transform of length ``N = 2*big_m``, bins ``0 <= m < big_m`` keep
+    their index while bins ``big_m <= m < 2*big_m`` map to ``2*big_m - m``
+    (i.e. the magnitude of the corresponding negative frequency).  The
+    returned value is always a *non-negative* frequency magnitude index, as
+    used to sample the (even) spectral density function.
+
+    Parameters
+    ----------
+    m:
+        Bin index or array of bin indices in ``[0, 2*big_m)``.
+    big_m:
+        Half transform length ``M = N/2``.
+
+    Returns
+    -------
+    Folded index (same shape as ``m``) in ``[0, big_m]``.
+    """
+    m_arr = np.asarray(m)
+    if np.any(m_arr < 0) or np.any(m_arr >= 2 * big_m):
+        raise ValueError(
+            f"bin index out of range [0, {2 * big_m}): got {m!r}"
+        )
+    folded = np.where(m_arr < big_m, m_arr, 2 * big_m - m_arr)
+    if np.isscalar(m):
+        return int(folded)
+    return folded
+
+
+def folded_frequency_index(n: int) -> np.ndarray:
+    """Vector of folded indices for a full transform of length ``n``.
+
+    Equivalent to ``abs(numpy.fft.fftfreq(n) * n)`` rounded to integers:
+    ``min(m, n - m)``.  For even ``n`` this matches the paper's eqn (16)
+    with ``M = n // 2``; odd lengths (which the paper does not use but
+    windows cut from larger surfaces may have) fold symmetrically with no
+    Nyquist bin.
+    """
+    if n <= 0:
+        raise ValueError(f"transform length must be positive, got {n}")
+    m = np.arange(n)
+    return np.minimum(m, n - m)
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """Immutable 2D sampling grid for rough-surface synthesis.
+
+    Parameters
+    ----------
+    nx, ny:
+        Truncation numbers (sample counts) in x and y.  The paper's
+        spectral constructions assume the even ``N_p = 2 M_p`` convention
+        and the library builds kernels on even grids; odd sizes are
+        accepted so that windows cut from larger surfaces remain valid
+        grids.
+    lx, ly:
+        Physical lengths of the surface patch in x and y.  Any consistent
+        length unit may be used; correlation lengths and heights passed to
+        the spectra must use the same unit.
+
+    Notes
+    -----
+    The sample spacing is ``dx = lx / nx`` (periodic grid: the point at
+    ``x = lx`` is identified with ``x = 0``).  The fundamental angular
+    frequencies are ``dkx = 2*pi/lx`` and ``dky = 2*pi/ly``.
+    """
+
+    nx: int
+    ny: int
+    lx: float
+    ly: float
+
+    def __post_init__(self) -> None:
+        for name, n in (("nx", self.nx), ("ny", self.ny)):
+            if not isinstance(n, (int, np.integer)):
+                raise TypeError(f"{name} must be an integer, got {type(n).__name__}")
+            if n <= 0:
+                raise ValueError(f"{name} must be positive, got {n}")
+        for name, length in (("lx", self.lx), ("ly", self.ly)):
+            if not np.isfinite(length) or length <= 0:
+                raise ValueError(f"{name} must be positive and finite, got {length}")
+
+    # ------------------------------------------------------------------
+    # Scalar derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def mx(self) -> int:
+        """Half transform length ``Mx = Nx/2`` (paper eqn 13)."""
+        return self.nx // 2
+
+    @property
+    def my(self) -> int:
+        """Half transform length ``My = Ny/2`` (paper eqn 13)."""
+        return self.ny // 2
+
+    @property
+    def dx(self) -> float:
+        """Sample spacing in x."""
+        return self.lx / self.nx
+
+    @property
+    def dy(self) -> float:
+        """Sample spacing in y."""
+        return self.ly / self.ny
+
+    @property
+    def dkx(self) -> float:
+        """Fundamental angular frequency ``2*pi/Lx``."""
+        return 2.0 * np.pi / self.lx
+
+    @property
+    def dky(self) -> float:
+        """Fundamental angular frequency ``2*pi/Ly``."""
+        return 2.0 * np.pi / self.ly
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Array shape ``(nx, ny)`` of surfaces sampled on this grid."""
+        return (self.nx, self.ny)
+
+    @property
+    def size(self) -> int:
+        """Total number of samples ``nx * ny``."""
+        return self.nx * self.ny
+
+    @property
+    def cell_area(self) -> float:
+        """Area of one sample cell, ``dx * dy``."""
+        return self.dx * self.dy
+
+    @property
+    def spectral_cell(self) -> float:
+        """Spectral cell area ``dkx * dky = 4*pi^2/(Lx*Ly)`` (eqn 15 factor)."""
+        return self.dkx * self.dky
+
+    # ------------------------------------------------------------------
+    # Coordinate arrays
+    # ------------------------------------------------------------------
+    @cached_property
+    def x(self) -> np.ndarray:
+        """Sample abscissae ``x_n = n * dx`` for ``n = 0..nx-1``."""
+        return np.arange(self.nx) * self.dx
+
+    @cached_property
+    def y(self) -> np.ndarray:
+        """Sample ordinates ``y_n = n * dy`` for ``n = 0..ny-1``."""
+        return np.arange(self.ny) * self.dy
+
+    def meshgrid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Full coordinate mesh ``(X, Y)`` with indexing='ij' (x first)."""
+        return np.meshgrid(self.x, self.y, indexing="ij")
+
+    @cached_property
+    def x_centered(self) -> np.ndarray:
+        """Signed lags ``x`` in ``[-Lx/2, Lx/2)`` in FFT (wrap) order.
+
+        Useful for evaluating autocorrelation functions that must be
+        compared against inverse DFTs of spectral weights.
+        """
+        n = np.arange(self.nx)
+        return np.where(n < (self.nx + 1) // 2, n, n - self.nx) * self.dx
+
+    @cached_property
+    def y_centered(self) -> np.ndarray:
+        """Signed lags ``y`` in ``[-Ly/2, Ly/2)`` in FFT (wrap) order."""
+        n = np.arange(self.ny)
+        return np.where(n < (self.ny + 1) // 2, n, n - self.ny) * self.dy
+
+    # ------------------------------------------------------------------
+    # Spectral arrays
+    # ------------------------------------------------------------------
+    @cached_property
+    def kx_folded(self) -> np.ndarray:
+        """Folded |Kx| magnitudes per bin, paper eqns (13) + (16)."""
+        return folded_frequency_index(self.nx) * self.dkx
+
+    @cached_property
+    def ky_folded(self) -> np.ndarray:
+        """Folded |Ky| magnitudes per bin, paper eqns (13) + (16)."""
+        return folded_frequency_index(self.ny) * self.dky
+
+    @cached_property
+    def kx_signed(self) -> np.ndarray:
+        """Signed Kx per bin (standard FFT order)."""
+        return 2.0 * np.pi * np.fft.fftfreq(self.nx, d=self.dx)
+
+    @cached_property
+    def ky_signed(self) -> np.ndarray:
+        """Signed Ky per bin (standard FFT order)."""
+        return 2.0 * np.pi * np.fft.fftfreq(self.ny, d=self.dy)
+
+    def k_meshgrid(self, signed: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+        """Spectral mesh ``(KX, KY)``, folded magnitudes by default."""
+        if signed:
+            return np.meshgrid(self.kx_signed, self.ky_signed, indexing="ij")
+        return np.meshgrid(self.kx_folded, self.ky_folded, indexing="ij")
+
+    @property
+    def nyquist_kx(self) -> float:
+        """Highest representable |Kx| = pi/dx."""
+        return np.pi / self.dx
+
+    @property
+    def nyquist_ky(self) -> float:
+        """Highest representable |Ky| = pi/dy."""
+        return np.pi / self.dy
+
+    # ------------------------------------------------------------------
+    # Derived grids
+    # ------------------------------------------------------------------
+    def with_shape(self, nx: int, ny: int) -> "Grid2D":
+        """A grid with the same *sample spacing* but a different extent.
+
+        This is the operation used when streaming strips or tiling a large
+        surface: the spectrum is always sampled consistently because the
+        spacing (and therefore the Nyquist band) is preserved.
+        """
+        return Grid2D(nx=nx, ny=ny, lx=nx * self.dx, ly=ny * self.dy)
+
+    def subgrid(self, x_slice: slice, y_slice: slice) -> "Grid2D":
+        """Grid covering a contiguous index window of this grid."""
+        xs = range(self.nx)[x_slice]
+        ys = range(self.ny)[y_slice]
+        if len(xs) == 0 or len(ys) == 0:
+            raise ValueError("empty subgrid selection")
+        return self.with_shape(len(xs), len(ys))
+
+    def iter_tiles(
+        self, tile_nx: int, tile_ny: int
+    ) -> Iterator[Tuple[slice, slice]]:
+        """Iterate index windows covering the grid in row-major tile order.
+
+        Edge tiles may be smaller than ``tile_nx x tile_ny``.
+        """
+        if tile_nx <= 0 or tile_ny <= 0:
+            raise ValueError("tile dimensions must be positive")
+        for ix in range(0, self.nx, tile_nx):
+            for iy in range(0, self.ny, tile_ny):
+                yield (
+                    slice(ix, min(ix + tile_nx, self.nx)),
+                    slice(iy, min(iy + tile_ny, self.ny)),
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Grid2D(nx={self.nx}, ny={self.ny}, lx={self.lx:g}, ly={self.ly:g}, "
+            f"dx={self.dx:g}, dy={self.dy:g})"
+        )

@@ -1,0 +1,28 @@
+"""Parameter fields: regions, transition profiles and blend layouts for
+inhomogeneous surface generation."""
+
+from .continuous import ContinuousGenerator, level_weights
+from .dem import enhance_dem, highpass_field, upsample_bilinear
+from .parameter_map import LayeredLayout, PlateLattice, RegionSpec, WeightMap
+from .regions import (
+    Circle,
+    Complement,
+    Ellipse,
+    Everywhere,
+    HalfPlane,
+    Intersection,
+    Polygon,
+    Rectangle,
+    Region,
+    Union,
+)
+from .transition import PROFILES, cosine, get_profile, linear, ramp_weight, smoothstep
+
+__all__ = [
+    "Region", "HalfPlane", "Rectangle", "Circle", "Ellipse", "Polygon",
+    "Union", "Intersection", "Complement", "Everywhere",
+    "linear", "smoothstep", "cosine", "get_profile", "ramp_weight", "PROFILES",
+    "WeightMap", "RegionSpec", "LayeredLayout", "PlateLattice",
+    "ContinuousGenerator", "level_weights",
+    "enhance_dem", "highpass_field", "upsample_bilinear",
+]

@@ -1,0 +1,281 @@
+"""Parameter layouts: mapping surface locations to spectra and weights.
+
+The plate-oriented method (paper Section 3.1) needs, at every output
+sample ``n``, a convex combination of homogeneous weighting kernels:
+``w_n = sum_m g_n(m) * w(m)`` with ``sum_m g_n(m) = 1`` (eqn 37).  This
+module builds those blend fields ``g`` for two layout styles:
+
+* :class:`PlateLattice` — a rectangular lattice of plates with linear
+  transitions at interior edges: the separable construction of eqns
+  (38)-(39), generalised from the paper's 2x2 quadrant split to any
+  ``P x Q`` lattice.  Partition of unity holds *by construction*
+  (adjacent 1D ramps are complementary).
+* :class:`LayeredLayout` — arbitrary :class:`~repro.fields.regions.Region`
+  patches (circle, polygon, ...) over a background spectrum, with
+  signed-distance ramps of per-region half-width ``T`` (the Figure 3
+  configuration).  Weights are renormalised to sum to one wherever
+  layers overlap.
+
+Both produce a :class:`WeightMap`: the list of participating spectra and
+a ``(n_regions, nx, ny)`` stack of blend fields, which the inhomogeneous
+generator consumes (DESIGN.md S6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.grid import Grid2D
+from ..core.spectra import Spectrum
+from .regions import Region
+from .transition import Profile, get_profile, ramp_weight
+
+__all__ = ["WeightMap", "RegionSpec", "LayeredLayout", "PlateLattice"]
+
+
+@dataclass
+class WeightMap:
+    """Blend fields ``g_n(m)`` over a grid (paper eqn 37 / eqn 46 inputs).
+
+    Attributes
+    ----------
+    spectra:
+        The ``M`` homogeneous spectra being blended.
+    weights:
+        ``(M, nx, ny)`` array; ``weights[m]`` is the blend field of
+        spectrum ``m``.  Rows sum to 1 at every sample (partition of
+        unity), which :meth:`validate` checks.
+    """
+
+    spectra: List[Spectrum]
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weights, dtype=float)
+        if w.ndim != 3 or w.shape[0] != len(self.spectra):
+            raise ValueError(
+                f"weights must be (n_spectra, nx, ny); got {w.shape} for "
+                f"{len(self.spectra)} spectra"
+            )
+        self.weights = w
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.spectra)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.weights.shape[1:]
+
+    def validate(self, atol: float = 1e-9) -> None:
+        """Assert partition of unity and weight bounds."""
+        w = self.weights
+        if np.any(w < -atol) or np.any(w > 1.0 + atol):
+            raise ValueError("blend weights outside [0, 1]")
+        total = w.sum(axis=0)
+        if not np.allclose(total, 1.0, atol=1e-6):
+            worst = float(np.max(np.abs(total - 1.0)))
+            raise ValueError(
+                f"blend weights do not partition unity (max deviation {worst:g})"
+            )
+
+    def dominant_region(self) -> np.ndarray:
+        """Index map of the locally heaviest spectrum (for QA/rendering)."""
+        return np.argmax(self.weights, axis=0)
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One layered patch: a region carrying a spectrum and its transition.
+
+    Parameters
+    ----------
+    region:
+        Patch geometry.
+    spectrum:
+        Homogeneous spectrum realised inside the patch.
+    half_width:
+        Transition half-width ``T`` (paper Fig. 3 uses ``T = 100``).
+    profile:
+        Transition profile name or callable (default linear = paper).
+    """
+
+    region: Region
+    spectrum: Spectrum
+    half_width: float = 0.0
+    profile: str = "linear"
+
+
+class LayeredLayout:
+    """Arbitrary patches over a background spectrum (Figure 3 style).
+
+    Raw patch weights come from signed-distance ramps; the background
+    absorbs the remainder ``prod(1 - w_patch)``; the stack is then
+    normalised so overlapping patch ramps still partition unity.
+    """
+
+    def __init__(self, background: Spectrum, patches: Sequence[RegionSpec]):
+        self.background = background
+        self.patches = list(patches)
+
+    def weight_map(self, grid: Grid2D, origin: Tuple[float, float] = (0.0, 0.0)
+                   ) -> WeightMap:
+        """Evaluate blend fields on ``grid`` (physical coordinates)."""
+        gx, gy = grid.meshgrid()
+        gx = gx + origin[0]
+        gy = gy + origin[1]
+        spectra: List[Spectrum] = [self.background]
+        raw: List[np.ndarray] = []
+        remainder = np.ones(grid.shape)
+        for spec in self.patches:
+            sd = spec.region.signed_distance(gx, gy)
+            w = ramp_weight(sd, spec.half_width, spec.profile)
+            raw.append(w)
+            remainder = remainder * (1.0 - w)
+            spectra.append(spec.spectrum)
+        weights = np.empty((len(spectra), *grid.shape))
+        weights[0] = remainder
+        for i, w in enumerate(raw, start=1):
+            weights[i] = w
+        total = weights.sum(axis=0)
+        # Overlapping ramps can push the raw sum above 1; renormalise.
+        weights /= total[None, :, :]
+        wm = WeightMap(spectra=spectra, weights=weights)
+        wm.validate()
+        return wm
+
+
+class PlateLattice:
+    """Rectangular plate lattice with interior-edge transitions (eqns 37-39).
+
+    Parameters
+    ----------
+    x_edges, y_edges:
+        Strictly increasing plate boundaries, including the domain ends:
+        ``P`` plates need ``P + 1`` x-edges.  The paper's quadrant figures
+        use ``x_edges = [0, Lx/2, Lx]``, ``y_edges = [0, Ly/2, Ly]``.
+    spectra:
+        ``(P, Q)`` nested sequence: ``spectra[i][j]`` rules the plate
+        ``[x_edges[i], x_edges[i+1]] x [y_edges[j], y_edges[j+1]]``.
+    half_width:
+        Transition half-width applied at every *interior* edge (the
+        boundary edges of the domain get no ramp).  May be a scalar or a
+        pair ``(Tx, Ty)``.
+    profile:
+        Transition profile (default linear = paper).
+    """
+
+    def __init__(
+        self,
+        x_edges: Sequence[float],
+        y_edges: Sequence[float],
+        spectra: Sequence[Sequence[Spectrum]],
+        half_width: float | Tuple[float, float] = 0.0,
+        profile: str = "linear",
+    ) -> None:
+        self.x_edges = np.asarray(x_edges, dtype=float)
+        self.y_edges = np.asarray(y_edges, dtype=float)
+        for name, edges in (("x_edges", self.x_edges), ("y_edges", self.y_edges)):
+            if edges.ndim != 1 or len(edges) < 2 or np.any(np.diff(edges) <= 0):
+                raise ValueError(f"{name} must be strictly increasing, length >= 2")
+        p, q = len(self.x_edges) - 1, len(self.y_edges) - 1
+        rows = list(spectra)
+        if len(rows) != p or any(len(list(r)) != q for r in rows):
+            raise ValueError(f"spectra must be a ({p}, {q}) nested sequence")
+        self.spectra_grid: List[List[Spectrum]] = [list(r) for r in rows]
+        if np.isscalar(half_width):
+            self.tx = self.ty = float(half_width)  # type: ignore[arg-type]
+        else:
+            self.tx, self.ty = (float(half_width[0]), float(half_width[1]))
+        if self.tx < 0 or self.ty < 0:
+            raise ValueError("transition half-widths must be >= 0")
+        self.profile = profile
+
+    @property
+    def n_plates(self) -> Tuple[int, int]:
+        return (len(self.x_edges) - 1, len(self.y_edges) - 1)
+
+    @staticmethod
+    def _axis_weights(
+        coords: np.ndarray, edges: np.ndarray, t: float, profile: Profile
+    ) -> np.ndarray:
+        """1D plate weights: ``(n_cells, n_coords)`` trapezoid functions.
+
+        Interior edges carry a linear (or chosen-profile) crossfade over
+        ``[edge - t, edge + t]``; the two domain-end edges are hard so the
+        first/last plates own the domain boundary.  When bands do not
+        overlap, adjacent cells' ramps are complementary and columns sum
+        to exactly 1 (the paper's eqns 38-39).  When a transition
+        half-width exceeds half a plate's width the two bands inside that
+        plate overlap and the raw product form sums to ``1 - r1*r2``
+        there; the weights are renormalised columnwise, which reduces to
+        the paper's form wherever bands are disjoint and keeps the
+        partition exact everywhere.
+        """
+        n_cells = len(edges) - 1
+        out = np.empty((n_cells, coords.size))
+
+        def rise(edge: float) -> np.ndarray:
+            # 0 before edge-t, 1 after edge+t
+            if t == 0.0:
+                return (coords >= edge).astype(float)
+            return profile(np.clip((coords - (edge - t)) / (2.0 * t), 0.0, 1.0))
+
+        for i in range(n_cells):
+            lo = rise(edges[i]) if i > 0 else np.ones(coords.size)
+            hi = 1.0 - rise(edges[i + 1]) if i < n_cells - 1 else np.ones(coords.size)
+            out[i] = lo * hi
+        total = out.sum(axis=0)
+        # total is 1 except where two bands overlap inside one plate,
+        # where it dips to at most 1 - 1/4; always safely positive.
+        out /= total[None, :]
+        return out
+
+    def weight_map(self, grid: Grid2D, origin: Tuple[float, float] = (0.0, 0.0)
+                   ) -> WeightMap:
+        """Evaluate blend fields on ``grid``; eqns (37)-(39) generalised."""
+        phi = get_profile(self.profile)
+        wx = self._axis_weights(grid.x + origin[0], self.x_edges, self.tx, phi)
+        wy = self._axis_weights(grid.y + origin[1], self.y_edges, self.ty, phi)
+        p, q = self.n_plates
+        spectra: List[Spectrum] = []
+        weights = np.empty((p * q, grid.nx, grid.ny))
+        idx = 0
+        for i in range(p):
+            for j in range(q):
+                spectra.append(self.spectra_grid[i][j])
+                np.multiply(wx[i][:, None], wy[j][None, :], out=weights[idx])
+                idx += 1
+        wm = WeightMap(spectra=spectra, weights=weights)
+        wm.validate()
+        return wm
+
+    @classmethod
+    def quadrants(
+        cls,
+        lx: float,
+        ly: float,
+        q1: Spectrum,
+        q2: Spectrum,
+        q3: Spectrum,
+        q4: Spectrum,
+        half_width: float = 0.0,
+        profile: str = "linear",
+    ) -> "PlateLattice":
+        """The paper's four-quadrant configuration (Figures 1 and 2).
+
+        Quadrants follow the mathematical convention with the origin at
+        the domain centre: Q1 = x>cx, y>cy; Q2 = x<cx, y>cy;
+        Q3 = x<cx, y<cy; Q4 = x>cx, y<cy.
+        """
+        cx, cy = lx / 2.0, ly / 2.0
+        return cls(
+            x_edges=[0.0, cx, lx],
+            y_edges=[0.0, cy, ly],
+            spectra=[[q3, q2], [q4, q1]],
+            half_width=half_width,
+            profile=profile,
+        )

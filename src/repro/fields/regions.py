@@ -1,0 +1,271 @@
+"""Geometric regions for plate-oriented inhomogeneous generation.
+
+Section 3.1 of the paper defines the plate-oriented method for
+rectangular regions and notes that "the present algorithm can easily be
+applied to other cases such as a circular region" (used in Figure 3).
+This module supplies the geometric vocabulary: each region exposes a
+vectorised *signed distance* to its boundary (negative inside, positive
+outside), from which the transition weights of eqns (38)-(39) are
+obtained by a 1D ramp (see :mod:`repro.fields.transition`).
+
+Provided regions: :class:`HalfPlane`, :class:`Rectangle`,
+:class:`Circle`, :class:`Ellipse`, :class:`Polygon`, plus the boolean
+combinators :class:`Union`, :class:`Intersection`, :class:`Complement`
+(signed distances combined with min/max — exact for membership,
+conservative for distance, as is standard for SDF composition).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Region",
+    "HalfPlane",
+    "Rectangle",
+    "Circle",
+    "Ellipse",
+    "Polygon",
+    "Union",
+    "Intersection",
+    "Complement",
+    "Everywhere",
+]
+
+
+class Region(abc.ABC):
+    """A planar region with a signed distance function.
+
+    Conventions: ``signed_distance(x, y) < 0`` strictly inside, ``> 0``
+    strictly outside, ``== 0`` on the boundary.  All methods broadcast
+    over ``x`` and ``y``.
+    """
+
+    @abc.abstractmethod
+    def signed_distance(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Signed distance to the region boundary (negative inside)."""
+
+    def contains(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Boolean membership (boundary counts as inside)."""
+        return self.signed_distance(x, y) <= 0.0
+
+    # combinators -------------------------------------------------------
+    def __or__(self, other: "Region") -> "Region":
+        return Union((self, other))
+
+    def __and__(self, other: "Region") -> "Region":
+        return Intersection((self, other))
+
+    def __invert__(self) -> "Region":
+        return Complement(self)
+
+
+@dataclass(frozen=True)
+class Everywhere(Region):
+    """The whole plane (used as a background region)."""
+
+    def signed_distance(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        shape = np.broadcast(np.asarray(x), np.asarray(y)).shape
+        return np.full(shape, -np.inf)
+
+
+@dataclass(frozen=True)
+class HalfPlane(Region):
+    """Points satisfying ``nx*x + ny*y <= c`` (inward normal ``-(nx,ny)``).
+
+    The normal need not be unit length; it is normalised internally so the
+    signed distance is metric.
+    """
+
+    nx: float
+    ny: float
+    c: float
+
+    def __post_init__(self) -> None:
+        norm = float(np.hypot(self.nx, self.ny))
+        if norm == 0.0:
+            raise ValueError("half-plane normal must be nonzero")
+
+    def signed_distance(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        norm = np.hypot(self.nx, self.ny)
+        return (self.nx * x + self.ny * y - self.c) / norm
+
+
+@dataclass(frozen=True)
+class Rectangle(Region):
+    """Axis-aligned rectangle ``[x0, x1] x [y0, y1]``."""
+
+    x0: float
+    x1: float
+    y0: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if not (self.x0 < self.x1 and self.y0 < self.y1):
+            raise ValueError(
+                f"degenerate rectangle [{self.x0},{self.x1}]x[{self.y0},{self.y1}]"
+            )
+
+    def signed_distance(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        # Distance components to the slab in each axis (negative inside).
+        dx = np.maximum(self.x0 - x, x - self.x1)
+        dy = np.maximum(self.y0 - y, y - self.y1)
+        outside = np.hypot(np.maximum(dx, 0.0), np.maximum(dy, 0.0))
+        inside = np.minimum(np.maximum(dx, dy), 0.0)
+        return outside + inside
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+
+
+@dataclass(frozen=True)
+class Circle(Region):
+    """Disc of radius ``radius`` centred at ``(cx, cy)`` (paper Fig. 3)."""
+
+    cx: float
+    cy: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+
+    def signed_distance(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        return np.hypot(x - self.cx, y - self.cy) - self.radius
+
+
+@dataclass(frozen=True)
+class Ellipse(Region):
+    """Axis-aligned ellipse with semi-axes ``(a, b)`` centred at ``(cx, cy)``.
+
+    The signed distance is the common scaled approximation
+    ``(sqrt((dx/a)^2+(dy/b)^2) - 1) * min(a, b)``; exact at the centre
+    and boundary, metric to within the aspect ratio elsewhere — adequate
+    for transition bands much smaller than the axes.
+    """
+
+    cx: float
+    cy: float
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise ValueError("ellipse semi-axes must be positive")
+
+    def signed_distance(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        rho = np.sqrt(((x - self.cx) / self.a) ** 2 + ((y - self.cy) / self.b) ** 2)
+        return (rho - 1.0) * min(self.a, self.b)
+
+
+class Polygon(Region):
+    """Simple (non-self-intersecting) polygon from a vertex list.
+
+    Signed distance is exact: minimum distance to the edge set, signed by
+    even-odd membership.  Vertices are given counter-clockwise or
+    clockwise (orientation does not matter for the even-odd rule).
+    """
+
+    def __init__(self, vertices: Sequence[Tuple[float, float]]):
+        verts = np.asarray(vertices, dtype=float)
+        if verts.ndim != 2 or verts.shape[1] != 2 or verts.shape[0] < 3:
+            raise ValueError("polygon needs an (n>=3, 2) vertex array")
+        self.vertices = verts
+
+    def _edge_arrays(self):
+        a = self.vertices
+        b = np.roll(a, -1, axis=0)
+        return a, b
+
+    def contains(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        shape = np.broadcast(x, y).shape
+        px = np.broadcast_to(x, shape).reshape(-1, 1)
+        py = np.broadcast_to(y, shape).reshape(-1, 1)
+        a, b = self._edge_arrays()
+        ax, ay = a[:, 0][None, :], a[:, 1][None, :]
+        bx, by = b[:, 0][None, :], b[:, 1][None, :]
+        # Even-odd rule: count edges crossing the upward ray from the point.
+        cond = (ay > py) != (by > py)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_int = ax + (py - ay) * (bx - ax) / (by - ay)
+        crossings = np.sum(cond & (px < x_int), axis=1)
+        inside = (crossings % 2 == 1).reshape(shape)
+        # boundary points: distance zero counts as inside
+        return inside | (self._distance_to_edges(px, py).reshape(shape) <= 1e-12)
+
+    def _distance_to_edges(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        a, b = self._edge_arrays()
+        ax, ay = a[:, 0][None, :], a[:, 1][None, :]
+        bx, by = b[:, 0][None, :], b[:, 1][None, :]
+        ex, ey = bx - ax, by - ay
+        len2 = ex * ex + ey * ey
+        t = np.clip(((px - ax) * ex + (py - ay) * ey) / np.where(len2 > 0, len2, 1.0),
+                    0.0, 1.0)
+        qx = ax + t * ex
+        qy = ay + t * ey
+        return np.min(np.hypot(px - qx, py - qy), axis=1)
+
+    def signed_distance(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        shape = np.broadcast(x, y).shape
+        px = np.broadcast_to(x, shape).reshape(-1, 1)
+        py = np.broadcast_to(y, shape).reshape(-1, 1)
+        dist = self._distance_to_edges(px, py).reshape(shape)
+        inside = self.contains(x, y)
+        return np.where(inside, -dist, dist)
+
+
+@dataclass(frozen=True)
+class Union(Region):
+    """Union of regions; SDF is the pointwise minimum."""
+
+    parts: Tuple[Region, ...]
+
+    def __init__(self, parts: Sequence[Region]):
+        object.__setattr__(self, "parts", tuple(parts))
+        if len(self.parts) == 0:
+            raise ValueError("Union of zero regions")
+
+    def signed_distance(self, x, y):
+        return np.minimum.reduce([p.signed_distance(x, y) for p in self.parts])
+
+
+@dataclass(frozen=True)
+class Intersection(Region):
+    """Intersection of regions; SDF is the pointwise maximum."""
+
+    parts: Tuple[Region, ...]
+
+    def __init__(self, parts: Sequence[Region]):
+        object.__setattr__(self, "parts", tuple(parts))
+        if len(self.parts) == 0:
+            raise ValueError("Intersection of zero regions")
+
+    def signed_distance(self, x, y):
+        return np.maximum.reduce([p.signed_distance(x, y) for p in self.parts])
+
+
+@dataclass(frozen=True)
+class Complement(Region):
+    """Set complement; SDF is negated."""
+
+    inner: Region
+
+    def signed_distance(self, x, y):
+        return -self.inner.signed_distance(x, y)

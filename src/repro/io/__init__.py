@@ -1,0 +1,22 @@
+"""Surface persistence and rendering: NPZ, ESRI ASCII grid, PGM/PPM."""
+
+from .asciigrid import load_ascii_grid, save_ascii_grid
+from .npzio import load_surface, save_surface
+from .objmesh import save_obj
+from .streamed import load_streamed_surface, stream_to_npy
+from .pgm import (
+    ascii_preview,
+    render_gray,
+    render_hillshade,
+    render_terrain,
+    write_pgm,
+    write_ppm,
+)
+
+__all__ = [
+    "save_surface", "load_surface", "save_obj",
+    "save_ascii_grid", "load_ascii_grid",
+    "stream_to_npy", "load_streamed_surface",
+    "write_pgm", "write_ppm", "render_gray", "render_hillshade",
+    "render_terrain", "ascii_preview",
+]

@@ -1,0 +1,84 @@
+"""ESRI-style ASCII grid export/import.
+
+A lowest-common-denominator text format readable by GIS tooling (QGIS,
+GDAL) and by eyeball, for moving generated terrains into downstream EM
+solvers or visualisation pipelines.  Layout follows the ESRI ASCII
+raster convention: header (ncols/nrows/xllcorner/yllcorner/cellsize/
+NODATA_value) followed by rows north-to-south.
+
+Only square cells are supported by the format; rectangular-cell surfaces
+raise (resample first).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.grid import Grid2D
+from ..core.surface import Surface
+
+__all__ = ["save_ascii_grid", "load_ascii_grid"]
+
+_NODATA = -9999.0
+
+
+def save_ascii_grid(path: Union[str, Path], surface: Surface,
+                    precision: int = 6) -> None:
+    """Write a surface as an ESRI ASCII grid.
+
+    Axis mapping: the library's axis 0 is x (east), axis 1 is y (north);
+    the file stores rows of constant y from north to south, columns west
+    to east.
+    """
+    if abs(surface.grid.dx - surface.grid.dy) > 1e-12 * surface.grid.dx:
+        raise ValueError(
+            "ASCII grid requires square cells; "
+            f"got dx={surface.grid.dx}, dy={surface.grid.dy}"
+        )
+    path = Path(path)
+    nx, ny = surface.shape
+    header = (
+        f"ncols {nx}\n"
+        f"nrows {ny}\n"
+        f"xllcorner {surface.origin[0]:.10g}\n"
+        f"yllcorner {surface.origin[1]:.10g}\n"
+        f"cellsize {surface.grid.dx:.10g}\n"
+        f"NODATA_value {_NODATA:.1f}\n"
+    )
+    # rows north->south: y index descending; columns = x ascending
+    rows = surface.heights.T[::-1, :]
+    with path.open("w") as fh:
+        fh.write(header)
+        np.savetxt(fh, rows, fmt=f"%.{precision}g")
+
+
+def load_ascii_grid(path: Union[str, Path]) -> Surface:
+    """Read an ESRI ASCII grid written by :func:`save_ascii_grid`."""
+    path = Path(path)
+    header: dict = {}
+    with path.open() as fh:
+        for _ in range(6):
+            key, value = fh.readline().split()
+            header[key.lower()] = float(value)
+        data = np.loadtxt(fh)
+    nx = int(header["ncols"])
+    ny = int(header["nrows"])
+    cell = header["cellsize"]
+    data = np.atleast_2d(data)
+    if data.shape != (ny, nx):
+        raise ValueError(
+            f"grid body shape {data.shape} does not match header ({ny}, {nx})"
+        )
+    heights = data[::-1, :].T.copy()
+    if np.any(heights == _NODATA):
+        raise ValueError("grid contains NODATA cells; cannot build a Surface")
+    grid = Grid2D(nx=nx, ny=ny, lx=nx * cell, ly=ny * cell)
+    return Surface(
+        heights=heights,
+        grid=grid,
+        origin=(header["xllcorner"], header["yllcorner"]),
+        provenance={"source": str(path), "format": "esri-ascii"},
+    )

@@ -1,0 +1,64 @@
+"""NPZ persistence for surfaces (heights + grid + provenance).
+
+The native interchange format: a compressed ``.npz`` holding the height
+array plus the grid geometry and a JSON-encoded provenance blob, so a
+surface reloads exactly (bit-for-bit heights, reconstructed grid and
+metadata).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.grid import Grid2D
+from ..core.surface import Surface
+
+__all__ = ["save_surface", "load_surface"]
+
+_FORMAT_VERSION = 1
+
+
+def save_surface(path: Union[str, Path], surface: Surface) -> None:
+    """Write a surface to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        heights=surface.heights,
+        nx=np.array(surface.grid.nx),
+        ny=np.array(surface.grid.ny),
+        lx=np.array(surface.grid.lx),
+        ly=np.array(surface.grid.ly),
+        origin=np.array(surface.origin, dtype=float),
+        provenance=np.array(json.dumps(surface.provenance)),
+    )
+
+
+def load_surface(path: Union[str, Path]) -> Surface:
+    """Load a surface previously written by :func:`save_surface`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported surface file version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        grid = Grid2D(
+            nx=int(data["nx"]),
+            ny=int(data["ny"]),
+            lx=float(data["lx"]),
+            ly=float(data["ly"]),
+        )
+        provenance = json.loads(str(data["provenance"]))
+        origin = tuple(float(v) for v in data["origin"])
+        return Surface(
+            heights=np.array(data["heights"], dtype=float),
+            grid=grid,
+            origin=origin,  # type: ignore[arg-type]
+            provenance=provenance,
+        )

@@ -1,0 +1,177 @@
+"""Portable-pixmap rendering of surfaces (no matplotlib required).
+
+The development environment has no plotting stack, so the figure benches
+regenerate the paper's Figures 1-4 as portable graymaps/pixmaps (PGM/PPM
+— plain, universally viewable formats) plus compact ASCII previews for
+terminals.  Renderers:
+
+* :func:`render_gray` — linear grayscale of the heights;
+* :func:`render_hillshade` — Lambertian hillshade (the visual idiom of
+  the paper's figures, which show illuminated 3D terrain);
+* :func:`render_terrain` — hypsometric tint composited with hillshade
+  (water-to-highland colormap), written as PPM;
+* :func:`ascii_preview` — quick-look character art.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.surface import Surface
+
+__all__ = [
+    "write_pgm",
+    "write_ppm",
+    "render_gray",
+    "render_hillshade",
+    "render_terrain",
+    "ascii_preview",
+]
+
+
+def _normalise(values: np.ndarray, vmin: Optional[float], vmax: Optional[float]
+               ) -> np.ndarray:
+    v = np.asarray(values, dtype=float)
+    lo = float(v.min()) if vmin is None else vmin
+    hi = float(v.max()) if vmax is None else vmax
+    if hi <= lo:
+        return np.zeros_like(v)
+    return np.clip((v - lo) / (hi - lo), 0.0, 1.0)
+
+
+def write_pgm(path: Union[str, Path], gray: np.ndarray) -> None:
+    """Write a [0,1] float image as binary PGM (P5).
+
+    Image convention: array axis 0 is x (rendered left-to-right), axis 1
+    is y (rendered bottom-to-top), i.e. standard map orientation.
+    """
+    g = np.asarray(gray, dtype=float)
+    if g.ndim != 2:
+        raise ValueError("gray image must be 2D")
+    pixels = (np.clip(g, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    raster = pixels.T[::-1, :]  # rows top-to-bottom = y descending
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(f"P5\n{raster.shape[1]} {raster.shape[0]}\n255\n".encode())
+        fh.write(raster.tobytes())
+
+
+def write_ppm(path: Union[str, Path], rgb: np.ndarray) -> None:
+    """Write a [0,1] float ``(nx, ny, 3)`` image as binary PPM (P6)."""
+    c = np.asarray(rgb, dtype=float)
+    if c.ndim != 3 or c.shape[2] != 3:
+        raise ValueError("rgb image must be (nx, ny, 3)")
+    pixels = (np.clip(c, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    raster = pixels.transpose(1, 0, 2)[::-1, :, :]
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(f"P6\n{raster.shape[1]} {raster.shape[0]}\n255\n".encode())
+        fh.write(raster.tobytes())
+
+
+def render_gray(
+    surface: Surface,
+    path: Optional[Union[str, Path]] = None,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> np.ndarray:
+    """Linear grayscale height map; optionally written as PGM."""
+    img = _normalise(surface.heights, vmin, vmax)
+    if path is not None:
+        write_pgm(path, img)
+    return img
+
+
+def render_hillshade(
+    surface: Surface,
+    path: Optional[Union[str, Path]] = None,
+    azimuth_deg: float = 315.0,
+    altitude_deg: float = 45.0,
+    vertical_exaggeration: float = 1.0,
+) -> np.ndarray:
+    """Lambertian hillshade (illuminated-relief rendering).
+
+    Matches the visual style of the paper's figures better than plain
+    grayscale: region boundaries show up as texture changes rather than
+    brightness steps.
+    """
+    z = surface.heights * vertical_exaggeration
+    gx, gy = np.gradient(z, surface.grid.dx, surface.grid.dy)
+    az = np.deg2rad(azimuth_deg)
+    alt = np.deg2rad(altitude_deg)
+    lx = np.cos(alt) * np.cos(az)
+    ly = np.cos(alt) * np.sin(az)
+    lz = np.sin(alt)
+    norm = np.sqrt(gx * gx + gy * gy + 1.0)
+    shade = (-gx * lx - gy * ly + lz) / norm
+    img = np.clip(shade, 0.0, 1.0)
+    if path is not None:
+        write_pgm(path, img)
+    return img
+
+
+_TERRAIN_STOPS = np.array(
+    [
+        (0.00, (0.10, 0.25, 0.55)),  # deep water
+        (0.30, (0.25, 0.55, 0.75)),  # shallow
+        (0.42, (0.85, 0.80, 0.55)),  # shore
+        (0.60, (0.35, 0.62, 0.30)),  # lowland
+        (0.80, (0.55, 0.45, 0.30)),  # upland
+        (1.00, (0.95, 0.95, 0.95)),  # peaks
+    ],
+    dtype=object,
+)
+
+
+def _terrain_colormap(t: np.ndarray) -> np.ndarray:
+    """Piecewise-linear hypsometric tint over [0, 1]."""
+    pts = np.array([s[0] for s in _TERRAIN_STOPS], dtype=float)
+    cols = np.array([s[1] for s in _TERRAIN_STOPS], dtype=float)
+    out = np.empty(t.shape + (3,))
+    for c in range(3):
+        out[..., c] = np.interp(t, pts, cols[:, c])
+    return out
+
+
+def render_terrain(
+    surface: Surface,
+    path: Optional[Union[str, Path]] = None,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    shade_strength: float = 0.6,
+    vertical_exaggeration: float = 2.0,
+) -> np.ndarray:
+    """Hypsometric tint + hillshade composite, optionally written as PPM."""
+    t = _normalise(surface.heights, vmin, vmax)
+    rgb = _terrain_colormap(t)
+    shade = render_hillshade(
+        surface, vertical_exaggeration=vertical_exaggeration
+    )
+    mix = (1.0 - shade_strength) + shade_strength * shade[..., None]
+    img = np.clip(rgb * mix, 0.0, 1.0)
+    if path is not None:
+        write_ppm(path, img)
+    return img
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_preview(
+    surface: Surface, width: int = 72, height: Optional[int] = None
+) -> str:
+    """Character-art quick look (terminal aspect ratio compensated)."""
+    nx, ny = surface.shape
+    if height is None:
+        height = max(1, int(width * ny / nx * 0.5))
+    ix = np.linspace(0, nx - 1, width).astype(int)
+    iy = np.linspace(0, ny - 1, height).astype(int)
+    sub = surface.heights[np.ix_(ix, iy)]
+    t = _normalise(sub, None, None)
+    idx = (t * (len(_ASCII_RAMP) - 1) + 0.5).astype(int)
+    chars = np.array(list(_ASCII_RAMP))[idx]
+    lines = ["".join(chars[:, j]) for j in range(height - 1, -1, -1)]
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Parallel and out-of-core generation: tile decomposition, execution
+backends, and streaming strips over the unbounded noise plane."""
+
+from .executor import WindowedGenerator, default_workers, generate_tiled
+from .streaming import StripStream, assemble_strips, stream_strips
+from .tiles import Tile, TilePlan
+
+__all__ = [
+    "Tile",
+    "TilePlan",
+    "generate_tiled",
+    "default_workers",
+    "WindowedGenerator",
+    "StripStream",
+    "stream_strips",
+    "assemble_strips",
+]

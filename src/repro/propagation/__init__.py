@@ -1,0 +1,50 @@
+"""Radio-propagation demo substrate: the wireless-sensor-network
+application the paper's introduction motivates (DESIGN.md S11)."""
+
+from .deygout import DiffractionResult, deygout_loss_db, principal_edge
+from .fresnel import (
+    SPEED_OF_LIGHT,
+    diffraction_parameter,
+    free_space_loss_db,
+    fresnel_radius,
+    knife_edge_loss_db,
+    wavelength,
+)
+from .hata import HATA_ENVIRONMENTS, hata_loss_db
+from .link import LinkBudget, evaluate_link, max_range
+from .coverage import CoverageMap, compute_coverage
+from .parabolic import (
+    PEGrid,
+    PESolver,
+    gaussian_aperture,
+    gaussian_freespace_amplitude,
+    propagation_factor,
+)
+from .profile import PathProfile, bilinear_sample, extract_profile
+from .raytrace import (
+    RayTraceResult,
+    communication_distance,
+    path_gain_db,
+    trace_rays,
+)
+from .tworay import (
+    rayleigh_criterion_height,
+    rayleigh_roughness_factor,
+    two_ray_field_factor,
+    two_ray_loss_db,
+)
+
+__all__ = [
+    "SPEED_OF_LIGHT", "wavelength", "free_space_loss_db", "fresnel_radius",
+    "diffraction_parameter", "knife_edge_loss_db",
+    "deygout_loss_db", "principal_edge", "DiffractionResult",
+    "hata_loss_db", "HATA_ENVIRONMENTS",
+    "PathProfile", "extract_profile", "bilinear_sample",
+    "rayleigh_roughness_factor", "rayleigh_criterion_height",
+    "two_ray_field_factor", "two_ray_loss_db",
+    "LinkBudget", "evaluate_link", "max_range",
+    "RayTraceResult", "trace_rays", "path_gain_db", "communication_distance",
+    "PEGrid", "PESolver", "gaussian_aperture",
+    "gaussian_freespace_amplitude", "propagation_factor",
+    "CoverageMap", "compute_coverage",
+]

@@ -1,0 +1,85 @@
+"""Fresnel-zone geometry and single knife-edge diffraction.
+
+Classical results used by the link models: the free-space loss, Fresnel
+zone radii along a path, the knife-edge diffraction parameter ``nu`` and
+the ITU-R P.526 approximation of the knife-edge loss
+
+.. math:: J(\\nu) = 6.9 + 20\\log_{10}\\big(\\sqrt{(\\nu-0.1)^2+1}
+          + \\nu - 0.1\\big)\\ \\mathrm{dB}, \\qquad \\nu > -0.78,
+
+with ``J = 0`` below ``nu = -0.78`` (unobstructed).  These are the
+building blocks for the multi-edge Deygout method in
+:mod:`repro.propagation.deygout`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "wavelength",
+    "free_space_loss_db",
+    "fresnel_radius",
+    "diffraction_parameter",
+    "knife_edge_loss_db",
+]
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength in metres."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def free_space_loss_db(distance_m: np.ndarray, frequency_hz: float) -> np.ndarray:
+    """Free-space path loss ``20 log10(4 pi d / lambda)`` in dB."""
+    d = np.asarray(distance_m, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distance must be positive")
+    lam = wavelength(frequency_hz)
+    return 20.0 * np.log10(4.0 * np.pi * d / lam)
+
+
+def fresnel_radius(
+    d1: np.ndarray, d2: np.ndarray, frequency_hz: float, zone: int = 1
+) -> np.ndarray:
+    """Radius of the n-th Fresnel zone at split distances ``d1``/``d2``."""
+    d1 = np.asarray(d1, dtype=float)
+    d2 = np.asarray(d2, dtype=float)
+    if zone < 1:
+        raise ValueError("zone index starts at 1")
+    lam = wavelength(frequency_hz)
+    with np.errstate(invalid="ignore"):
+        return np.sqrt(zone * lam * d1 * d2 / (d1 + d2))
+
+
+def diffraction_parameter(
+    obstruction: np.ndarray, d1: np.ndarray, d2: np.ndarray, frequency_hz: float
+) -> np.ndarray:
+    """Knife-edge parameter ``nu = h * sqrt(2 (d1+d2) / (lambda d1 d2))``.
+
+    ``obstruction`` is the height of the edge above the direct ray
+    (positive = blocking).  Degenerate split distances yield ``-inf``
+    (no obstruction attributable to the end points).
+    """
+    h = np.asarray(obstruction, dtype=float)
+    d1 = np.asarray(d1, dtype=float)
+    d2 = np.asarray(d2, dtype=float)
+    lam = wavelength(frequency_hz)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        nu = h * np.sqrt(2.0 * (d1 + d2) / (lam * d1 * d2))
+    return np.where((d1 <= 0) | (d2 <= 0), -np.inf, nu)
+
+
+def knife_edge_loss_db(nu: np.ndarray) -> np.ndarray:
+    """ITU-R P.526 single knife-edge loss approximation (dB >= 0)."""
+    nu = np.asarray(nu, dtype=float)
+    loss = np.zeros_like(nu)
+    m = nu > -0.78
+    vm = nu[m]
+    loss[m] = 6.9 + 20.0 * np.log10(np.sqrt((vm - 0.1) ** 2 + 1.0) + vm - 0.1)
+    return np.maximum(loss, 0.0)

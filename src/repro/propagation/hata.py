@@ -1,0 +1,96 @@
+"""Hata empirical path-loss model (paper reference [7]).
+
+M. Hata, "Empirical formula for propagation loss in land mobile radio
+services", IEEE Trans. Veh. Technol. VT-29(3), 1980.  The paper's
+introduction cites Hata as the empirical urban model that "seems
+difficult to apply ... straightforwardly to wireless sensor networks" —
+implemented here as the baseline the App. P bench contrasts against the
+terrain-aware models.
+
+Validity ranges (enforced, with a ``strict=False`` escape hatch for
+plotting beyond them): f in [150, 1500] MHz, base height in [30, 200] m,
+mobile height in [1, 10] m, distance in [1, 20] km.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hata_loss_db", "HATA_ENVIRONMENTS"]
+
+HATA_ENVIRONMENTS = ("urban", "suburban", "open")
+
+
+def _mobile_correction_db(
+    frequency_mhz: float, mobile_height_m: float, large_city: bool
+) -> float:
+    f = frequency_mhz
+    h = mobile_height_m
+    if large_city:
+        if f <= 300.0:
+            return 8.29 * np.log10(1.54 * h) ** 2 - 1.1
+        return 3.2 * np.log10(11.75 * h) ** 2 - 4.97
+    return (1.1 * np.log10(f) - 0.7) * h - (1.56 * np.log10(f) - 0.8)
+
+
+def hata_loss_db(
+    distance_km: np.ndarray,
+    frequency_mhz: float,
+    base_height_m: float = 30.0,
+    mobile_height_m: float = 1.5,
+    environment: str = "open",
+    large_city: bool = False,
+    strict: bool = True,
+) -> np.ndarray:
+    """Median path loss (dB) by the Hata empirical formula.
+
+    Parameters
+    ----------
+    distance_km:
+        Link distance(s) in kilometres.
+    frequency_mhz:
+        Carrier in MHz.
+    base_height_m, mobile_height_m:
+        Effective antenna heights.
+    environment:
+        ``"urban"`` (the base formula), ``"suburban"`` or ``"open"``
+        (Hata's correction terms).
+    large_city:
+        Use the large-city mobile-antenna correction.
+    strict:
+        Enforce the published validity ranges.
+    """
+    d = np.asarray(distance_km, dtype=float)
+    f = float(frequency_mhz)
+    hb = float(base_height_m)
+    hm = float(mobile_height_m)
+    if environment not in HATA_ENVIRONMENTS:
+        raise ValueError(
+            f"environment must be one of {HATA_ENVIRONMENTS}, got {environment!r}"
+        )
+    if strict:
+        if not (150.0 <= f <= 1500.0):
+            raise ValueError(f"Hata frequency range is 150-1500 MHz, got {f}")
+        if not (30.0 <= hb <= 200.0):
+            raise ValueError(f"Hata base height range is 30-200 m, got {hb}")
+        if not (1.0 <= hm <= 10.0):
+            raise ValueError(f"Hata mobile height range is 1-10 m, got {hm}")
+        if np.any(d < 1.0) or np.any(d > 20.0):
+            raise ValueError("Hata distance range is 1-20 km")
+    if np.any(d <= 0):
+        raise ValueError("distance must be positive")
+
+    a_hm = _mobile_correction_db(f, hm, large_city)
+    urban = (
+        69.55
+        + 26.16 * np.log10(f)
+        - 13.82 * np.log10(hb)
+        - a_hm
+        + (44.9 - 6.55 * np.log10(hb)) * np.log10(d)
+    )
+    if environment == "urban":
+        return urban
+    if environment == "suburban":
+        return urban - 2.0 * np.log10(f / 28.0) ** 2 - 5.4
+    # open / rural
+    return urban - 4.78 * np.log10(f) ** 2 + 18.33 * np.log10(f) - 40.94

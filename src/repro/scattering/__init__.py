@@ -1,0 +1,28 @@
+"""Kirchhoff-approximation scattering from generated rough surfaces —
+the application domain of the paper's references [1]-[4]."""
+
+from .kirchhoff import (
+    coherent_reflection_coefficient,
+    ka_angular_kernel,
+    ka_incoherent_nrcs_gaussian,
+    rayleigh_parameter,
+)
+from .monte_carlo import (
+    ScatteringEnsemble,
+    coherent_attenuation_curve,
+    run_ensemble,
+    scattering_amplitude,
+    tukey_taper,
+)
+
+__all__ = [
+    "rayleigh_parameter",
+    "coherent_reflection_coefficient",
+    "ka_angular_kernel",
+    "ka_incoherent_nrcs_gaussian",
+    "ScatteringEnsemble",
+    "scattering_amplitude",
+    "run_ensemble",
+    "tukey_taper",
+    "coherent_attenuation_curve",
+]

@@ -1,0 +1,75 @@
+"""Statistical estimators used to verify generated surfaces against their
+target parameters (height std, correlation length, spectrum family)."""
+
+from .acf import acf2d, acf2d_unbiased, acf_profile_x, acf_profile_y, radial_acf
+from .correlation_length import (
+    estimate_clx,
+    estimate_cly,
+    expected_one_over_e,
+    fit_correlation_length,
+    one_over_e_from_profile,
+    one_over_e_length,
+)
+from .slopes import (
+    measured_forward_slope_variance,
+    slope_variance_continuum,
+    slope_variance_discrete,
+    slope_variance_spectral,
+)
+from .anisotropy import (
+    AnisotropyEstimate,
+    estimate_anisotropy,
+    spectral_moments,
+)
+from .extremes import (
+    exceedance_curve,
+    effective_sample_count,
+    expected_maximum_gaussian,
+    peak_count,
+)
+from .fitting import (
+    FamilyFit,
+    classify_family,
+    estimate_power_law_order,
+    fit_family,
+)
+from .estimators import (
+    MomentSummary,
+    ensemble_std_tolerance,
+    height_moments,
+    normality_diagnostics,
+    rms_height,
+    rms_slope,
+)
+from .local import (
+    interior_region_mask,
+    local_mean_map,
+    local_std_map,
+    region_mask,
+    region_statistics,
+)
+from .spectral import (
+    ensemble_spectrum,
+    periodogram,
+    radial_spectrum,
+    spectrum_axis_profile,
+    welch_spectrum,
+)
+
+__all__ = [
+    "acf2d", "acf2d_unbiased", "acf_profile_x", "acf_profile_y", "radial_acf",
+    "one_over_e_length", "one_over_e_from_profile", "expected_one_over_e",
+    "fit_correlation_length", "estimate_clx", "estimate_cly",
+    "height_moments", "MomentSummary", "rms_height", "rms_slope",
+    "normality_diagnostics", "ensemble_std_tolerance",
+    "local_std_map", "local_mean_map", "region_statistics", "region_mask",
+    "interior_region_mask",
+    "FamilyFit", "fit_family", "classify_family", "estimate_power_law_order",
+    "periodogram", "welch_spectrum", "radial_spectrum", "ensemble_spectrum",
+    "spectrum_axis_profile",
+    "exceedance_curve", "effective_sample_count",
+    "expected_maximum_gaussian", "peak_count",
+    "AnisotropyEstimate", "estimate_anisotropy", "spectral_moments",
+    "slope_variance_discrete", "slope_variance_spectral",
+    "slope_variance_continuum", "measured_forward_slope_variance",
+]

@@ -1,0 +1,155 @@
+"""Correlation-length estimation.
+
+The paper's families are parameterised by correlation lengths ``clx``,
+``cly`` with *different conventions per family*:
+
+* Gaussian (eqn 6):      ``rho(cl, 0) = h^2 / e``        (1/e at x = cl)
+* Exponential (eqn 10):  ``rho(cl, 0) = h^2 / e``        (1/e at x = cl)
+* Power-Law (eqn 7):     no simple 1/e identity — the Matérn ACF's 1/e
+  point depends on the order N.
+
+The generic estimator :func:`one_over_e_length` therefore recovers the
+*nominal* ``cl`` exactly (in expectation) for the Gaussian and
+Exponential families, and a family-specific effective length for the
+Power-Law; :func:`expected_one_over_e` evaluates where a given
+:class:`~repro.core.spectra.Spectrum`'s true ACF crosses ``1/e``, so
+tests and benches can compare like with like.
+
+:func:`fit_correlation_length` instead least-squares fits the sampled
+ACF profile against the family's closed form — the sharper tool when the
+family is known (used in the figure benches' per-region QA).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..core.spectra import Spectrum
+from .acf import acf_profile_x, acf_profile_y
+
+__all__ = [
+    "one_over_e_length",
+    "one_over_e_from_profile",
+    "expected_one_over_e",
+    "fit_correlation_length",
+    "estimate_clx",
+    "estimate_cly",
+]
+
+
+def one_over_e_from_profile(lags: np.ndarray, rho: np.ndarray) -> float:
+    """First ``1/e`` crossing of a normalised ACF profile.
+
+    ``rho`` must start at its zero-lag value; the crossing is located by
+    linear interpolation between the straddling samples.  Raises if the
+    profile never drops below ``1/e`` (field too correlated for its
+    extent).
+    """
+    lags = np.asarray(lags, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    if lags.shape != rho.shape or lags.ndim != 1 or lags.size < 2:
+        raise ValueError("lags and rho must be equal-length 1D arrays")
+    if rho[0] <= 0:
+        raise ValueError("zero-lag ACF must be positive")
+    target = rho[0] / np.e
+    below = np.nonzero(rho < target)[0]
+    if below.size == 0:
+        raise ValueError(
+            "ACF never crosses 1/e within the profile; increase the field "
+            "extent relative to the correlation length"
+        )
+    i = below[0]
+    if i == 0:
+        return float(lags[0])
+    # linear interpolation between (i-1, i)
+    r0, r1 = rho[i - 1], rho[i]
+    t = (r0 - target) / (r0 - r1)
+    return float(lags[i - 1] + t * (lags[i] - lags[i - 1]))
+
+
+def one_over_e_length(
+    heights: np.ndarray, d: float, axis: str = "x"
+) -> float:
+    """1/e correlation length of a field along an axis (circular ACF)."""
+    if axis == "x":
+        prof = acf_profile_x(heights)
+    elif axis == "y":
+        prof = acf_profile_y(heights)
+    else:
+        raise ValueError("axis must be 'x' or 'y'")
+    lags = np.arange(prof.size) * d
+    return one_over_e_from_profile(lags, prof)
+
+
+def estimate_clx(heights: np.ndarray, dx: float) -> float:
+    """Convenience: 1/e correlation length along x."""
+    return one_over_e_length(heights, dx, axis="x")
+
+
+def estimate_cly(heights: np.ndarray, dy: float) -> float:
+    """Convenience: 1/e correlation length along y."""
+    return one_over_e_length(heights, dy, axis="y")
+
+
+def expected_one_over_e(spectrum: Spectrum, axis: str = "x",
+                        r_max_factor: float = 20.0) -> float:
+    """Lag where the spectrum's *true* ACF equals ``h^2/e`` along an axis.
+
+    Gaussian and Exponential families return exactly ``clx``/``cly``;
+    Power-Law returns the order-dependent effective length (solved
+    numerically on the exact Matérn ACF).
+    """
+    cl = spectrum.clx if axis == "x" else spectrum.cly
+    target = spectrum.variance / np.e
+
+    def f(r: float) -> float:
+        if axis == "x":
+            return float(spectrum.autocorrelation(r, 0.0)) - target
+        return float(spectrum.autocorrelation(0.0, r)) - target
+
+    lo, hi = 0.0, cl
+    while f(hi) > 0.0:
+        hi *= 2.0
+        if hi > r_max_factor * cl:
+            raise ValueError("ACF does not reach 1/e within search range")
+    return float(optimize.brentq(f, lo, hi, xtol=1e-10 * cl))
+
+
+def fit_correlation_length(
+    heights: np.ndarray,
+    d: float,
+    spectrum_template: Spectrum,
+    axis: str = "x",
+    max_lag_fraction: float = 0.25,
+) -> Tuple[float, float]:
+    """Least-squares fit of ``(h, cl)`` against the family's ACF shape.
+
+    Fits the sampled one-sided axis ACF profile to
+    ``template.with_params(h=h, cl<axis>=cl).autocorrelation`` over lags
+    up to ``max_lag_fraction`` of the field.  Returns ``(h_fit, cl_fit)``.
+    """
+    if axis == "x":
+        prof = acf_profile_x(heights)
+    else:
+        prof = acf_profile_y(heights)
+    n_fit = max(4, int(prof.size * max_lag_fraction * 2))
+    n_fit = min(n_fit, prof.size)
+    lags = np.arange(n_fit) * d
+    data = prof[:n_fit]
+
+    def model(lag: np.ndarray, h: float, cl: float) -> np.ndarray:
+        params = {"h": abs(h), "clx" if axis == "x" else "cly": abs(cl)}
+        s = spectrum_template.with_params(**params)
+        if axis == "x":
+            return np.asarray(s.autocorrelation(lag, 0.0), dtype=float)
+        return np.asarray(s.autocorrelation(0.0, lag), dtype=float)
+
+    h0 = float(np.sqrt(max(data[0], 1e-30)))
+    cl0 = spectrum_template.clx if axis == "x" else spectrum_template.cly
+    popt, _ = optimize.curve_fit(
+        model, lags, data, p0=(h0, cl0), maxfev=20000
+    )
+    return (abs(float(popt[0])), abs(float(popt[1])))

@@ -1,0 +1,95 @@
+"""Spatially-resolved (local) statistics for inhomogeneous surfaces.
+
+Homogeneous estimators average away exactly the structure the paper's
+algorithm creates.  To verify Figures 1-4 we need *maps*: the local
+height std and local correlation length, estimated in sliding windows,
+plus region-masked statistics ("inside the pond, ĥ should be 0.2; in the
+field, 1.0").
+
+Windowed estimates trade bias for locality: a window of side ``w``
+samples only resolves parameter changes on scales > ``w`` and clips the
+ACF at lag ``w``.  The figure benches use windows of 2-4 correlation
+lengths — enough to estimate ``h`` to ~10% while staying inside one
+region of the paper's layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.surface import Surface
+from ..fields.regions import Region
+from .estimators import height_moments
+
+__all__ = [
+    "local_std_map",
+    "local_mean_map",
+    "region_statistics",
+    "region_mask",
+    "interior_region_mask",
+]
+
+
+def _box_sum(a: np.ndarray, w: int) -> np.ndarray:
+    """Sliding ``w x w`` box sums via cumulative sums (valid positions)."""
+    c = np.cumsum(np.cumsum(a, axis=0), axis=1)
+    c = np.pad(c, ((1, 0), (1, 0)))
+    return c[w:, w:] - c[:-w, w:] - c[w:, :-w] + c[:-w, :-w]
+
+
+def local_mean_map(heights: np.ndarray, window: int) -> np.ndarray:
+    """Sliding-window mean (valid positions: shape ``N - w + 1`` per axis)."""
+    h = np.asarray(heights, dtype=float)
+    if window < 1 or window > min(h.shape):
+        raise ValueError(f"window {window} out of range for field {h.shape}")
+    return _box_sum(h, window) / (window * window)
+
+
+def local_std_map(heights: np.ndarray, window: int) -> np.ndarray:
+    """Sliding-window height std map (the local ``h`` estimate).
+
+    Uses the one-pass sums-of-squares identity on cumulative sums; cost
+    is O(N) independent of window size (guides: vectorise, no loops).
+    """
+    h = np.asarray(heights, dtype=float)
+    if window < 2 or window > min(h.shape):
+        raise ValueError(f"window {window} out of range for field {h.shape}")
+    n = window * window
+    s1 = _box_sum(h, window)
+    s2 = _box_sum(h * h, window)
+    var = np.maximum(s2 / n - (s1 / n) ** 2, 0.0)
+    return np.sqrt(var)
+
+
+def region_mask(surface: Surface, region: Region) -> np.ndarray:
+    """Boolean membership mask of a region on a surface's sample points."""
+    gx, gy = surface.grid.meshgrid()
+    return region.contains(gx + surface.origin[0], gy + surface.origin[1])
+
+
+def interior_region_mask(
+    surface: Surface, region: Region, margin: float
+) -> np.ndarray:
+    """Mask of points at least ``margin`` *inside* the region boundary.
+
+    Used to exclude transition bands when verifying per-region targets
+    (the band is deliberately mixed; eqn 37's middle case).
+    """
+    gx, gy = surface.grid.meshgrid()
+    sd = region.signed_distance(gx + surface.origin[0], gy + surface.origin[1])
+    return sd <= -abs(margin)
+
+
+def region_statistics(
+    surface: Surface, mask: np.ndarray
+) -> Dict[str, float]:
+    """Moment summary of the heights under a boolean mask."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != surface.shape:
+        raise ValueError("mask shape does not match surface")
+    vals = surface.heights[mask]
+    if vals.size == 0:
+        raise ValueError("mask selects no samples")
+    return height_moments(vals).as_dict()

@@ -1,0 +1,30 @@
+"""Validation harness: the paper's DFT(w)~rho accuracy check, variance
+closure, and ensemble statistical verification."""
+
+from .checks import (
+    WeightAcfReport,
+    kernel_energy_closure,
+    variance_closure,
+    weight_acf_error,
+)
+from .convergence import (
+    ConvergenceRow,
+    enlargement_study,
+    estimate_order,
+    refinement_study,
+)
+from .ensemble import EnsembleReport, ensemble_variance, verify_homogeneous
+from .report import DEFAULT_SPECTRA, render_markdown, run_validation_report
+
+__all__ = [
+    "WeightAcfReport",
+    "weight_acf_error",
+    "variance_closure",
+    "kernel_energy_closure",
+    "EnsembleReport",
+    "verify_homogeneous",
+    "ensemble_variance",
+    "ConvergenceRow", "refinement_study", "enlargement_study",
+    "estimate_order",
+    "run_validation_report", "render_markdown", "DEFAULT_SPECTRA",
+]

@@ -1,0 +1,120 @@
+"""Meta-tests: the public API surface stays consistent and documented.
+
+Catches the maintenance failures that unit tests never see: an __all__
+entry that no longer exists, a public callable without a docstring, a
+subpackage missing from the top-level re-exports.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.core.grid",
+    "repro.core.spectra",
+    "repro.core.spectra_ext",
+    "repro.core.weights",
+    "repro.core.rng",
+    "repro.core.direct_dft",
+    "repro.core.convolution",
+    "repro.core.inhomogeneous",
+    "repro.core.oned",
+    "repro.core.ensemble",
+    "repro.core.transform",
+    "repro.core.surface",
+    "repro.fields",
+    "repro.fields.regions",
+    "repro.fields.transition",
+    "repro.fields.parameter_map",
+    "repro.fields.continuous",
+    "repro.stats",
+    "repro.stats.estimators",
+    "repro.stats.acf",
+    "repro.stats.spectral",
+    "repro.stats.correlation_length",
+    "repro.stats.local",
+    "repro.stats.fitting",
+    "repro.stats.extremes",
+    "repro.stats.anisotropy",
+    "repro.stats.slopes",
+    "repro.parallel",
+    "repro.parallel.tiles",
+    "repro.parallel.executor",
+    "repro.parallel.streaming",
+    "repro.propagation",
+    "repro.propagation.profile",
+    "repro.propagation.fresnel",
+    "repro.propagation.deygout",
+    "repro.propagation.tworay",
+    "repro.propagation.hata",
+    "repro.propagation.link",
+    "repro.propagation.raytrace",
+    "repro.propagation.parabolic",
+    "repro.propagation.coverage",
+    "repro.scattering",
+    "repro.scattering.kirchhoff",
+    "repro.scattering.monte_carlo",
+    "repro.io",
+    "repro.io.npzio",
+    "repro.io.asciigrid",
+    "repro.io.pgm",
+    "repro.io.objmesh",
+    "repro.io.streamed",
+    "repro.validation",
+    "repro.validation.checks",
+    "repro.validation.ensemble",
+    "repro.validation.convergence",
+    "repro.figures",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_importable_with_docstring(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20, name
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_entries_exist(name):
+    mod = importlib.import_module(name)
+    exported = getattr(mod, "__all__", None)
+    if exported is None:
+        pytest.skip("module defines no __all__")
+    missing = [entry for entry in exported if not hasattr(mod, entry)]
+    assert not missing, f"{name}: __all__ names missing: {missing}"
+
+
+@pytest.mark.parametrize("name", [m for m in MODULES if m != "repro.cli"])
+def test_public_callables_documented(name):
+    mod = importlib.import_module(name)
+    exported = getattr(mod, "__all__", [])
+    undocumented = []
+    for entry in exported:
+        obj = getattr(mod, entry)
+        if callable(obj) and not inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(entry)
+        elif inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(entry)
+    assert not undocumented, f"{name}: undocumented exports: {undocumented}"
+
+
+def test_top_level_reexports_resolve():
+    import repro
+
+    for entry in repro.__all__:
+        assert hasattr(repro, entry), entry
+
+
+def test_version_consistency():
+    import repro
+    from repro._version import __version__
+
+    assert repro.__version__ == __version__
+    parts = __version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.npzio import load_surface
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig9"])
+
+
+class TestGenerate:
+    def test_generate_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "s.npz"
+        rc = main([
+            "generate", "--spectrum", "gaussian", "--h", "1.0", "--cl", "20",
+            "--n", "64", "--domain", "256", "--seed", "3",
+            "--npz", str(out),
+        ])
+        assert rc == 0
+        s = load_surface(out)
+        assert s.shape == (64, 64)
+        assert s.provenance["spectrum"]["kind"] == "gaussian"
+        summary = json.loads(
+            capsys.readouterr().out.split("wrote")[0]
+        )
+        assert summary["std"] == pytest.approx(s.height_std())
+
+    def test_generate_power_law(self, capsys):
+        rc = main([
+            "generate", "--spectrum", "power_law", "--order", "2.5",
+            "--h", "1.0", "--cl", "15", "--n", "32", "--domain", "128",
+        ])
+        assert rc == 0
+
+    def test_generate_requires_cl(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--spectrum", "gaussian", "--h", "1.0",
+                  "--cl", None] if False else
+                 ["generate", "--spectrum", "gaussian", "--h", "1.0",
+                  "--n", "16", "--domain", "16"])
+
+    def test_generate_anisotropic(self, capsys):
+        rc = main([
+            "generate", "--clx", "10", "--cly", "30",
+            "--n", "32", "--domain", "128",
+        ])
+        assert rc == 0
+
+    def test_renders(self, tmp_path, capsys):
+        pgm = tmp_path / "a.pgm"
+        ppm = tmp_path / "a.ppm"
+        rc = main([
+            "generate", "--cl", "20", "--n", "32", "--domain", "128",
+            "--pgm", str(pgm), "--ppm", str(ppm), "--preview",
+        ])
+        assert rc == 0
+        assert pgm.read_bytes().startswith(b"P5\n")
+        assert ppm.read_bytes().startswith(b"P6\n")
+
+
+class TestFigureCommand:
+    def test_figure_runs(self, tmp_path, capsys):
+        out = tmp_path / "f.npz"
+        rc = main(["figure", "fig3", "--n", "64", "--npz", str(out)])
+        assert rc == 0
+        s = load_surface(out)
+        assert s.provenance["figure"] == "fig3"
+
+
+class TestInspect:
+    def test_inspect_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "s.npz"
+        main(["generate", "--cl", "20", "--n", "32", "--domain", "128",
+              "--seed", "9", "--npz", str(out)])
+        capsys.readouterr()
+        rc = main(["inspect", str(out)])
+        assert rc == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["shape"] == [32, 32]
+        assert info["provenance"]["seed"] == 9
+
+
+class TestValidate:
+    def test_validate_gaussian_passes(self, capsys):
+        rc = main(["validate", "--spectrum", "gaussian", "--h", "1",
+                   "--cl", "20", "--n", "64", "--domain", "256"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["max_abs_error"] < 1e-6
+
+    def test_validate_flags_bad_discretisation(self, capsys):
+        # cl comparable to the domain: heavy truncation error
+        rc = main(["validate", "--spectrum", "exponential", "--h", "1",
+                   "--cl", "200", "--n", "16", "--domain", "64"])
+        assert rc == 1
+
+
+class TestClassifyCommand:
+    def test_classify_generated_surface(self, tmp_path, capsys):
+        out = tmp_path / "s.npz"
+        main(["generate", "--spectrum", "exponential", "--h", "1.0",
+              "--cl", "25", "--n", "192", "--domain", "768", "--seed", "2",
+              "--npz", str(out)])
+        capsys.readouterr()
+        rc = main(["classify", str(out), "--cl-guess", "20"])
+        assert rc == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["best"]["family"] in ("exponential", "power_law")
+        assert set(result["all"]) >= {"gaussian", "exponential"}
+
+
+class TestMeshCommand:
+    def test_mesh_export(self, tmp_path, capsys):
+        src = tmp_path / "s.npz"
+        dst = tmp_path / "s.obj"
+        main(["generate", "--cl", "20", "--n", "32", "--domain", "128",
+              "--npz", str(src)])
+        rc = main(["mesh", str(src), str(dst), "--decimate", "4"])
+        assert rc == 0
+        text = dst.read_text()
+        assert text.count("\nv ") + text.startswith("v ") == 64
+
+
+class TestProfile1dCommand:
+    def test_profile_summary_and_output(self, tmp_path, capsys):
+        out = tmp_path / "p.txt"
+        rc = main(["profile1d", "--spectrum", "exponential", "--h", "2.0",
+                   "--cl", "30", "--n", "2048", "--domain", "2048",
+                   "--seed", "4", "--out", str(out)])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out.split("wrote")[0])
+        assert summary["std"] == pytest.approx(2.0, rel=0.3)
+        import numpy as np
+        data = np.loadtxt(out)
+        assert data.shape == (2048, 2)
+
+    def test_matern_choice(self, capsys):
+        rc = main(["profile1d", "--spectrum", "matern", "--order", "3.0",
+                   "--h", "1.0", "--cl", "20", "--n", "1024",
+                   "--domain", "1024"])
+        assert rc == 0

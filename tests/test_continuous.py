@@ -1,0 +1,168 @@
+"""Tests for the continuous-parameter generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import ConvolutionGenerator
+from repro.core.grid import Grid2D
+from repro.core.rng import BlockNoise, standard_normal_field
+from repro.core.spectra import GaussianSpectrum
+from repro.fields.continuous import ContinuousGenerator, level_weights
+
+
+class TestLevelWeights:
+    def test_exact_on_levels(self):
+        idx, wl, wh = level_weights(np.array([10.0, 20.0]), np.array([10.0, 20.0]))
+        assert list(idx) == [0, 0]
+        assert np.allclose(wl, [1.0, 0.0])
+        assert np.allclose(wh, [0.0, 1.0])
+
+    def test_midpoint(self):
+        idx, wl, wh = level_weights(np.array([15.0]), np.array([10.0, 20.0]))
+        assert wl[0] == pytest.approx(0.5)
+        assert wh[0] == pytest.approx(0.5)
+
+    def test_clamping(self):
+        idx, wl, wh = level_weights(np.array([1.0, 99.0]),
+                                    np.array([10.0, 20.0]))
+        assert wl[0] == pytest.approx(1.0)  # below: all on lowest level
+        assert wh[1] == pytest.approx(1.0)  # above: all on highest level
+
+    def test_single_level(self):
+        idx, wl, wh = level_weights(np.array([5.0, 50.0]), np.array([10.0]))
+        assert np.all(wl == 1.0) and np.all(wh == 0.0)
+
+    def test_reconstruction_identity(self):
+        levels = np.array([5.0, 12.0, 30.0, 80.0])
+        v = np.array([5.0, 8.0, 20.0, 79.0])
+        idx, wl, wh = level_weights(v, levels)
+        upper = np.minimum(idx + 1, levels.size - 1)
+        recon = wl * levels[idx] + wh * levels[upper]
+        assert np.allclose(recon, v)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            level_weights(np.array([1.0]), np.array([]))
+        with pytest.raises(ValueError):
+            level_weights(np.array([1.0]), np.array([2.0, 2.0]))
+
+
+@pytest.fixture
+def grid():
+    return Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)
+
+
+def family(cl: float) -> GaussianSpectrum:
+    return GaussianSpectrum(h=1.0, clx=cl, cly=cl)
+
+
+class TestContinuousGenerator:
+    def test_constant_fields_match_homogeneous(self, grid):
+        # constant h and cl: must equal the plain homogeneous generator
+        gen = ContinuousGenerator(
+            family, h_field=lambda x, y: np.full(np.shape(x), 1.5),
+            cl_field=lambda x, y: np.full(np.shape(x), 20.0),
+            grid=grid, levels=[20.0], truncation=(10, 10),
+        )
+        x = standard_normal_field(grid.shape, seed=1)
+        s = gen.generate(noise=x)
+        hom = ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=20.0, cly=20.0), grid,
+            truncation=(10, 10),
+        ).generate(noise=x)
+        assert np.allclose(s.heights, 1.5 * hom, atol=1e-10)
+
+    def test_h_gradient_exact(self, grid):
+        # measured E[f^2] tracks h(x)^2 exactly in expectation
+        gen = ContinuousGenerator(
+            family,
+            h_field=lambda x, y: 0.5 + np.asarray(x) / 512.0,
+            cl_field=lambda x, y: np.full(np.shape(x), 15.0),
+            grid=grid, levels=1, truncation=0.999,
+        )
+        acc = np.zeros(grid.shape)
+        n = 12
+        for i in range(n):
+            acc += gen.generate(seed=100 + i).heights ** 2
+        rms = np.sqrt(acc / n)
+        gx, _ = grid.meshgrid()
+        target = 0.5 + gx / 512.0
+        rel = np.abs(rms.mean(axis=1) - target[:, 0]) / target[:, 0]
+        assert np.median(rel) < 0.15
+
+    def test_cl_gradient_direction(self, grid):
+        gen = ContinuousGenerator(
+            family,
+            h_field=lambda x, y: np.ones(np.shape(x)),
+            cl_field=lambda x, y: 8.0 + 24.0 * np.asarray(y) / 512.0,
+            grid=grid, levels=4, truncation=0.999,
+        )
+        s = gen.generate(seed=5)
+        # small-cl side has much higher slope content
+        gx_lo = np.diff(s.heights[:, :32], axis=0).std()
+        gx_hi = np.diff(s.heights[:, -32:], axis=0).std()
+        assert gx_lo > 1.5 * gx_hi
+
+    def test_levels_from_int_geomspace(self, grid):
+        gen = ContinuousGenerator(
+            family, h_field=lambda x, y: np.ones(np.shape(x)),
+            cl_field=lambda x, y: 10.0 + 30.0 * np.asarray(x) / 512.0,
+            grid=grid, levels=5,
+        )
+        assert gen.levels.size == 5
+        assert gen.levels[0] == pytest.approx(10.0)
+        assert gen.levels[-1] == pytest.approx(40.0 - 30.0 * grid.dx / 512.0,
+                                               rel=0.02)
+
+    def test_window_consistency(self, grid):
+        gen = ContinuousGenerator(
+            family, h_field=lambda x, y: 1.0 + np.asarray(x) / 512.0,
+            cl_field=lambda x, y: 10.0 + np.asarray(y) / 32.0,
+            grid=grid, levels=3, truncation=(8, 8),
+        )
+        bn = BlockNoise(seed=11)
+        a = gen.generate_window(bn, 0, 0, 64, 64)
+        b = gen.generate_window(bn, 20, 10, 24, 30)
+        assert np.allclose(a.heights[20:44, 10:40], b.heights, atol=1e-10)
+
+    def test_window_origin_parameters(self, grid):
+        # the window must see the parameter fields at *global* coords
+        gen = ContinuousGenerator(
+            family, h_field=lambda x, y: np.where(np.asarray(x) < 256.0,
+                                                  0.1, 3.0),
+            cl_field=lambda x, y: np.full(np.shape(x), 12.0),
+            grid=grid, levels=1, truncation=(8, 8),
+        )
+        bn = BlockNoise(seed=13)
+        right = gen.generate_window(bn, 80, 0, 40, 128)  # x in [320, 480)
+        left = gen.generate_window(bn, 0, 0, 40, 128)    # x in [0, 160)
+        assert right.height_std() > 10.0 * left.height_std()
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            ContinuousGenerator(
+                family, lambda x, y: np.ones(np.shape(x)),
+                lambda x, y: np.ones(np.shape(x)), grid, levels=0,
+            )
+        with pytest.raises(ValueError):
+            ContinuousGenerator(
+                family, lambda x, y: np.ones(np.shape(x)),
+                lambda x, y: np.ones(np.shape(x)), grid, levels=[3.0, 2.0],
+            )
+        # family must be unit-h
+        with pytest.raises(ValueError, match="unit-h"):
+            ContinuousGenerator(
+                lambda cl: GaussianSpectrum(h=2.0, clx=cl, cly=cl),
+                lambda x, y: np.ones(np.shape(x)),
+                lambda x, y: np.full(np.shape(x), 10.0),
+                grid, levels=[10.0],
+            )
+
+    def test_negative_h_field_rejected(self, grid):
+        gen = ContinuousGenerator(
+            family, h_field=lambda x, y: -np.ones(np.shape(x)),
+            cl_field=lambda x, y: np.full(np.shape(x), 10.0),
+            grid=grid, levels=[10.0],
+        )
+        with pytest.raises(ValueError, match=">= 0"):
+            gen.generate(seed=1)

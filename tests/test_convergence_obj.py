@@ -1,0 +1,110 @@
+"""Tests for convergence studies and OBJ export."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.core.surface import Surface
+from repro.io.objmesh import save_obj
+from repro.validation.convergence import (
+    enlargement_study,
+    estimate_order,
+    refinement_study,
+)
+
+
+class TestConvergenceStudies:
+    def test_refinement_improves_exponential(self):
+        spec = ExponentialSpectrum(h=1.0, clx=20.0, cly=20.0)
+        rows = refinement_study(spec, domain=512.0, sizes=[64, 128, 256])
+        errs = [r.rel_error_at_zero for r in rows]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_refinement_order_near_one(self):
+        # exponential out-of-band tail ~ K^-3 -> integrated tail ~ dx
+        spec = ExponentialSpectrum(h=1.0, clx=20.0, cly=20.0)
+        rows = refinement_study(spec, domain=512.0,
+                                sizes=[64, 128, 256, 512])
+        p = estimate_order(rows, knob="dx")
+        assert 0.6 < p < 1.6
+
+    def test_enlargement_improves_gaussian_wraparound(self):
+        # fixed fine spacing; small domains wrap the Gaussian ACF
+        spec = GaussianSpectrum(h=1.0, clx=30.0, cly=30.0)
+        rows = enlargement_study(spec, dx=2.0, sizes=[64, 96, 128])
+        errs = [r.rel_error_at_zero for r in rows]
+        assert errs[0] > errs[-1]
+
+    def test_converged_rows_excluded_from_order(self):
+        spec = GaussianSpectrum(h=1.0, clx=10.0, cly=10.0)
+        rows = refinement_study(spec, domain=512.0, sizes=[256, 512])
+        # both machine-exact: no order can be estimated
+        with pytest.raises(ValueError):
+            estimate_order(rows)
+
+    def test_validation(self):
+        spec = GaussianSpectrum(h=1.0, clx=10.0, cly=10.0)
+        with pytest.raises(ValueError):
+            refinement_study(spec, 512.0, sizes=[64])
+        with pytest.raises(ValueError):
+            enlargement_study(spec, 2.0, sizes=[0, 64])
+        rows = refinement_study(spec, 512.0, sizes=[64, 128])
+        with pytest.raises(ValueError):
+            estimate_order(rows, knob="volume")
+
+    def test_row_as_dict(self):
+        spec = ExponentialSpectrum(h=1.0, clx=20.0, cly=20.0)
+        rows = refinement_study(spec, 256.0, sizes=[32, 64])
+        d = rows[0].as_dict()
+        assert {"nx", "lx", "dx", "rel_error_at_zero",
+                "max_abs_error"} <= set(d)
+
+
+class TestObjExport:
+    @pytest.fixture
+    def surface(self, rng):
+        grid = Grid2D(nx=8, ny=6, lx=16.0, ly=12.0)
+        return Surface(heights=rng.standard_normal(grid.shape), grid=grid,
+                       origin=(100.0, 50.0))
+
+    def test_vertex_and_face_counts(self, surface, tmp_path):
+        path = tmp_path / "mesh.obj"
+        save_obj(path, surface)
+        lines = path.read_text().splitlines()
+        verts = [l for l in lines if l.startswith("v ")]
+        faces = [l for l in lines if l.startswith("f ")]
+        assert len(verts) == 8 * 6
+        assert len(faces) == 2 * 7 * 5
+
+    def test_vertex_coordinates_include_origin(self, surface, tmp_path):
+        path = tmp_path / "mesh.obj"
+        save_obj(path, surface, z_scale=2.0)
+        first_v = next(l for l in path.read_text().splitlines()
+                       if l.startswith("v "))
+        x, y, z = (float(t) for t in first_v.split()[1:])
+        assert x == pytest.approx(100.0)
+        assert y == pytest.approx(50.0)
+        assert z == pytest.approx(2.0 * surface.heights[0, 0], rel=1e-5)
+
+    def test_face_indices_valid(self, surface, tmp_path):
+        path = tmp_path / "mesh.obj"
+        save_obj(path, surface)
+        n_verts = 8 * 6
+        for line in path.read_text().splitlines():
+            if line.startswith("f "):
+                ids = [int(t) for t in line.split()[1:]]
+                assert all(1 <= i <= n_verts for i in ids)
+
+    def test_decimation(self, surface, tmp_path):
+        path = tmp_path / "mesh.obj"
+        save_obj(path, surface, decimate=2)
+        verts = [l for l in path.read_text().splitlines()
+                 if l.startswith("v ")]
+        assert len(verts) == 4 * 3
+
+    def test_validation(self, surface, tmp_path):
+        with pytest.raises(ValueError):
+            save_obj(tmp_path / "m.obj", surface, decimate=0)
+        with pytest.raises(ValueError):
+            save_obj(tmp_path / "m.obj", surface, decimate=8)

@@ -1,0 +1,109 @@
+"""Unit tests for correlation-length estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import convolve_full
+from repro.core.grid import Grid2D
+from repro.core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    PowerLawSpectrum,
+)
+from repro.stats.correlation_length import (
+    estimate_clx,
+    estimate_cly,
+    expected_one_over_e,
+    fit_correlation_length,
+    one_over_e_from_profile,
+)
+
+
+class TestProfileCrossing:
+    def test_exact_exponential_profile(self):
+        lags = np.linspace(0.0, 10.0, 101)
+        rho = np.exp(-lags / 2.0)
+        assert one_over_e_from_profile(lags, rho) == pytest.approx(2.0, abs=0.02)
+
+    def test_interpolation_between_samples(self):
+        lags = np.array([0.0, 1.0, 2.0])
+        rho = np.array([1.0, 0.5, 0.25])
+        out = one_over_e_from_profile(lags, rho)
+        # 1/e = 0.3679 lies between samples 1 and 2
+        assert 1.0 < out < 2.0
+
+    def test_never_crossing_raises(self):
+        lags = np.linspace(0, 5, 10)
+        rho = np.ones(10)
+        with pytest.raises(ValueError, match="never crosses"):
+            one_over_e_from_profile(lags, rho)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_over_e_from_profile(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            one_over_e_from_profile(
+                np.array([0.0, 1.0]), np.array([-1.0, 0.1])
+            )
+
+
+class TestExpectedCrossing:
+    def test_gaussian_is_cl(self):
+        s = GaussianSpectrum(h=1.0, clx=13.0, cly=20.0)
+        assert expected_one_over_e(s, "x") == pytest.approx(13.0, rel=1e-8)
+        assert expected_one_over_e(s, "y") == pytest.approx(20.0, rel=1e-8)
+
+    def test_exponential_is_cl(self):
+        s = ExponentialSpectrum(h=2.0, clx=7.0, cly=7.0)
+        assert expected_one_over_e(s, "x") == pytest.approx(7.0, rel=1e-8)
+
+    def test_power_law_depends_on_order(self):
+        lo = expected_one_over_e(PowerLawSpectrum(h=1, clx=10, cly=10, order=1.5))
+        hi = expected_one_over_e(PowerLawSpectrum(h=1, clx=10, cly=10, order=6.0))
+        assert lo != pytest.approx(hi, rel=0.05)
+        for v in (lo, hi):
+            assert 1.0 < v < 40.0
+
+
+class TestFieldEstimators:
+    def test_recovers_gaussian_cl(self):
+        grid = Grid2D(nx=512, ny=512, lx=2048.0, ly=2048.0)
+        s = GaussianSpectrum(h=1.0, clx=40.0, cly=40.0)
+        f = convolve_full(s, grid, seed=8)
+        assert estimate_clx(f, grid.dx) == pytest.approx(40.0, rel=0.15)
+        assert estimate_cly(f, grid.dy) == pytest.approx(40.0, rel=0.15)
+
+    def test_recovers_anisotropy(self):
+        grid = Grid2D(nx=512, ny=512, lx=2048.0, ly=2048.0)
+        s = GaussianSpectrum(h=1.0, clx=20.0, cly=60.0)
+        f = convolve_full(s, grid, seed=9)
+        clx = estimate_clx(f, grid.dx)
+        cly = estimate_cly(f, grid.dy)
+        assert cly > 2.0 * clx
+
+    def test_axis_validation(self, rng):
+        from repro.stats.correlation_length import one_over_e_length
+
+        with pytest.raises(ValueError):
+            one_over_e_length(rng.standard_normal((16, 16)), 1.0, axis="z")
+
+
+class TestModelFit:
+    def test_fit_recovers_parameters(self):
+        grid = Grid2D(nx=384, ny=384, lx=1536.0, ly=1536.0)
+        s = GaussianSpectrum(h=1.5, clx=30.0, cly=30.0)
+        f = convolve_full(s, grid, seed=10)
+        h_fit, cl_fit = fit_correlation_length(
+            f, grid.dx, GaussianSpectrum(h=1.0, clx=20.0, cly=20.0)
+        )
+        assert h_fit == pytest.approx(1.5, rel=0.2)
+        assert cl_fit == pytest.approx(30.0, rel=0.2)
+
+    def test_fit_y_axis(self):
+        grid = Grid2D(nx=256, ny=256, lx=1024.0, ly=1024.0)
+        s = ExponentialSpectrum(h=1.0, clx=25.0, cly=25.0)
+        f = convolve_full(s, grid, seed=11)
+        h_fit, cl_fit = fit_correlation_length(
+            f, grid.dy, ExponentialSpectrum(h=1.0, clx=25.0, cly=25.0), axis="y"
+        )
+        assert cl_fit == pytest.approx(25.0, rel=0.4)

@@ -1,0 +1,97 @@
+"""Tests for the PE coverage-map API."""
+
+import numpy as np
+import pytest
+
+from repro.propagation.coverage import CoverageMap, compute_coverage
+
+FREQ = 300e6
+
+
+@pytest.fixture(scope="module")
+def flat_cov():
+    return compute_coverage(lambda x: 0.0, FREQ, x_max=600.0,
+                            tx_height=20.0, z_max=200.0, nz=512)
+
+
+class TestComputeCoverage:
+    def test_shapes_and_monotone_ranges(self, flat_cov):
+        assert flat_cov.pf.shape == (flat_cov.ranges.size,
+                                     flat_cov.heights.size)
+        assert np.all(np.diff(flat_cov.ranges) > 0)
+        assert flat_cov.ground.shape == flat_cov.ranges.shape
+
+    def test_two_ray_lobing_visible(self, flat_cov):
+        # at the last range the height pattern must oscillate around 1
+        row = flat_cov.pf[-1]
+        z = flat_cov.heights
+        band = (z > 4.0) & (z < 60.0)
+        assert row[band].max() > 1.5
+        assert row[band].min() < 0.5
+
+    def test_sampled_terrain_input(self):
+        xs = np.linspace(0.0, 600.0, 301)
+        zs = 10.0 * np.exp(-(((xs - 300.0) / 40.0) ** 2))
+        cov = compute_coverage((xs, zs), FREQ, x_max=600.0, tx_height=15.0,
+                               z_max=200.0, nz=512)
+        assert cov.ground.max() == pytest.approx(10.0, abs=1.0)
+
+    def test_hill_reduces_coverage_behind(self):
+        hill = lambda x: 50.0 * np.exp(-(((x - 300.0) / 30.0) ** 2))  # noqa: E731
+        cov_h = compute_coverage(hill, FREQ, x_max=600.0, tx_height=10.0,
+                                 z_max=250.0, nz=512)
+        cov_f = compute_coverage(lambda x: 0.0, FREQ, x_max=600.0,
+                                 tx_height=10.0, z_max=250.0, nz=512)
+        # average pf at 2 m AGL beyond the hill
+        r_probe = [450.0, 500.0, 550.0]
+        shadow = np.mean([cov_h.at(r, 2.0) for r in r_probe])
+        open_ = np.mean([cov_f.at(r, 2.0) for r in r_probe])
+        assert shadow < 0.5 * open_
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_coverage((np.zeros(3), np.zeros(4)), FREQ, 100.0, 10.0,
+                             100.0)
+        with pytest.raises(ValueError):
+            compute_coverage(lambda x: 0.0, FREQ, 100.0, 10.0, 100.0,
+                             collect_every=0)
+        with pytest.raises(ValueError):
+            # x_max smaller than one collected step
+            compute_coverage(lambda x: 0.0, FREQ, 1e-3, 10.0, 100.0)
+
+
+class TestCoverageMap:
+    def test_at_interpolation_bounds(self, flat_cov):
+        v = flat_cov.at(300.0, 10.0)
+        assert 0.0 <= v < 3.0
+        with pytest.raises(ValueError):
+            flat_cov.at(1e9, 10.0)
+        with pytest.raises(ValueError):
+            flat_cov.at(300.0, 1e9)
+
+    def test_pf_db_floor(self, flat_cov):
+        db = flat_cov.pf_db(floor_db=-50.0)
+        assert db.min() >= -50.0
+
+    def test_masked_image_blacks_terrain(self):
+        hill = lambda x: 40.0 + 0.0 * x  # noqa: E731 constant plateau
+        cov = compute_coverage(hill, FREQ, x_max=300.0, tx_height=30.0,
+                               z_max=200.0, nz=256)
+        img = cov.masked_image()
+        below = np.broadcast_to(cov.heights[None, :] <= 40.0, img.shape)
+        assert np.all(img[below] == 0.0)
+        assert img[~below].max() > 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CoverageMap(
+                ranges=np.arange(3.0), heights=np.arange(4.0),
+                pf=np.zeros((2, 4)), ground=np.zeros(3),
+                tx_height=1.0, frequency_hz=FREQ,
+            )
+        with pytest.raises(ValueError):
+            CoverageMap(
+                ranges=np.arange(3.0), heights=np.arange(4.0),
+                pf=np.zeros((3, 4)), ground=np.zeros(2),
+                tx_height=1.0, frequency_hz=FREQ,
+            )

@@ -1,0 +1,133 @@
+"""Tests for DEM roughness enhancement."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.core.surface import Surface
+from repro.fields.dem import enhance_dem, highpass_field, upsample_bilinear
+from repro.stats.spectral import periodogram, radial_spectrum
+
+
+@pytest.fixture
+def coarse_dem(rng):
+    # a smooth synthetic "measured" terrain: one broad hill + tilt
+    grid = Grid2D(nx=32, ny=32, lx=1024.0, ly=1024.0)  # dx = 32
+    gx, gy = grid.meshgrid()
+    h = (
+        40.0 * np.exp(-(((gx - 512) / 200) ** 2 + ((gy - 512) / 250) ** 2))
+        + 0.01 * gx
+    )
+    return Surface(heights=h, grid=grid, provenance={"source": "test-dem"})
+
+
+class TestUpsample:
+    def test_identity_factor(self, coarse_dem):
+        up = upsample_bilinear(coarse_dem, 1)
+        assert np.array_equal(up.heights, coarse_dem.heights)
+
+    def test_original_samples_preserved(self, coarse_dem):
+        up = upsample_bilinear(coarse_dem, 4)
+        assert up.shape == (128, 128)
+        assert np.allclose(up.heights[::4, ::4], coarse_dem.heights)
+
+    def test_spacing_and_extent(self, coarse_dem):
+        up = upsample_bilinear(coarse_dem, 4)
+        assert up.grid.dx == pytest.approx(coarse_dem.grid.dx / 4)
+        assert up.grid.lx == coarse_dem.grid.lx
+
+    def test_interpolated_between_neighbours(self, coarse_dem):
+        up = upsample_bilinear(coarse_dem, 2)
+        a = coarse_dem.heights[3, 5]
+        b = coarse_dem.heights[4, 5]
+        assert up.heights[7, 10] == pytest.approx(0.5 * (a + b))
+
+    def test_validation(self, coarse_dem):
+        with pytest.raises(ValueError):
+            upsample_bilinear(coarse_dem, 0)
+
+
+class TestHighpass:
+    def test_removes_dc_and_low_k(self, rng):
+        grid = Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)
+        gx, _ = grid.meshgrid()
+        low = np.sin(2 * np.pi * gx / 512.0) + 5.0  # K = 0.0123 + DC
+        out = highpass_field(low, grid, k_cut=0.1)
+        assert np.max(np.abs(out)) < 1e-10
+
+    def test_passes_high_k(self, grid):
+        gx, _ = grid.meshgrid()
+        k_high = 2 * np.pi * 16 / grid.lx
+        wave = np.sin(k_high * gx)
+        out = highpass_field(wave, grid, k_cut=k_high / 2)
+        assert np.allclose(out, wave, atol=1e-10)
+
+    def test_rolloff_partial(self, grid):
+        gx, _ = grid.meshgrid()
+        k_mid = 2 * np.pi * 8 / grid.lx
+        wave = np.sin(k_mid * gx)
+        out = highpass_field(wave, grid, k_cut=k_mid * 1.1,
+                             rolloff_fraction=0.5)
+        ratio = out.std() / wave.std()
+        assert 0.05 < ratio < 0.95
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            highpass_field(np.zeros(grid.shape), grid, k_cut=0.0)
+        with pytest.raises(ValueError):
+            highpass_field(np.zeros((3, 3)), grid, k_cut=1.0)
+
+
+class TestEnhanceDem:
+    def test_dem_preserved_at_coarse_samples(self, coarse_dem):
+        # the high-passed synthetic has (near-)zero content at the DEM's
+        # resolved scales, but any pointwise residue is tiny relative to
+        # the added texture
+        spec = ExponentialSpectrum(h=0.5, clx=20.0, cly=20.0)
+        out = enhance_dem(coarse_dem, spec, factor=8, seed=3)
+        assert out.shape == (256, 256)
+        coarse_vals = out.heights[::8, ::8]
+        # DEM shape dominates: correlation with the original ~ 1
+        c = np.corrcoef(coarse_vals.ravel(),
+                        coarse_dem.heights.ravel())[0, 1]
+        assert c > 0.999
+
+    def test_added_energy_lives_above_dem_nyquist(self, coarse_dem):
+        spec = ExponentialSpectrum(h=0.5, clx=20.0, cly=20.0)
+        out = enhance_dem(coarse_dem, spec, factor=8, seed=3)
+        base = upsample_bilinear(coarse_dem, 8)
+        detail = out.heights - base.heights
+        est = periodogram(detail, out.grid)
+        k, w = radial_spectrum(est, out.grid, n_bins=48)
+        k_cut = np.pi / coarse_dem.grid.dx
+        low = w[k < 0.5 * k_cut].sum()
+        high = w[k > k_cut].sum()
+        assert high > 50.0 * max(low, 1e-30)
+
+    def test_texture_statistics_in_enhanced_band(self, coarse_dem):
+        # the detail field's variance is the spectrum's above-cut energy
+        spec = ExponentialSpectrum(h=0.5, clx=10.0, cly=10.0)
+        out = enhance_dem(coarse_dem, spec, factor=8, seed=4)
+        base = upsample_bilinear(coarse_dem, 8)
+        detail = out.heights - base.heights
+        # rough surfaces with cl ~ 10 and dx_dem = 32: most energy is
+        # sub-grid, so the detail carries a sizeable share of h^2
+        assert 0.05 < detail.var() < spec.variance
+
+    def test_determinism(self, coarse_dem):
+        spec = GaussianSpectrum(h=0.3, clx=15.0, cly=15.0)
+        a = enhance_dem(coarse_dem, spec, factor=4, seed=9)
+        b = enhance_dem(coarse_dem, spec, factor=4, seed=9)
+        assert np.array_equal(a.heights, b.heights)
+
+    def test_validation(self, coarse_dem):
+        with pytest.raises(ValueError):
+            enhance_dem(coarse_dem, GaussianSpectrum(h=1, clx=5, cly=5),
+                        factor=1)
+
+    def test_provenance_chain(self, coarse_dem):
+        spec = GaussianSpectrum(h=0.3, clx=15.0, cly=15.0)
+        out = enhance_dem(coarse_dem, spec, factor=4, seed=9)
+        assert out.provenance["method"] == "dem-enhancement"
+        assert out.provenance["dem_provenance"]["source"] == "test-dem"

@@ -1,0 +1,118 @@
+"""Unit tests for the direct DFT method (eqns 19-33)."""
+
+import numpy as np
+import pytest
+
+from repro.core.direct_dft import (
+    conjugate_mirror,
+    direct_dft_surface,
+    direct_surface_from_array,
+    hermitian_array_from_noise,
+    hermitian_random_array,
+    is_hermitian,
+    spectral_white_noise,
+)
+from repro.core.grid import Grid2D
+from repro.core.rng import standard_normal_field
+
+
+class TestConjugateMirror:
+    def test_mirror_of_mirror_is_identity(self, rng):
+        z = rng.standard_normal((6, 8)) + 1j * rng.standard_normal((6, 8))
+        assert np.allclose(conjugate_mirror(conjugate_mirror(z)), z)
+
+    def test_mirror_fixes_self_conjugate_bins(self, rng):
+        z = rng.standard_normal((4, 4)) + 0j
+        m = conjugate_mirror(z)
+        # (0,0), (0,2), (2,0), (2,2) map to themselves (conjugated)
+        for i, j in [(0, 0), (0, 2), (2, 0), (2, 2)]:
+            assert m[i, j] == np.conj(z[i, j])
+
+    def test_mirror_pairs(self, rng):
+        z = rng.standard_normal((4, 6)) + 1j * rng.standard_normal((4, 6))
+        m = conjugate_mirror(z)
+        assert m[1, 2] == np.conj(z[3, 4])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            conjugate_mirror(np.zeros(4, dtype=complex))
+
+
+class TestHermitianRandomArray:
+    def test_is_hermitian(self, grid):
+        u = hermitian_random_array(grid, seed=1)
+        assert is_hermitian(u)
+
+    def test_unit_second_moment(self):
+        g = Grid2D(nx=64, ny=64, lx=64.0, ly=64.0)
+        u = hermitian_random_array(g, seed=2)
+        assert np.mean(np.abs(u) ** 2) == pytest.approx(1.0, abs=0.08)
+
+    def test_self_conjugate_bins_real(self, grid):
+        u = hermitian_random_array(grid, seed=3)
+        for i, j in [(0, 0), (0, grid.my), (grid.mx, 0), (grid.mx, grid.my)]:
+            assert abs(u[i, j].imag) < 1e-12
+
+    def test_dft_is_real_white(self, grid):
+        # eqn 33: DFT(u)/sqrt(NxNy) ~ N(0,1) real
+        u = hermitian_random_array(grid, seed=4)
+        big_u = np.fft.fft2(u)
+        assert np.max(np.abs(big_u.imag)) < 1e-9 * np.max(np.abs(big_u.real))
+        white = spectral_white_noise(u)
+        assert white.std() == pytest.approx(1.0, abs=0.05)
+        assert abs(white.mean()) < 0.05
+
+    def test_seeding(self, grid):
+        assert np.allclose(
+            hermitian_random_array(grid, seed=9),
+            hermitian_random_array(grid, seed=9),
+        )
+
+
+class TestHermitianFromNoise:
+    def test_round_trip_to_white_noise(self, grid):
+        x = standard_normal_field(grid.shape, seed=5)
+        u = hermitian_array_from_noise(x)
+        assert is_hermitian(u)
+        # spectral_white_noise recovers... the DFT of conj relationship:
+        # DFT(u) = conj over index-mirror; magnitudes match X spectrum
+        assert np.mean(np.abs(u) ** 2) == pytest.approx(1.0, abs=0.08)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            hermitian_array_from_noise(np.zeros(8))
+
+
+class TestDirectSurface:
+    def test_output_real_and_shaped(self, any_spectrum, grid):
+        f = direct_dft_surface(any_spectrum, grid, seed=6)
+        assert f.shape == grid.shape
+        assert f.dtype == np.float64
+
+    def test_variance_close_to_target(self, any_spectrum):
+        g = Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)
+        f = direct_dft_surface(any_spectrum, g, seed=7)
+        # single realisation: generous band
+        assert f.std() == pytest.approx(any_spectrum.h, rel=0.35)
+
+    def test_non_hermitian_input_rejected(self, gaussian, grid, rng):
+        u = rng.standard_normal(grid.shape) + 1j * rng.standard_normal(grid.shape)
+        with pytest.raises(ValueError, match="Hermitian"):
+            direct_surface_from_array(gaussian, grid, u)
+
+    def test_shape_mismatch_rejected(self, gaussian, grid):
+        with pytest.raises(ValueError):
+            direct_surface_from_array(gaussian, grid, np.zeros((4, 4), complex))
+
+    def test_seed_reproducibility(self, gaussian, grid):
+        assert np.allclose(
+            direct_dft_surface(gaussian, grid, seed=11),
+            direct_dft_surface(gaussian, grid, seed=11),
+        )
+
+    def test_zero_h_gives_flat_surface(self, grid):
+        from repro.core.spectra import GaussianSpectrum
+
+        s = GaussianSpectrum(h=0.0, clx=10.0, cly=10.0)
+        f = direct_dft_surface(s, grid, seed=1)
+        assert np.allclose(f, 0.0)

@@ -1,0 +1,24 @@
+"""Run the deterministic doctest examples embedded in docstrings.
+
+Only modules whose examples are seeded/deterministic are included;
+examples marked ``# doctest: +SKIP`` stay illustrative.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.convolution
+import repro.core.grid
+import repro.core.spectra
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.core.convolution, repro.core.grid, repro.core.spectra],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"

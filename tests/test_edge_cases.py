@@ -1,0 +1,177 @@
+"""Edge-case and failure-injection tests across modules.
+
+The behaviours here are the ones a downstream user hits when they hold
+the API slightly wrong — each test pins the *diagnostic quality* of the
+failure (clear exception, not a wrong answer) or the correctness of a
+boundary configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import ConvolutionGenerator, convolve_full
+from repro.core.grid import Grid2D
+from repro.core.inhomogeneous import InhomogeneousGenerator
+from repro.core.rng import BlockNoise
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.core.weights import build_kernel, truncate_kernel
+from repro.fields.parameter_map import LayeredLayout, PlateLattice, RegionSpec
+from repro.fields.regions import Circle
+
+
+class TestDegenerateParameters:
+    def test_zero_h_everywhere(self):
+        """h = 0 must produce an exactly flat surface end to end."""
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        s = GaussianSpectrum(h=0.0, clx=8.0, cly=8.0)
+        gen = ConvolutionGenerator(s, grid, truncation=None)
+        assert np.allclose(gen.generate(seed=1), 0.0)
+        k = build_kernel(s, grid)
+        assert k.energy == 0.0
+
+    def test_tiny_correlation_length(self):
+        """cl << dx: the surface degenerates to (almost) white noise."""
+        grid = Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)  # dx = 4
+        s = GaussianSpectrum(h=1.0, clx=0.5, cly=0.5)
+        f = convolve_full(s, grid, seed=2)
+        # neighbouring samples nearly uncorrelated
+        c = np.mean(f[:-1, :] * f[1:, :]) / f.var()
+        assert abs(c) < 0.1
+        # variance heavily reduced: most of the spectrum is beyond Nyquist
+        assert f.var() < 0.5
+
+    def test_correlation_length_near_domain(self):
+        """cl ~ L: generation still runs; variance collapses towards a
+        single correlated patch (documented wrap-around regime)."""
+        grid = Grid2D(nx=64, ny=64, lx=64.0, ly=64.0)
+        s = GaussianSpectrum(h=1.0, clx=32.0, cly=32.0)
+        f = convolve_full(s, grid, seed=3)
+        assert np.all(np.isfinite(f))
+
+    def test_single_plate_lattice_is_homogeneous(self):
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        s = GaussianSpectrum(h=1.0, clx=8.0, cly=8.0)
+        lat = PlateLattice([0.0, 64.0], [0.0, 64.0], [[s]], half_width=10.0)
+        wm = lat.weight_map(grid)
+        assert wm.n_regions == 1
+        assert np.allclose(wm.weights, 1.0)
+
+    def test_three_by_three_lattice_partition(self):
+        grid = Grid2D(nx=48, ny=48, lx=96.0, ly=96.0)
+        s = [
+            [GaussianSpectrum(h=0.5 + 0.1 * (i * 3 + j), clx=6.0, cly=6.0)
+             for j in range(3)]
+            for i in range(3)
+        ]
+        lat = PlateLattice([0.0, 32.0, 64.0, 96.0], [0.0, 32.0, 64.0, 96.0],
+                           s, half_width=8.0)
+        wm = lat.weight_map(grid)
+        wm.validate()
+        assert wm.n_regions == 9
+
+    def test_overlapping_transitions_wider_than_plate(self):
+        """Transition bands wider than the plate still partition unity."""
+        grid = Grid2D(nx=64, ny=8, lx=128.0, ly=16.0)
+        specs = [[GaussianSpectrum(h=1.0, clx=4.0, cly=4.0)],
+                 [GaussianSpectrum(h=2.0, clx=4.0, cly=4.0)],
+                 [GaussianSpectrum(h=3.0, clx=4.0, cly=4.0)]]
+        lat = PlateLattice([0.0, 42.0, 86.0, 128.0], [0.0, 16.0], specs,
+                           half_width=40.0)
+        wm = lat.weight_map(grid)
+        wm.validate()
+
+
+class TestKernelBoundaries:
+    def test_truncation_to_single_sample(self):
+        grid = Grid2D(nx=32, ny=32, lx=128.0, ly=128.0)
+        k = build_kernel(GaussianSpectrum(h=1.0, clx=8.0, cly=8.0), grid)
+        t = truncate_kernel(k, 0, 0)
+        assert t.shape == (1, 1)
+        # a 1x1 kernel scales the noise: variance = centre value squared
+        assert t.energy == pytest.approx(float(k.values[k.cx, k.cy] ** 2))
+
+    def test_window_generation_with_1x1_kernel(self):
+        grid = Grid2D(nx=32, ny=32, lx=128.0, ly=128.0)
+        gen = ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=8.0, cly=8.0), grid, truncation=(0, 0)
+        )
+        bn = BlockNoise(seed=4)
+        w = gen.generate_window(bn, 5, 5, 8, 8)
+        noise = bn.window(5, 5, 8, 8)
+        assert np.allclose(w, gen.kernel.values[0, 0] * noise)
+
+    def test_asymmetric_truncation(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        s = GaussianSpectrum(h=1.0, clx=6.0, cly=20.0)
+        gen = ConvolutionGenerator(s, grid, truncation=(4, 14))
+        assert gen.footprint == (9, 29)
+        f = gen.generate(seed=5)
+        assert np.all(np.isfinite(f))
+
+
+class TestInhomogeneousEdges:
+    def test_kernel_for_unseen_spectrum_falls_back(self):
+        """Windows can see spectra the construction-grid map never met."""
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        inner = ExponentialSpectrum(h=0.3, clx=8.0, cly=8.0)
+        outer = GaussianSpectrum(h=1.0, clx=8.0, cly=8.0)
+        # a patch whose region lies wholly OUTSIDE the construction grid
+        lay = LayeredLayout(
+            outer,
+            [RegionSpec(Circle(1000.0, 1000.0, 100.0), inner,
+                        half_width=20.0)],
+        )
+        gen = InhomogeneousGenerator(lay, grid, truncation=0.999)
+        # construction-grid map holds only the background
+        assert gen.weight_map.n_regions == 2  # background + (zero) patch
+        # a window near the remote patch must still generate fine
+        bn = BlockNoise(seed=6)
+        w = gen.generate_window(bn, 230, 230, 16, 16)
+        assert np.all(np.isfinite(w.heights))
+        assert w.height_std() < 3 * inner.h + 1.0  # sane numbers
+
+    def test_weight_map_cached(self):
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        lay = LayeredLayout(GaussianSpectrum(h=1.0, clx=6.0, cly=6.0), [])
+        gen = InhomogeneousGenerator(lay, grid)
+        assert gen.weight_map is gen.weight_map
+        assert gen.kernels is gen.kernels
+
+    def test_point_far_outside_grid(self):
+        from repro.core.inhomogeneous import PointOrientedLayout, PointSpec
+
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        layout = PointOrientedLayout(
+            [PointSpec(-500.0, -500.0, GaussianSpectrum(h=1.0, clx=6.0,
+                                                        cly=6.0)),
+             PointSpec(32.0, 32.0, ExponentialSpectrum(h=2.0, clx=6.0,
+                                                       cly=6.0))],
+            half_width=10.0,
+        )
+        wm = layout.weight_map(grid)
+        wm.validate()
+        # everything on the grid belongs to the near point
+        idx = wm.spectra.index(
+            ExponentialSpectrum(h=2.0, clx=6.0, cly=6.0)
+        )
+        assert np.all(wm.weights[idx] == 1.0)
+
+
+class TestNoiseInjection:
+    def test_nan_noise_rejected_by_surface(self):
+        grid = Grid2D(nx=16, ny=16, lx=32.0, ly=32.0)
+        lay = LayeredLayout(GaussianSpectrum(h=1.0, clx=4.0, cly=4.0), [])
+        gen = InhomogeneousGenerator(lay, grid, truncation=(4, 4))
+        bad = np.zeros(grid.shape)
+        bad[3, 3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            gen.generate(noise=bad)
+
+    def test_inf_heights_rejected_by_renderers(self):
+        from repro.core.surface import Surface
+
+        grid = Grid2D(nx=8, ny=8, lx=8.0, ly=8.0)
+        h = np.zeros((8, 8))
+        h[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            Surface(heights=h, grid=grid)

@@ -1,0 +1,111 @@
+"""Integration tests: the paper's Figures 1-4 at reduced scale.
+
+Each figure pipeline runs end-to-end on a small grid and verifies the
+*reproduction criteria* (region statistics realise their targets) that
+the full-size benches assert quantitatively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.figures import (
+    FIGURES,
+    default_grid,
+    figure1_layout,
+    figure2_layout,
+    figure3_layout,
+    figure4_layout,
+    figure_layout,
+    figure_surface,
+)
+
+
+class TestLayoutBuilders:
+    def test_all_figures_buildable(self):
+        for name in FIGURES:
+            assert figure_layout(name) is not None
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            figure_layout("fig9")
+
+    def test_fig1_parameters(self):
+        lat = figure1_layout()
+        # quadrant lattice: 2x2, all Gaussian
+        assert lat.n_plates == (2, 2)
+        specs = [s for row in lat.spectra_grid for s in row]
+        assert {s.kind for s in specs} == {"gaussian"}
+        assert sorted(s.h for s in specs) == [1.0, 1.5, 1.5, 2.0]
+        assert sorted(s.clx for s in specs) == [40.0, 60.0, 60.0, 80.0]
+
+    def test_fig2_spectrum_families(self):
+        lat = figure2_layout()
+        specs = [s for row in lat.spectra_grid for s in row]
+        kinds = sorted(s.kind for s in specs)
+        assert kinds == ["exponential", "gaussian", "power_law", "power_law"]
+        orders = sorted(s.order for s in specs if s.kind == "power_law")
+        assert orders == [2.0, 3.0]
+
+    def test_fig3_parameters(self):
+        lay = figure3_layout()
+        assert lay.background.kind == "gaussian"
+        assert lay.background.h == 1.0
+        (patch,) = lay.patches
+        assert patch.spectrum.kind == "exponential"
+        assert patch.spectrum.h == 0.2
+        assert patch.half_width == 100.0
+        assert patch.region.radius == 500.0
+
+    def test_fig4_parameters(self):
+        layout = figure4_layout()
+        assert len(layout.points) == 10
+        hs = [p.spectrum.h for p in layout.points]
+        assert hs == [1.0] * 3 + [1.5] * 3 + [2.0] * 3 + [0.5]
+        assert layout.points[-1].spectrum.kind == "exponential"
+
+    def test_domain_scaling(self):
+        lat_full = figure1_layout(domain=1024.0)
+        lat_half = figure1_layout(domain=512.0)
+        assert lat_half.spectra_grid[0][0].clx == pytest.approx(
+            lat_full.spectra_grid[0][0].clx / 2.0
+        )
+
+
+class TestFigureSurfaces:
+    @pytest.mark.parametrize("name", FIGURES)
+    def test_generation_runs(self, name):
+        s = figure_surface(name, n=96, seed=1)
+        assert s.shape == (96, 96)
+        assert s.provenance["figure"] == name
+        assert np.all(np.isfinite(s.heights))
+
+    def test_fig1_quadrant_statistics(self):
+        s = figure_surface("fig1", n=192, seed=3)
+        n = 192
+        q = n // 2
+        m = n // 8  # margin away from transitions
+        # quadrant slabs (x, y): Q1 high-x high-y h=1.0; Q3 low-x low-y h=2.0
+        q1 = s.heights[q + m :, q + m :]
+        q3 = s.heights[: q - m, : q - m]
+        assert q1.std() == pytest.approx(1.0, rel=0.45)
+        assert q3.std() == pytest.approx(2.0, rel=0.45)
+        assert q3.std() > q1.std()
+
+    def test_fig3_pond_statistics(self):
+        s = figure_surface("fig3", n=192, seed=4)
+        grid = s.grid
+        gx, gy = grid.meshgrid()
+        r = np.hypot(gx - grid.lx / 2, gy - grid.ly / 2)
+        pond = s.heights[r < 0.3 * grid.lx]
+        field = s.heights[r > 0.55 * grid.lx]
+        assert pond.std() < 0.5 * field.std()
+
+    def test_seed_determinism(self):
+        a = figure_surface("fig2", n=64, seed=5)
+        b = figure_surface("fig2", n=64, seed=5)
+        assert np.array_equal(a.heights, b.heights)
+
+    def test_default_grid(self):
+        g = default_grid(256)
+        assert g.shape == (256, 256)
+        assert g.lx == 1024.0

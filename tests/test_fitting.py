@@ -1,0 +1,110 @@
+"""Tests for family fitting and classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import convolve_full
+from repro.core.grid import Grid2D
+from repro.core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    PowerLawSpectrum,
+)
+from repro.stats.fitting import (
+    classify_family,
+    estimate_power_law_order,
+    fit_family,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid2D(nx=384, ny=384, lx=1536.0, ly=1536.0)
+
+
+class TestFitFamily:
+    def test_gaussian_parameters_recovered(self, grid):
+        spec = GaussianSpectrum(h=1.5, clx=25.0, cly=25.0)
+        f = convolve_full(spec, grid, seed=21)
+        fit = fit_family(f, grid.dx, "gaussian", cl_guess=20.0)
+        assert fit.h == pytest.approx(1.5, rel=0.2)
+        assert fit.cl == pytest.approx(25.0, rel=0.2)
+        assert fit.order is None
+
+    def test_exponential_parameters_recovered(self, grid):
+        spec = ExponentialSpectrum(h=0.8, clx=20.0, cly=20.0)
+        f = convolve_full(spec, grid, seed=22)
+        fit = fit_family(f, grid.dx, "exponential", cl_guess=15.0)
+        assert fit.h == pytest.approx(0.8, rel=0.25)
+        assert fit.cl == pytest.approx(20.0, rel=0.4)
+
+    def test_power_law_fixed_order(self, grid):
+        spec = PowerLawSpectrum(h=1.0, clx=30.0, cly=30.0, order=3.0)
+        f = convolve_full(spec, grid, seed=23)
+        fit = fit_family(f, grid.dx, "power_law", cl_guess=25.0,
+                         fit_order=False, fixed_order=3.0)
+        assert fit.order == 3.0
+        assert fit.cl == pytest.approx(30.0, rel=0.3)
+
+    def test_build_round_trip(self, grid):
+        f = convolve_full(GaussianSpectrum(h=1.0, clx=25.0, cly=25.0),
+                          grid, seed=24)
+        fit = fit_family(f, grid.dx, "gaussian", cl_guess=20.0)
+        spec = fit.build()
+        assert spec.kind == "gaussian"
+        assert spec.h == pytest.approx(fit.h)
+
+    def test_validation(self, grid):
+        f = np.zeros((16, 16))
+        with pytest.raises(ValueError):
+            fit_family(f, 1.0, "triangular", cl_guess=5.0)
+        with pytest.raises(ValueError):
+            fit_family(f, 1.0, "gaussian", cl_guess=-1.0)
+
+
+class TestClassify:
+    @pytest.mark.parametrize("spec, expected", [
+        (GaussianSpectrum(h=1.0, clx=30.0, cly=30.0), "gaussian"),
+        (ExponentialSpectrum(h=1.0, clx=30.0, cly=30.0), "exponential"),
+        (PowerLawSpectrum(h=1.0, clx=30.0, cly=30.0, order=2.0),
+         "power_law_2"),
+    ])
+    def test_correct_family_wins(self, grid, spec, expected):
+        f = convolve_full(spec, grid, seed=31)
+        best, fits = classify_family(f, grid.dx, cl_guess=25.0)
+        key = best.kind if best.order is None else f"power_law_{best.order:g}"
+        assert key == expected
+        assert len(fits) == 4  # gaussian, exponential, PL2, PL3
+
+    def test_rss_margins_meaningful(self, grid):
+        f = convolve_full(GaussianSpectrum(h=1.0, clx=30.0, cly=30.0),
+                          grid, seed=32)
+        best, fits = classify_family(f, grid.dx, cl_guess=25.0)
+        # the wrong family (exponential) fits far worse
+        assert fits["exponential"].rss > 5.0 * best.rss
+
+
+class TestOrderEstimation:
+    def test_low_vs_high_order_distinguishable(self, grid):
+        f_lo = convolve_full(
+            PowerLawSpectrum(h=1.0, clx=30.0, cly=30.0, order=1.6),
+            grid, seed=41,
+        )
+        f_hi = convolve_full(
+            PowerLawSpectrum(h=1.0, clx=30.0, cly=30.0, order=6.0),
+            grid, seed=42,
+        )
+        n_lo = estimate_power_law_order(f_lo, grid.dx, 25.0)
+        n_hi = estimate_power_law_order(f_hi, grid.dx, 25.0)
+        assert n_lo < 2.5
+        assert n_hi > 3.5
+
+    def test_order_two_recovered_roughly(self, grid):
+        # N is weakly identified at moderate values (the ACF family is
+        # flat in N there): accept a generous band
+        f = convolve_full(
+            PowerLawSpectrum(h=1.0, clx=30.0, cly=30.0, order=2.0),
+            grid, seed=43,
+        )
+        n_hat = estimate_power_law_order(f, grid.dx, 25.0)
+        assert 1.3 < n_hat < 3.2

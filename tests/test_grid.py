@@ -1,0 +1,130 @@
+"""Unit tests for the DFT grid (paper eqns 3, 13, 16)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D, fold_index, folded_frequency_index
+
+
+class TestFolding:
+    def test_fold_scalar_below_m(self):
+        assert fold_index(3, 8) == 3
+
+    def test_fold_scalar_above_m(self):
+        # eqn 16: m >= M maps to 2M - m
+        assert fold_index(13, 8) == 3
+
+    def test_fold_at_m_is_nyquist(self):
+        assert fold_index(8, 8) == 8
+
+    def test_fold_zero(self):
+        assert fold_index(0, 8) == 0
+
+    def test_fold_array(self):
+        out = fold_index(np.array([0, 1, 8, 9, 15]), 8)
+        assert list(out) == [0, 1, 8, 7, 1]
+
+    def test_fold_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            fold_index(16, 8)
+        with pytest.raises(ValueError):
+            fold_index(-1, 8)
+
+    def test_folded_frequency_index_matches_fftfreq_even(self):
+        n = 16
+        expected = np.abs(np.fft.fftfreq(n) * n).astype(int)
+        assert np.array_equal(folded_frequency_index(n), expected)
+
+    def test_folded_frequency_index_matches_fftfreq_odd(self):
+        n = 15
+        expected = np.abs(np.fft.fftfreq(n) * n).astype(int)
+        assert np.array_equal(folded_frequency_index(n), expected)
+
+    def test_folded_frequency_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            folded_frequency_index(0)
+
+
+class TestGrid2D:
+    def test_basic_derived_quantities(self):
+        g = Grid2D(nx=8, ny=16, lx=4.0, ly=32.0)
+        assert g.mx == 4 and g.my == 8
+        assert g.dx == pytest.approx(0.5)
+        assert g.dy == pytest.approx(2.0)
+        assert g.dkx == pytest.approx(2 * np.pi / 4.0)
+        assert g.dky == pytest.approx(2 * np.pi / 32.0)
+        assert g.shape == (8, 16)
+        assert g.size == 128
+        assert g.cell_area == pytest.approx(1.0)
+        assert g.spectral_cell == pytest.approx(4 * np.pi**2 / 128.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid2D(nx=0, ny=4, lx=1.0, ly=1.0)
+        with pytest.raises(ValueError):
+            Grid2D(nx=4, ny=4, lx=-1.0, ly=1.0)
+        with pytest.raises(TypeError):
+            Grid2D(nx=4.5, ny=4, lx=1.0, ly=1.0)  # type: ignore[arg-type]
+
+    def test_odd_sizes_allowed(self):
+        g = Grid2D(nx=5, ny=7, lx=5.0, ly=7.0)
+        assert g.shape == (5, 7)
+
+    def test_coordinates(self):
+        g = Grid2D(nx=4, ny=4, lx=8.0, ly=8.0)
+        assert np.allclose(g.x, [0, 2, 4, 6])
+        X, Y = g.meshgrid()
+        assert X.shape == (4, 4)
+        assert X[1, 0] == pytest.approx(2.0)
+        assert Y[0, 1] == pytest.approx(2.0)
+
+    def test_centered_lags_wrap_order(self):
+        g = Grid2D(nx=4, ny=6, lx=4.0, ly=6.0)
+        assert np.allclose(g.x_centered, [0, 1, -2, -1])
+        assert np.allclose(g.y_centered, [0, 1, 2, -3, -2, -1])
+
+    def test_centered_lags_odd(self):
+        g = Grid2D(nx=5, ny=5, lx=5.0, ly=5.0)
+        assert np.allclose(g.x_centered, [0, 1, 2, -2, -1])
+
+    def test_folded_frequencies_scale(self):
+        g = Grid2D(nx=8, ny=8, lx=16.0, ly=16.0)
+        assert g.kx_folded[1] == pytest.approx(2 * np.pi / 16.0)
+        assert g.kx_folded[7] == pytest.approx(2 * np.pi / 16.0)
+        assert g.kx_folded[4] == pytest.approx(g.nyquist_kx)
+
+    def test_signed_frequencies_match_fftfreq(self):
+        g = Grid2D(nx=8, ny=8, lx=16.0, ly=16.0)
+        assert np.allclose(g.kx_signed, 2 * np.pi * np.fft.fftfreq(8, d=2.0))
+
+    def test_with_shape_preserves_spacing(self):
+        g = Grid2D(nx=8, ny=8, lx=16.0, ly=16.0)
+        g2 = g.with_shape(20, 6)
+        assert g2.dx == pytest.approx(g.dx)
+        assert g2.dy == pytest.approx(g.dy)
+        assert g2.shape == (20, 6)
+
+    def test_subgrid(self):
+        g = Grid2D(nx=8, ny=8, lx=16.0, ly=16.0)
+        sub = g.subgrid(slice(2, 6), slice(0, 8))
+        assert sub.shape == (4, 8)
+        assert sub.dx == pytest.approx(g.dx)
+        with pytest.raises(ValueError):
+            g.subgrid(slice(4, 4), slice(0, 8))
+
+    def test_iter_tiles_covers_grid(self):
+        g = Grid2D(nx=10, ny=8, lx=10.0, ly=8.0)
+        seen = np.zeros(g.shape, dtype=int)
+        for sx, sy in g.iter_tiles(4, 3):
+            seen[sx, sy] += 1
+        assert np.all(seen == 1)
+
+    def test_iter_tiles_rejects_bad_size(self):
+        g = Grid2D(nx=4, ny=4, lx=4.0, ly=4.0)
+        with pytest.raises(ValueError):
+            list(g.iter_tiles(0, 2))
+
+    def test_immutable(self):
+        g = Grid2D(nx=4, ny=4, lx=4.0, ly=4.0)
+        with pytest.raises(Exception):
+            g.nx = 8  # type: ignore[misc]

@@ -1,0 +1,178 @@
+"""Tests for the inhomogeneous generator (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.inhomogeneous import (
+    InhomogeneousGenerator,
+    blend_fields,
+    blend_reference,
+    kernel_stack,
+)
+from repro.core.rng import BlockNoise, standard_normal_field
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.fields.parameter_map import LayeredLayout, PlateLattice, RegionSpec
+from repro.fields.regions import Circle
+
+
+@pytest.fixture
+def s_smooth():
+    return GaussianSpectrum(h=0.3, clx=12.0, cly=12.0)
+
+
+@pytest.fixture
+def s_rough():
+    return ExponentialSpectrum(h=2.0, clx=8.0, cly=8.0)
+
+
+@pytest.fixture
+def grid32():
+    return Grid2D(nx=32, ny=32, lx=128.0, ly=128.0)
+
+
+@pytest.fixture
+def quad_layout(s_smooth, s_rough):
+    return PlateLattice.quadrants(
+        128.0, 128.0, s_smooth, s_rough, s_smooth, s_rough, half_width=10.0
+    )
+
+
+class TestBlendFields:
+    def test_simple_blend(self):
+        w = np.stack([np.full((2, 2), 0.25), np.full((2, 2), 0.75)])
+        f = [np.ones((2, 2)), 2 * np.ones((2, 2))]
+        out = blend_fields(w, f)
+        assert np.allclose(out, 0.25 + 1.5)
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError):
+            blend_fields(np.ones((2, 2, 2)), [np.ones((2, 2))])
+
+
+class TestFastVsReference:
+    def test_plate_blend_equals_per_point_kernel(self, quad_layout, grid32):
+        """The linearity argument: fast blend == literal eqn (37)."""
+        gen = InhomogeneousGenerator(quad_layout, grid32, truncation=(5, 5))
+        x = standard_normal_field(grid32.shape, seed=21)
+        fast = gen.generate(noise=x).heights
+        wm = gen.weight_map
+        ks = kernel_stack(wm.spectra, grid32, 5, 5)
+        ref = blend_reference(wm, ks, x)
+        assert np.allclose(fast, ref, atol=1e-10)
+
+    def test_reference_requires_common_support(self, s_smooth, s_rough, grid32):
+        from repro.core.weights import build_kernel, truncate_kernel
+
+        wm = LayeredLayout(s_smooth, []).weight_map(grid32)
+        k1 = truncate_kernel(build_kernel(s_smooth, grid32), 3, 3)
+        k2 = truncate_kernel(build_kernel(s_rough, grid32), 4, 4)
+        with pytest.raises(ValueError):
+            blend_reference(wm, [k1, k2], np.zeros(grid32.shape))
+
+
+class TestGenerate:
+    def test_surface_shape_and_provenance(self, quad_layout, grid32):
+        gen = InhomogeneousGenerator(quad_layout, grid32, truncation=0.99)
+        s = gen.generate(seed=5)
+        assert s.shape == grid32.shape
+        assert s.provenance["method"] == "inhomogeneous-convolution"
+        assert len(s.provenance["spectra"]) == gen.weight_map.n_regions
+
+    def test_noise_shape_validation(self, quad_layout, grid32):
+        gen = InhomogeneousGenerator(quad_layout, grid32)
+        with pytest.raises(ValueError):
+            gen.generate(noise=np.zeros((4, 4)))
+
+    def test_regions_realise_targets(self, s_smooth, s_rough):
+        """Headline check: each half realises its own h."""
+        grid = Grid2D(nx=256, ny=256, lx=1024.0, ly=1024.0)
+        lat = PlateLattice(
+            [0.0, 512.0, 1024.0], [0.0, 1024.0],
+            [[s_smooth], [s_rough]], half_width=24.0,
+        )
+        gen = InhomogeneousGenerator(lat, grid, truncation=0.999)
+        s = gen.generate(seed=7)
+        left = s.heights[: 100, :]    # deep inside smooth half
+        right = s.heights[156:, :]    # deep inside rough half
+        assert left.std() == pytest.approx(s_smooth.h, rel=0.3)
+        assert right.std() == pytest.approx(s_rough.h, rel=0.3)
+        assert right.std() > 3.0 * left.std()
+
+    def test_continuity_across_transition(self, s_smooth, s_rough):
+        """No seams: finite differences across the boundary stay bounded."""
+        grid = Grid2D(nx=128, ny=64, lx=512.0, ly=256.0)
+        lat = PlateLattice(
+            [0.0, 256.0, 512.0], [0.0, 256.0],
+            [[s_smooth], [s_rough]], half_width=40.0,
+        )
+        s = InhomogeneousGenerator(lat, grid, truncation=0.999).generate(seed=3)
+        dx_steps = np.abs(np.diff(s.heights, axis=0))
+        # steps at the boundary column not wildly larger than elsewhere in
+        # the rough half
+        boundary = dx_steps[60:68, :].max()
+        interior = dx_steps[96:, :].max()
+        assert boundary < 2.5 * interior
+
+    def test_shared_noise_across_regions(self, s_smooth, grid32):
+        # blending a layout of identical spectra must reduce exactly to
+        # the homogeneous surface (weights sum to 1)
+        lat = PlateLattice.quadrants(
+            128.0, 128.0, s_smooth, s_smooth, s_smooth, s_smooth, half_width=10.0
+        )
+        gen = InhomogeneousGenerator(lat, grid32, truncation=(5, 5))
+        x = standard_normal_field(grid32.shape, seed=2)
+        inhom = gen.generate(noise=x).heights
+        from repro.core.convolution import convolve_spatial
+        from repro.core.weights import build_kernel, truncate_kernel
+
+        kern = truncate_kernel(build_kernel(s_smooth, grid32), 5, 5)
+        hom = convolve_spatial(kern, x, boundary="wrap")
+        assert np.allclose(inhom, hom, atol=1e-10)
+
+
+class TestCircularRegion:
+    def test_fig3_style_pond_is_smoother(self):
+        grid = Grid2D(nx=192, ny=192, lx=768.0, ly=768.0)
+        pond = ExponentialSpectrum(h=0.2, clx=40.0, cly=40.0)
+        field = GaussianSpectrum(h=1.0, clx=40.0, cly=40.0)
+        lay = LayeredLayout(
+            field,
+            [RegionSpec(Circle(384.0, 384.0, 200.0), pond, half_width=60.0)],
+        )
+        s = InhomogeneousGenerator(lay, grid, truncation=0.999).generate(seed=9)
+        gx, gy = grid.meshgrid()
+        r = np.hypot(gx - 384.0, gy - 384.0)
+        inside = s.heights[r < 120.0]
+        outside = s.heights[r > 300.0]
+        assert inside.std() == pytest.approx(0.2, rel=0.4)
+        assert outside.std() == pytest.approx(1.0, rel=0.4)
+
+
+class TestWindowedGeneration:
+    def test_window_matches_origin_window(self, quad_layout, grid32):
+        gen = InhomogeneousGenerator(quad_layout, grid32, truncation=(5, 5))
+        bn = BlockNoise(seed=31, block=32)
+        big = gen.generate_window(bn, 0, 0, 32, 32)
+        sub = gen.generate_window(bn, 8, 8, 12, 12)
+        assert np.allclose(
+            big.heights[8:20, 8:20], sub.heights, atol=1e-10
+        )
+
+    def test_window_origin_coordinates(self, quad_layout, grid32):
+        gen = InhomogeneousGenerator(quad_layout, grid32, truncation=(5, 5))
+        bn = BlockNoise(seed=31)
+        w = gen.generate_window(bn, 4, 6, 8, 8)
+        assert w.origin == (4 * grid32.dx, 6 * grid32.dy)
+
+    def test_window_sees_correct_region_parameters(self, s_smooth, s_rough):
+        # a window deep inside the rough half must have rough statistics
+        grid = Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)
+        lat = PlateLattice(
+            [0.0, 256.0, 512.0], [0.0, 512.0],
+            [[s_smooth], [s_rough]], half_width=16.0,
+        )
+        gen = InhomogeneousGenerator(lat, grid, truncation=0.999)
+        bn = BlockNoise(seed=8)
+        w = gen.generate_window(bn, 96, 0, 32, 128)  # x in [384, 512)
+        assert w.height_std() == pytest.approx(s_rough.h, rel=0.4)

@@ -1,0 +1,109 @@
+"""Unit tests for windowed/local statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.surface import Surface
+from repro.fields.regions import Circle, Rectangle
+from repro.stats.local import (
+    interior_region_mask,
+    local_mean_map,
+    local_std_map,
+    region_mask,
+    region_statistics,
+)
+
+
+@pytest.fixture
+def checker_surface():
+    """Left half std ~0 (flat), right half noisy."""
+    grid = Grid2D(nx=64, ny=64, lx=64.0, ly=64.0)
+    rng = np.random.default_rng(0)
+    h = np.zeros(grid.shape)
+    h[32:, :] = rng.standard_normal((32, 64)) * 3.0
+    return Surface(heights=h, grid=grid)
+
+
+class TestBoxMaps:
+    def test_mean_map_constant(self):
+        out = local_mean_map(np.full((10, 10), 5.0), 3)
+        assert out.shape == (8, 8)
+        assert np.allclose(out, 5.0)
+
+    def test_mean_map_matches_naive(self, rng):
+        f = rng.standard_normal((12, 9))
+        w = 4
+        out = local_mean_map(f, w)
+        naive = np.array(
+            [
+                [f[i : i + w, j : j + w].mean() for j in range(9 - w + 1)]
+                for i in range(12 - w + 1)
+            ]
+        )
+        assert np.allclose(out, naive)
+
+    def test_std_map_matches_naive(self, rng):
+        f = rng.standard_normal((11, 13))
+        w = 5
+        out = local_std_map(f, w)
+        naive = np.array(
+            [
+                [f[i : i + w, j : j + w].std() for j in range(13 - w + 1)]
+                for i in range(11 - w + 1)
+            ]
+        )
+        assert np.allclose(out, naive, atol=1e-10)
+
+    def test_std_map_detects_inhomogeneity(self, checker_surface):
+        m = local_std_map(checker_surface.heights, 8)
+        left = m[:16, :].mean()
+        right = m[40:, :].mean()
+        assert right > 10.0 * max(left, 1e-12)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            local_std_map(np.zeros((4, 4)), 1)
+        with pytest.raises(ValueError):
+            local_std_map(np.zeros((4, 4)), 5)
+        with pytest.raises(ValueError):
+            local_mean_map(np.zeros((4, 4)), 0)
+
+
+class TestRegionMasks:
+    def test_region_mask(self, checker_surface):
+        mask = region_mask(checker_surface, Rectangle(0.0, 31.0, 0.0, 63.0))
+        assert mask.shape == checker_surface.shape
+        assert mask[0, 0] and not mask[-1, -1]
+
+    def test_interior_mask_excludes_band(self, checker_surface):
+        c = Circle(32.0, 32.0, 20.0)
+        full = region_mask(checker_surface, c)
+        interior = interior_region_mask(checker_surface, c, margin=8.0)
+        assert interior.sum() < full.sum()
+        assert np.all(full[interior])
+
+    def test_region_statistics(self, checker_surface):
+        left = region_statistics(
+            checker_surface, region_mask(checker_surface, Rectangle(0, 30, 0, 63))
+        )
+        right = region_statistics(
+            checker_surface, region_mask(checker_surface, Rectangle(33, 63, 0, 63))
+        )
+        assert left["std"] == pytest.approx(0.0, abs=1e-12)
+        assert right["std"] == pytest.approx(3.0, rel=0.15)
+
+    def test_region_statistics_validation(self, checker_surface):
+        with pytest.raises(ValueError):
+            region_statistics(checker_surface, np.zeros((4, 4), dtype=bool))
+        with pytest.raises(ValueError):
+            region_statistics(
+                checker_surface, np.zeros(checker_surface.shape, dtype=bool)
+            )
+
+    def test_origin_respected(self):
+        grid = Grid2D(nx=8, ny=8, lx=8.0, ly=8.0)
+        s = Surface(heights=np.zeros((8, 8)), grid=grid, origin=(100.0, 0.0))
+        mask = region_mask(s, Rectangle(100.0, 104.0, 0.0, 8.0))
+        assert mask[0, 0]
+        assert not mask[-1, 0]

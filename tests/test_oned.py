@@ -1,0 +1,180 @@
+"""Tests for 1D profile generation."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.oned import (
+    BlockNoise1D,
+    Exponential1D,
+    Gaussian1D,
+    Matern1D,
+    ProfileGenerator,
+    build_kernel_1d,
+    marginal_of_2d,
+    weight_vector,
+)
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+
+
+class TestSpectra1D:
+    @pytest.mark.parametrize("spec", [
+        Gaussian1D(h=1.5, cl=10.0),
+        Exponential1D(h=1.0, cl=5.0),
+        Matern1D(h=2.0, cl=8.0, order=2.0),
+        Matern1D(h=1.0, cl=8.0, order=5.0),
+    ])
+    def test_spectrum_integrates_to_variance(self, spec):
+        val, _ = integrate.quad(lambda k: float(spec.spectrum(np.asarray(k))),
+                                -2000.0 / spec.cl, 2000.0 / spec.cl,
+                                limit=400)
+        assert val == pytest.approx(spec.variance, rel=2e-3)
+
+    @pytest.mark.parametrize("spec", [
+        Gaussian1D(h=1.5, cl=10.0),
+        Exponential1D(h=1.0, cl=5.0),
+        Matern1D(h=2.0, cl=8.0, order=3.0),
+    ])
+    def test_acf_peak_and_decay(self, spec):
+        assert float(spec.autocorrelation(np.array(0.0))) == pytest.approx(
+            spec.variance, rel=1e-9
+        )
+        assert float(spec.autocorrelation(np.array(20.0 * spec.cl))) < \
+            0.01 * spec.variance
+
+    def test_acf_transform_pair(self):
+        # numerical cosine transform of W1 equals rho at a few lags
+        spec = Matern1D(h=1.0, cl=6.0, order=2.5)
+        for x in (2.0, 6.0, 12.0):
+            val, _ = integrate.quad(
+                lambda k: float(spec.spectrum(np.asarray(k))) * np.cos(k * x),
+                -600.0 / spec.cl, 600.0 / spec.cl, limit=800,
+            )
+            assert val == pytest.approx(
+                float(spec.autocorrelation(np.array(x))), abs=5e-3
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gaussian1D(h=-1.0, cl=1.0)
+        with pytest.raises(ValueError):
+            Exponential1D(h=1.0, cl=0.0)
+        with pytest.raises(ValueError):
+            Matern1D(h=1.0, cl=1.0, order=0.5)
+
+
+class TestMarginal:
+    def test_gaussian_marginal_is_gaussian_1d(self):
+        # exact identity: Ky-marginal of a 2D Gaussian = 1D Gaussian
+        g2 = GaussianSpectrum(h=1.0, clx=10.0, cly=14.0)
+        m = marginal_of_2d(g2)
+        g1 = Gaussian1D(h=1.0, cl=10.0)
+        k = np.array([0.0, 0.05, 0.2, 0.5])
+        assert np.allclose(m.spectrum(k), g1.spectrum(k), rtol=1e-6)
+        assert m.h == pytest.approx(1.0, rel=1e-6)
+
+    def test_marginal_keeps_variance(self):
+        e2 = ExponentialSpectrum(h=2.0, clx=8.0, cly=8.0)
+        m = marginal_of_2d(e2)
+        assert m.h == pytest.approx(2.0, rel=0.02)
+
+    def test_marginal_acf(self):
+        g2 = GaussianSpectrum(h=1.0, clx=10.0, cly=10.0)
+        m = marginal_of_2d(g2)
+        # profile ACF equals the 2D ACF along the cut: h^2 exp(-(x/cl)^2)
+        assert float(m.autocorrelation(10.0)) == pytest.approx(
+            np.exp(-1.0), abs=1e-4
+        )
+
+
+class TestWeightsAndKernel:
+    def test_weight_vector_sum(self):
+        spec = Gaussian1D(h=2.0, cl=10.0)
+        w = weight_vector(spec, 1024, 1024.0)
+        assert w.sum() == pytest.approx(4.0, rel=1e-6)
+
+    def test_weight_vector_even(self):
+        w = weight_vector(Exponential1D(h=1.0, cl=7.0), 64, 128.0)
+        assert np.allclose(w[1:], w[1:][::-1])
+
+    def test_weight_vector_validation(self):
+        with pytest.raises(ValueError):
+            weight_vector(Gaussian1D(h=1, cl=1), 0, 1.0)
+        with pytest.raises(ValueError):
+            weight_vector(Gaussian1D(h=1, cl=1), 8, -1.0)
+
+    def test_kernel_energy(self):
+        k = build_kernel_1d(Gaussian1D(h=1.5, cl=10.0), 512, 512.0)
+        assert k.energy == pytest.approx(2.25, rel=1e-6)
+
+    def test_truncation_preserves_energy(self):
+        full = build_kernel_1d(Gaussian1D(h=1.0, cl=10.0), 512, 512.0)
+        t = build_kernel_1d(Gaussian1D(h=1.0, cl=10.0), 512, 512.0,
+                            truncation=0.99)
+        assert t.size < full.size
+        assert t.energy == pytest.approx(full.energy, rel=1e-9)
+
+    def test_truncation_validation(self):
+        with pytest.raises(ValueError):
+            build_kernel_1d(Gaussian1D(h=1, cl=10), 64, 64.0, truncation=1.5)
+
+
+class TestBlockNoise1D:
+    def test_overlap_consistency(self):
+        bn = BlockNoise1D(seed=3, block=64)
+        big = bn.window(-10, 200)
+        small = bn.window(40, 30)
+        assert np.array_equal(big[50:80], small)
+
+    def test_determinism_and_stats(self):
+        bn = BlockNoise1D(seed=5)
+        a = bn.window(0, 100_000)
+        assert np.array_equal(a, BlockNoise1D(seed=5).window(0, 100_000))
+        assert a.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockNoise1D(seed=-1)
+        with pytest.raises(ValueError):
+            BlockNoise1D(seed=1, block=0)
+        with pytest.raises(ValueError):
+            BlockNoise1D(seed=1).window(0, -1)
+
+
+class TestProfileGenerator:
+    @pytest.mark.parametrize("spec", [
+        Gaussian1D(h=1.0, cl=12.0),
+        Exponential1D(h=2.0, cl=6.0),
+        Matern1D(h=1.0, cl=10.0, order=2.0),
+    ])
+    def test_profile_statistics(self, spec):
+        gen = ProfileGenerator(spec, 8192, 8192.0)
+        f = gen.generate(seed=1)
+        assert f.shape == (8192,)
+        assert f.std() == pytest.approx(spec.h, rel=0.15)
+
+    def test_acf_shape_recovered(self):
+        spec = Gaussian1D(h=1.0, cl=16.0)
+        gen = ProfileGenerator(spec, 16384, 16384.0)
+        f = gen.generate(seed=2)
+        f = f - f.mean()
+        # circular ACF at lag cl: rho ~ h^2/e
+        n = f.size
+        acf = np.fft.ifft(np.abs(np.fft.fft(f)) ** 2).real / n
+        assert acf[16] / acf[0] == pytest.approx(np.exp(-1.0), abs=0.08)
+
+    def test_window_overlap_consistency(self):
+        gen = ProfileGenerator(Gaussian1D(h=1.0, cl=10.0), 1024, 1024.0)
+        bn = BlockNoise1D(seed=7)
+        a = gen.generate_window(bn, 0, 400)
+        b = gen.generate_window(bn, 150, 100)
+        assert np.allclose(a[150:250], b, atol=1e-12)
+
+    def test_noise_shape_validation(self):
+        gen = ProfileGenerator(Gaussian1D(h=1.0, cl=10.0), 256, 256.0)
+        with pytest.raises(ValueError):
+            gen.generate(noise=np.zeros(100))
+
+    def test_matched_noise_determinism(self):
+        gen = ProfileGenerator(Exponential1D(h=1.0, cl=5.0), 512, 512.0)
+        assert np.array_equal(gen.generate(seed=3), gen.generate(seed=3))

@@ -1,0 +1,133 @@
+"""Tests for the split-step parabolic-equation solver."""
+
+import numpy as np
+import pytest
+
+from repro.propagation.parabolic import (
+    PEGrid,
+    PESolver,
+    gaussian_aperture,
+    gaussian_freespace_amplitude,
+    propagation_factor,
+)
+
+FREQ = 300e6  # wavelength 1 m
+K = 2.0 * np.pi
+
+
+@pytest.fixture
+def tall_grid():
+    return PEGrid(z_max=400.0, nz=1024, dx=2.0)
+
+
+class TestGridAndAperture:
+    def test_grid_properties(self):
+        g = PEGrid(z_max=100.0, nz=200, dx=1.0)
+        assert g.dz == pytest.approx(0.5)
+        assert g.z[0] == pytest.approx(0.5)
+        assert g.z[-1] == pytest.approx(100.0)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            PEGrid(z_max=0.0, nz=64, dx=1.0)
+        with pytest.raises(ValueError):
+            PEGrid(z_max=10.0, nz=8, dx=1.0)
+
+    def test_aperture_peak_and_width(self, tall_grid):
+        ap = gaussian_aperture(tall_grid, 100.0, 5.0)
+        z = tall_grid.z
+        assert abs(z[np.argmax(np.abs(ap))] - 100.0) < tall_grid.dz
+        with pytest.raises(ValueError):
+            gaussian_aperture(tall_grid, 100.0, 0.0)
+
+
+class TestFreeSpace:
+    def test_matches_analytic_beam(self, tall_grid):
+        solver = PESolver(tall_grid, FREQ, terrain=lambda x: -1.0)
+        ap = gaussian_aperture(tall_grid, 200.0, 4.0)
+        u, _ = solver.march(ap, 0.0, 400.0)
+        z = tall_grid.z
+        ana = gaussian_freespace_amplitude(400.0, z, 200.0, 4.0, K)
+        core = ana > 0.1 * ana.max()
+        err = np.max(np.abs(np.abs(u)[core] - ana[core])) / ana.max()
+        assert err < 0.01
+
+    def test_beam_spreads(self):
+        z = np.linspace(0.0, 100.0, 512)
+        near = gaussian_freespace_amplitude(1.0, z, 50.0, 4.0, K)
+        far = gaussian_freespace_amplitude(500.0, z, 50.0, 4.0, K)
+        def width(a):
+            return np.count_nonzero(a > 0.5 * a.max())
+        assert width(far) > 2 * width(near)
+        assert far.max() < near.max()
+
+    def test_analytic_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_freespace_amplitude(1.0, np.zeros(4), 0.0, -1.0, K)
+
+
+class TestGroundEffects:
+    def test_two_ray_lobing_positions(self, tall_grid):
+        # PEC ground: nulls where the path difference is n*lambda,
+        # i.e. z_null ~ n * lambda * x / (2 h_tx)
+        solver = PESolver(tall_grid, FREQ, terrain=None)
+        ap = gaussian_aperture(tall_grid, 20.0, 4.0)
+        u, _ = solver.march(ap, 0.0, 1000.0)
+        z = tall_grid.z
+        pf = np.abs(u) / np.maximum(
+            gaussian_freespace_amplitude(1000.0, z, 20.0, 4.0, K), 1e-12
+        )
+        band = (z > 5.0) & (z < 80.0)
+        z_band, pf_band = z[band], pf[band]
+        z_null = z_band[np.argmin(np.abs(pf_band))]
+        assert z_null == pytest.approx(25.0, abs=2.0)
+        z_peak = z_band[np.argmax(pf_band)]
+        assert min(abs(z_peak - 12.5), abs(z_peak - 37.5)) < 2.5
+        assert pf_band.max() > 1.6  # near-coherent doubling
+
+    def test_hill_shadowing(self, tall_grid):
+        hill = lambda x: 60.0 * np.exp(-(((x - 500.0) / 50.0) ** 2))  # noqa: E731
+        solver = PESolver(tall_grid, FREQ, terrain=hill)
+        pf_shadow = propagation_factor(solver, 1000.0, tx_height=20.0,
+                                       rx_height=20.0, beamwidth=4.0)
+        flat = PESolver(tall_grid, FREQ, terrain=None)
+        pf_flat = propagation_factor(flat, 1000.0, tx_height=20.0,
+                                     rx_height=20.0, beamwidth=4.0)
+        assert pf_shadow < 0.5 * pf_flat
+
+    def test_diffraction_fills_shadow(self, tall_grid):
+        # unlike ray tracing, the PE puts nonzero field behind the hill
+        hill = lambda x: 60.0 * np.exp(-(((x - 500.0) / 50.0) ** 2))  # noqa: E731
+        solver = PESolver(tall_grid, FREQ, terrain=hill)
+        pf = propagation_factor(solver, 1000.0, tx_height=20.0,
+                                rx_height=20.0, beamwidth=4.0)
+        assert pf > 1e-4
+
+
+class TestInterface:
+    def test_march_validation(self, tall_grid):
+        solver = PESolver(tall_grid, FREQ)
+        with pytest.raises(ValueError):
+            solver.march(np.zeros(10, complex), 0.0, 100.0)
+        ap = gaussian_aperture(tall_grid, 50.0, 4.0)
+        with pytest.raises(ValueError):
+            solver.march(ap, 10.0, 10.0)
+
+    def test_snapshots(self, tall_grid):
+        solver = PESolver(tall_grid, FREQ)
+        ap = gaussian_aperture(tall_grid, 50.0, 4.0)
+        _, snaps = solver.march(ap, 0.0, 40.0, collect_every=5)
+        assert snaps is not None
+        assert snaps.shape == (4, tall_grid.nz)
+
+    def test_field_at_bounds(self, tall_grid):
+        solver = PESolver(tall_grid, FREQ)
+        ap = gaussian_aperture(tall_grid, 50.0, 4.0)
+        u, _ = solver.march(ap, 0.0, 10.0)
+        assert isinstance(solver.field_at(u, 50.0), complex)
+        with pytest.raises(ValueError):
+            solver.field_at(u, 1e9)
+
+    def test_solver_validation(self, tall_grid):
+        with pytest.raises(ValueError):
+            PESolver(tall_grid, FREQ, absorber_fraction=0.95)

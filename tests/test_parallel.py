@@ -1,0 +1,178 @@
+"""Tests for tile plans, execution backends, and streaming strips."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import ConvolutionGenerator
+from repro.core.grid import Grid2D
+from repro.core.inhomogeneous import InhomogeneousGenerator
+from repro.core.rng import BlockNoise
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.fields.parameter_map import PlateLattice
+from repro.parallel.executor import default_workers, generate_tiled
+from repro.parallel.streaming import StripStream, assemble_strips, stream_strips
+from repro.parallel.tiles import Tile, TilePlan
+
+
+@pytest.fixture
+def gen():
+    grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+    return ConvolutionGenerator(
+        GaussianSpectrum(h=1.0, clx=16.0, cly=16.0), grid, truncation=(8, 8)
+    )
+
+
+@pytest.fixture
+def inhom_gen():
+    grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+    lat = PlateLattice.quadrants(
+        256.0, 256.0,
+        GaussianSpectrum(h=0.5, clx=16.0, cly=16.0),
+        ExponentialSpectrum(h=1.5, clx=12.0, cly=12.0),
+        GaussianSpectrum(h=1.0, clx=20.0, cly=20.0),
+        GaussianSpectrum(h=0.5, clx=16.0, cly=16.0),
+        half_width=16.0,
+    )
+    return InhomogeneousGenerator(lat, grid, truncation=(8, 8))
+
+
+class TestTilePlan:
+    def test_tiles_partition_output(self):
+        plan = TilePlan(total_nx=100, total_ny=70, tile_nx=32, tile_ny=33)
+        cover = np.zeros((100, 70), dtype=int)
+        for t in plan:
+            cover[t.x0 : t.x1, t.y0 : t.y1] += 1
+        assert np.all(cover == 1)
+
+    def test_len_and_counts(self):
+        plan = TilePlan(total_nx=100, total_ny=70, tile_nx=32, tile_ny=33)
+        assert plan.n_tiles == (4, 3)
+        assert len(plan) == 12
+
+    def test_origin_offsets(self):
+        plan = TilePlan(total_nx=10, total_ny=10, tile_nx=10, tile_ny=10,
+                        origin_x=-5, origin_y=7)
+        (t,) = plan.tiles()
+        assert (t.x0, t.y0) == (-5, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TilePlan(total_nx=0, total_ny=10, tile_nx=4, tile_ny=4)
+        with pytest.raises(ValueError):
+            TilePlan(total_nx=10, total_ny=10, tile_nx=0, tile_ny=4)
+        with pytest.raises(ValueError):
+            Tile(x0=0, y0=0, nx=0, ny=5)
+
+    def test_halo_overhead_decreases_with_tile_size(self):
+        small = TilePlan(total_nx=128, total_ny=128, tile_nx=16, tile_ny=16)
+        large = TilePlan(total_nx=128, total_ny=128, tile_nx=64, tile_ny=64)
+        k = (17, 17)
+        assert small.halo_overhead(k) > large.halo_overhead(k)
+
+
+class TestBackends:
+    def test_serial_thread_process_identical(self, gen):
+        bn = BlockNoise(seed=2, block=48)
+        plan = TilePlan(total_nx=96, total_ny=80, tile_nx=40, tile_ny=30)
+        s = generate_tiled(gen, bn, plan, backend="serial")
+        t = generate_tiled(gen, bn, plan, backend="thread", workers=3)
+        assert np.array_equal(s.heights, t.heights)
+        p = generate_tiled(gen, bn, plan, backend="process", workers=2)
+        assert np.array_equal(s.heights, p.heights)
+
+    def test_different_plans_agree_to_rounding(self, gen):
+        bn = BlockNoise(seed=3, block=32)
+        a = generate_tiled(
+            gen, bn, TilePlan(total_nx=64, total_ny=64, tile_nx=64, tile_ny=64)
+        )
+        b = generate_tiled(
+            gen, bn, TilePlan(total_nx=64, total_ny=64, tile_nx=17, tile_ny=23)
+        )
+        assert np.allclose(a.heights, b.heights, atol=1e-10)
+
+    def test_inhomogeneous_tiled_matches_window(self, inhom_gen):
+        bn = BlockNoise(seed=5, block=40)
+        plan = TilePlan(total_nx=64, total_ny=64, tile_nx=24, tile_ny=40)
+        tiled = generate_tiled(inhom_gen, bn, plan, backend="serial")
+        oneshot = inhom_gen.generate_window(bn, 0, 0, 64, 64)
+        assert np.allclose(tiled.heights, oneshot.heights, atol=1e-10)
+
+    def test_unknown_backend_rejected(self, gen):
+        plan = TilePlan(total_nx=8, total_ny=8, tile_nx=8, tile_ny=8)
+        with pytest.raises(ValueError):
+            generate_tiled(gen, BlockNoise(seed=1), plan, backend="mpi")
+
+    def test_negative_origin_plan(self, gen):
+        bn = BlockNoise(seed=7)
+        plan = TilePlan(total_nx=32, total_ny=32, tile_nx=16, tile_ny=16,
+                        origin_x=-16, origin_y=-16)
+        s = generate_tiled(gen, bn, plan)
+        assert s.shape == (32, 32)
+        assert s.origin == (-16 * gen.grid.dx, -16 * gen.grid.dy)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestStreaming:
+    def test_strip_stream_iterates(self, gen):
+        bn = BlockNoise(seed=9)
+        stream = StripStream(gen, bn, width_ny=32, strip_nx=16, n_strips=3)
+        strips = list(stream)
+        assert len(strips) == 3
+        assert stream.emitted == 3
+        assert strips[0].shape == (16, 32)
+        # consecutive origins advance by strip_nx * dx
+        assert strips[1].origin[0] == pytest.approx(16 * gen.grid.dx)
+
+    def test_endless_stream_interface(self, gen):
+        bn = BlockNoise(seed=9)
+        stream = StripStream(gen, bn, width_ny=16, strip_nx=8)
+        out = [next(stream) for _ in range(4)]
+        assert len(out) == 4
+
+    def test_stream_strips_clips_last(self, gen):
+        bn = BlockNoise(seed=10)
+        strips = list(stream_strips(gen, bn, total_nx=50, width_ny=16, strip_nx=20))
+        assert [s.shape[0] for s in strips] == [20, 20, 10]
+
+    def test_assembled_equals_oneshot(self, gen):
+        bn = BlockNoise(seed=11)
+        asm = assemble_strips(
+            stream_strips(gen, bn, total_nx=60, width_ny=24, strip_nx=17)
+        )
+        oneshot = gen.generate_window(bn, 0, 0, 60, 24)
+        assert np.allclose(asm.heights, oneshot, atol=1e-10)
+
+    def test_assemble_rejects_gap(self, gen):
+        bn = BlockNoise(seed=12)
+        s1 = next(StripStream(gen, bn, width_ny=8, strip_nx=8, n_strips=1))
+        s3 = next(StripStream(gen, bn, width_ny=8, strip_nx=8, x0=16, n_strips=1))
+        with pytest.raises(ValueError, match="contiguous"):
+            assemble_strips(iter([s1, s3]))
+
+    def test_assemble_rejects_mismatched_width(self, gen):
+        bn = BlockNoise(seed=12)
+        s1 = next(StripStream(gen, bn, width_ny=8, strip_nx=8, n_strips=1))
+        s2 = next(StripStream(gen, bn, width_ny=16, strip_nx=8, x0=8, n_strips=1))
+        with pytest.raises(ValueError, match="y window"):
+            assemble_strips(iter([s1, s2]))
+
+    def test_assemble_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_strips(iter([]))
+
+    def test_validation(self, gen):
+        with pytest.raises(ValueError):
+            StripStream(gen, BlockNoise(seed=1), width_ny=0, strip_nx=4)
+        with pytest.raises(ValueError):
+            list(stream_strips(gen, BlockNoise(seed=1), total_nx=0,
+                               width_ny=4, strip_nx=4))
+
+    def test_inhomogeneous_streaming(self, inhom_gen):
+        bn = BlockNoise(seed=13)
+        asm = assemble_strips(
+            stream_strips(inhom_gen, bn, total_nx=64, width_ny=64, strip_nx=20)
+        )
+        oneshot = inhom_gen.generate_window(bn, 0, 0, 64, 64)
+        assert np.allclose(asm.heights, oneshot.heights, atol=1e-10)

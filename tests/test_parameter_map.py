@@ -1,0 +1,178 @@
+"""Unit tests for blend layouts (plate lattice eqns 37-39, layered regions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.fields.parameter_map import (
+    LayeredLayout,
+    PlateLattice,
+    RegionSpec,
+    WeightMap,
+)
+from repro.fields.regions import Circle, Rectangle
+
+
+@pytest.fixture
+def s1():
+    return GaussianSpectrum(h=1.0, clx=10.0, cly=10.0)
+
+
+@pytest.fixture
+def s2():
+    return ExponentialSpectrum(h=2.0, clx=20.0, cly=20.0)
+
+
+class TestWeightMap:
+    def test_validation_shapes(self, s1):
+        with pytest.raises(ValueError):
+            WeightMap(spectra=[s1], weights=np.ones((2, 4, 4)))
+
+    def test_validate_partition(self, s1, s2):
+        w = np.full((2, 4, 4), 0.5)
+        WeightMap(spectra=[s1, s2], weights=w).validate()
+        w2 = np.full((2, 4, 4), 0.6)
+        with pytest.raises(ValueError):
+            WeightMap(spectra=[s1, s2], weights=w2).validate()
+
+    def test_validate_bounds(self, s1, s2):
+        w = np.stack([np.full((4, 4), 1.5), np.full((4, 4), -0.5)])
+        with pytest.raises(ValueError):
+            WeightMap(spectra=[s1, s2], weights=w).validate()
+
+    def test_dominant_region(self, s1, s2):
+        w = np.zeros((2, 2, 2))
+        w[0, 0, :] = 1.0
+        w[1, 1, :] = 1.0
+        wm = WeightMap(spectra=[s1, s2], weights=w)
+        dom = wm.dominant_region()
+        assert dom[0, 0] == 0 and dom[1, 0] == 1
+
+
+class TestPlateLattice:
+    def test_edge_validation(self, s1):
+        with pytest.raises(ValueError):
+            PlateLattice([0.0, 0.0, 10.0], [0.0, 10.0], [[s1], [s1]])
+        with pytest.raises(ValueError):
+            PlateLattice([0.0], [0.0, 10.0], [[s1]])
+
+    def test_spectra_shape_validation(self, s1):
+        with pytest.raises(ValueError):
+            PlateLattice([0.0, 5.0, 10.0], [0.0, 10.0], [[s1]])
+
+    def test_negative_half_width_rejected(self, s1):
+        with pytest.raises(ValueError):
+            PlateLattice([0.0, 10.0], [0.0, 10.0], [[s1]], half_width=-1.0)
+
+    def test_partition_of_unity_hard_edges(self, s1, s2):
+        grid = Grid2D(nx=16, ny=16, lx=32.0, ly=32.0)
+        lat = PlateLattice([0.0, 16.0, 32.0], [0.0, 32.0], [[s1], [s2]])
+        wm = lat.weight_map(grid)
+        wm.validate()
+        assert np.allclose(wm.weights.sum(axis=0), 1.0)
+
+    def test_partition_of_unity_with_transitions(self, s1, s2):
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        lat = PlateLattice(
+            [0.0, 32.0, 64.0], [0.0, 32.0, 64.0],
+            [[s1, s2], [s2, s1]], half_width=8.0,
+        )
+        wm = lat.weight_map(grid)
+        wm.validate()
+
+    def test_hard_edge_assignment(self, s1, s2):
+        grid = Grid2D(nx=8, ny=8, lx=32.0, ly=32.0)  # dx = 4
+        lat = PlateLattice([0.0, 16.0, 32.0], [0.0, 32.0], [[s1], [s2]])
+        wm = lat.weight_map(grid)
+        # x = 0..12 -> plate 0; x = 16..28 -> plate 1
+        assert np.all(wm.weights[0][grid.x < 16.0, :] == 1.0)
+        assert np.all(wm.weights[1][grid.x >= 16.0, :] == 1.0)
+
+    def test_transition_is_linear_across_interior_edge(self, s1, s2):
+        grid = Grid2D(nx=64, ny=4, lx=64.0, ly=4.0)
+        lat = PlateLattice([0.0, 32.0, 64.0], [0.0, 4.0], [[s1], [s2]],
+                           half_width=8.0)
+        wm = lat.weight_map(grid)
+        x = grid.x
+        band = (x > 24.0) & (x < 40.0)
+        expected = np.clip((x[band] - 24.0) / 16.0, 0, 1)
+        assert np.allclose(wm.weights[1][band, 0], expected)
+
+    def test_domain_ends_have_no_ramp(self, s1, s2):
+        grid = Grid2D(nx=32, ny=4, lx=64.0, ly=4.0)
+        lat = PlateLattice([0.0, 32.0, 64.0], [0.0, 4.0], [[s1], [s2]],
+                           half_width=30.0)
+        wm = lat.weight_map(grid)
+        assert wm.weights[0][0, 0] == pytest.approx(1.0)
+
+    def test_anisotropic_half_width(self, s1, s2):
+        grid = Grid2D(nx=16, ny=16, lx=32.0, ly=32.0)
+        lat = PlateLattice(
+            [0.0, 16.0, 32.0], [0.0, 16.0, 32.0],
+            [[s1, s2], [s2, s1]], half_width=(4.0, 8.0),
+        )
+        wm = lat.weight_map(grid)
+        wm.validate()
+
+    def test_quadrants_constructor(self, s1, s2):
+        lat = PlateLattice.quadrants(64.0, 64.0, s1, s2, s1, s2, half_width=4.0)
+        assert lat.n_plates == (2, 2)
+        grid = Grid2D(nx=16, ny=16, lx=64.0, ly=64.0)
+        wm = lat.weight_map(grid)
+        # Q1 spectrum rules the (high-x, high-y) corner
+        dom = wm.dominant_region()
+        idx_q1 = wm.spectra.index(s1)
+        assert dom[-1, -1] in [i for i, s in enumerate(wm.spectra) if s == s1]
+
+    def test_origin_offset(self, s1, s2):
+        # weights evaluated with an origin shift must match a larger grid
+        grid = Grid2D(nx=32, ny=8, lx=64.0, ly=16.0)
+        lat = PlateLattice([0.0, 32.0, 64.0], [0.0, 16.0], [[s1], [s2]],
+                           half_width=6.0)
+        wm_full = lat.weight_map(grid)
+        sub = grid.with_shape(16, 8)
+        wm_sub = lat.weight_map(sub, origin=(32.0, 0.0))
+        assert np.allclose(wm_sub.weights, wm_full.weights[:, 16:, :])
+
+
+class TestLayeredLayout:
+    def test_background_only(self, s1):
+        grid = Grid2D(nx=8, ny=8, lx=8.0, ly=8.0)
+        wm = LayeredLayout(s1, []).weight_map(grid)
+        assert wm.n_regions == 1
+        assert np.allclose(wm.weights, 1.0)
+
+    def test_circle_patch(self, s1, s2):
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        lay = LayeredLayout(
+            s1, [RegionSpec(Circle(32.0, 32.0, 16.0), s2, half_width=4.0)]
+        )
+        wm = lay.weight_map(grid)
+        wm.validate()
+        # centre is pure patch; far corner pure background
+        ic = 16
+        assert wm.weights[1][ic, ic] == pytest.approx(1.0)
+        assert wm.weights[0][0, 0] == pytest.approx(1.0)
+
+    def test_overlapping_patches_renormalised(self, s1, s2):
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        lay = LayeredLayout(
+            s1,
+            [
+                RegionSpec(Circle(28.0, 32.0, 12.0), s2, half_width=6.0),
+                RegionSpec(Circle(36.0, 32.0, 12.0), s2, half_width=6.0),
+            ],
+        )
+        wm = lay.weight_map(grid)
+        wm.validate()
+
+    def test_rectangle_patch_hard_edge(self, s1, s2):
+        grid = Grid2D(nx=16, ny=16, lx=16.0, ly=16.0)
+        lay = LayeredLayout(
+            s1, [RegionSpec(Rectangle(4.0, 12.0, 4.0, 12.0), s2, half_width=0.0)]
+        )
+        wm = lay.weight_map(grid)
+        wm.validate()
+        assert wm.weights[1][8, 8] == 1.0
+        assert wm.weights[1][0, 0] == 0.0

@@ -1,0 +1,163 @@
+"""Tests for the point-oriented method (paper eqns 40-46)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.inhomogeneous import (
+    InhomogeneousGenerator,
+    PointOrientedLayout,
+    PointSpec,
+    point_oriented_weights,
+)
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+
+
+@pytest.fixture
+def sa():
+    return GaussianSpectrum(h=1.0, clx=10.0, cly=10.0)
+
+
+@pytest.fixture
+def sb():
+    return ExponentialSpectrum(h=2.0, clx=10.0, cly=10.0)
+
+
+class TestWeights:
+    def test_single_point_all_ones(self):
+        w = point_oriented_weights(
+            np.array([0.0]), np.array([0.0]),
+            np.array([1.0, 5.0]), np.array([0.0, 2.0]), half_width=3.0,
+        )
+        assert np.allclose(w, 1.0)
+
+    def test_columns_sum_to_one(self):
+        rng = np.random.default_rng(4)
+        px, py = rng.uniform(0, 100, 6), rng.uniform(0, 100, 6)
+        qx, qy = rng.uniform(0, 100, 200), rng.uniform(0, 100, 200)
+        w = point_oriented_weights(px, py, qx, qy, half_width=20.0)
+        assert np.allclose(w.sum(axis=0), 1.0)
+        assert np.all(w >= 0.0) and np.all(w <= 1.0)
+
+    def test_nearest_dominates(self):
+        # eqn 45 consequence: the nearest point's weight >= 1/2
+        rng = np.random.default_rng(5)
+        px, py = rng.uniform(0, 100, 5), rng.uniform(0, 100, 5)
+        qx, qy = rng.uniform(0, 100, 300), rng.uniform(0, 100, 300)
+        w = point_oriented_weights(px, py, qx, qy, half_width=30.0)
+        d2 = (px[:, None] - qx) ** 2 + (py[:, None] - qy) ** 2
+        nearest = np.argmin(d2, axis=0)
+        w_near = w[nearest, np.arange(qx.size)]
+        assert np.all(w_near >= 0.5 - 1e-12)
+
+    def test_far_from_bisectors_is_pure(self):
+        # two points far apart: a query close to one of them is pure
+        w = point_oriented_weights(
+            np.array([0.0, 100.0]), np.array([0.0, 0.0]),
+            np.array([1.0]), np.array([0.0]), half_width=5.0,
+        )
+        assert w[0, 0] == pytest.approx(1.0)
+        assert w[1, 0] == pytest.approx(0.0)
+
+    def test_on_bisector_equal_blend(self):
+        # tau = 0 on the bisector: eqn 44 gives 1/(2*1), remainder 1/2
+        w = point_oriented_weights(
+            np.array([0.0, 10.0]), np.array([0.0, 0.0]),
+            np.array([5.0]), np.array([3.0]), half_width=4.0,
+        )
+        assert w[0, 0] == pytest.approx(0.5)
+        assert w[1, 0] == pytest.approx(0.5)
+
+    def test_linear_fade_in_tau(self):
+        # query sliding from the bisector towards point 0: competitor
+        # weight decays linearly from 1/2 to 0 at tau = T (eqns 43-44)
+        px = np.array([0.0, 10.0])
+        py = np.array([0.0, 0.0])
+        T = 3.0
+        xs = np.array([5.0, 4.0, 3.5, 2.0, 1.0])  # tau = 0,1,1.5,3,4
+        w = point_oriented_weights(px, py, xs, np.zeros_like(xs), half_width=T)
+        expected = np.array([0.5, (1 - 1 / 3) / 2, 0.25, 0.0, 0.0])
+        assert np.allclose(w[1], expected)
+
+    def test_zero_half_width_is_voronoi(self):
+        rng = np.random.default_rng(6)
+        px, py = rng.uniform(0, 50, 4), rng.uniform(0, 50, 4)
+        qx, qy = rng.uniform(0, 50, 100), rng.uniform(0, 50, 100)
+        w = point_oriented_weights(px, py, qx, qy, half_width=0.0)
+        assert set(np.unique(w)) <= {0.0, 1.0}
+        d2 = (px[:, None] - qx) ** 2 + (py[:, None] - qy) ** 2
+        nearest = np.argmin(d2, axis=0)
+        assert np.all(w[nearest, np.arange(100)] == 1.0)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            point_oriented_weights(
+                np.array([1.0, 1.0]), np.array([2.0, 2.0]),
+                np.array([0.0]), np.array([0.0]), half_width=1.0,
+            )
+
+    def test_negative_half_width_rejected(self):
+        with pytest.raises(ValueError):
+            point_oriented_weights(
+                np.array([0.0]), np.array([0.0]),
+                np.array([1.0]), np.array([1.0]), half_width=-1.0,
+            )
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            point_oriented_weights(
+                np.array([]), np.array([]),
+                np.array([1.0]), np.array([1.0]), half_width=1.0,
+            )
+
+
+class TestLayout:
+    def test_weight_map_partition(self, sa, sb):
+        grid = Grid2D(nx=32, ny=32, lx=128.0, ly=128.0)
+        layout = PointOrientedLayout(
+            [PointSpec(30, 30, sa), PointSpec(90, 90, sb), PointSpec(30, 90, sa)],
+            half_width=20.0,
+        )
+        wm = layout.weight_map(grid)
+        wm.validate()
+        # points sharing a spectrum merge into one blend field
+        assert wm.n_regions == 2
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            PointOrientedLayout([], half_width=1.0)
+
+    def test_origin_offset_consistency(self, sa, sb):
+        grid = Grid2D(nx=32, ny=16, lx=64.0, ly=32.0)
+        layout = PointOrientedLayout(
+            [PointSpec(10, 10, sa), PointSpec(50, 20, sb)], half_width=12.0
+        )
+        wm_full = layout.weight_map(grid)
+        sub = grid.with_shape(16, 16)
+        wm_sub = layout.weight_map(sub, origin=(32.0, 0.0))
+        assert np.allclose(wm_sub.weights, wm_full.weights[:, 16:, :])
+
+
+class TestGeneration:
+    def test_fig4_style_generation(self, sa, sb):
+        grid = Grid2D(nx=96, ny=96, lx=384.0, ly=384.0)
+        pts = [
+            PointSpec(192 + 120 * np.cos(2 * np.pi * i / 5),
+                      192 + 120 * np.sin(2 * np.pi * i / 5), sa)
+            for i in range(5)
+        ] + [PointSpec(192.0, 192.0, sb)]
+        layout = PointOrientedLayout(pts, half_width=40.0)
+        gen = InhomogeneousGenerator(layout, grid, truncation=0.999)
+        s = gen.generate(seed=17)
+        assert s.shape == grid.shape
+        # centre realises sb's larger h; ring region realises sa's
+        centre = s.heights[40:56, 40:56]
+        assert centre.std() > 1.0  # sb has h = 2
+
+    def test_voronoi_limit_regions_pure(self, sa, sb):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        layout = PointOrientedLayout(
+            [PointSpec(64, 128, sa), PointSpec(192, 128, sb)], half_width=0.0
+        )
+        wm = layout.weight_map(grid)
+        assert set(np.unique(wm.weights)) <= {0.0, 1.0}

@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These encode the paper's mathematical structure as properties that must
+hold for *any* valid parameters, not just the fixture values:
+
+* spectra are non-negative, even, and integrate to h^2 (via the discrete
+  weight sum on an adequate grid);
+* autocorrelations peak at zero lag with value h^2 and are even;
+* weighting arrays fold symmetrically; kernels are symmetric and carry
+  the variance as energy;
+* Hermitian random arrays stay Hermitian under the construction;
+* plate/point blend weights always form a partition of unity in [0, 1];
+* the convolution and direct DFT methods agree for any spectrum/noise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.convolution import convolve_full
+from repro.core.direct_dft import (
+    direct_surface_from_array,
+    hermitian_array_from_noise,
+    hermitian_random_array,
+    is_hermitian,
+)
+from repro.core.grid import Grid2D, folded_frequency_index
+from repro.core.inhomogeneous import point_oriented_weights
+from repro.core.rng import BlockNoise, box_muller
+from repro.core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    PowerLawSpectrum,
+)
+from repro.core.weights import build_kernel, weight_array
+from repro.fields.transition import cosine, linear, ramp_weight, smoothstep
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+heights = st.floats(min_value=0.05, max_value=10.0)
+lengths = st.floats(min_value=1.0, max_value=50.0)
+orders = st.floats(min_value=1.1, max_value=8.0)
+
+
+@st.composite
+def spectra(draw):
+    kind = draw(st.sampled_from(["gaussian", "power_law", "exponential"]))
+    h = draw(heights)
+    clx = draw(lengths)
+    cly = draw(lengths)
+    if kind == "gaussian":
+        return GaussianSpectrum(h=h, clx=clx, cly=cly)
+    if kind == "exponential":
+        return ExponentialSpectrum(h=h, clx=clx, cly=cly)
+    return PowerLawSpectrum(h=h, clx=clx, cly=cly, order=draw(orders))
+
+
+@st.composite
+def grids(draw):
+    nx = draw(st.sampled_from([8, 16, 32]))
+    ny = draw(st.sampled_from([8, 16, 32]))
+    dx = draw(st.floats(min_value=0.5, max_value=4.0))
+    dy = draw(st.floats(min_value=0.5, max_value=4.0))
+    return Grid2D(nx=nx, ny=ny, lx=nx * dx, ly=ny * dy)
+
+
+# --------------------------------------------------------------------------
+# Spectrum properties
+# --------------------------------------------------------------------------
+@given(spec=spectra(), kx=st.floats(-5, 5), ky=st.floats(-5, 5))
+def test_spectrum_nonnegative_and_even(spec, kx, ky):
+    w = float(spec.spectrum(kx, ky))
+    assert w >= 0.0
+    assert w == pytest.approx(float(spec.spectrum(-kx, -ky)), rel=1e-12)
+
+
+@given(spec=spectra(), x=st.floats(-100, 100), y=st.floats(-100, 100))
+def test_acf_bounded_by_variance_and_even(spec, x, y):
+    rho = float(spec.autocorrelation(x, y))
+    assert rho <= spec.variance + 1e-9 * spec.variance
+    assert rho == pytest.approx(float(spec.autocorrelation(-x, -y)), rel=1e-9,
+                                abs=1e-12)
+
+
+@given(spec=spectra())
+def test_acf_peak_at_zero(spec):
+    assert float(spec.autocorrelation(0.0, 0.0)) == pytest.approx(
+        spec.variance, rel=1e-9
+    )
+
+
+# --------------------------------------------------------------------------
+# Weight/kernel properties
+# --------------------------------------------------------------------------
+@given(spec=spectra(), grid=grids())
+@settings(max_examples=40, deadline=None)
+def test_weight_array_fold_symmetry(spec, grid):
+    w = weight_array(spec, grid)
+    assert np.all(w >= 0)
+    assert np.allclose(w[1:, :], w[1:, :][::-1, :], rtol=1e-12)
+    assert np.allclose(w[:, 1:], w[:, 1:][:, ::-1], rtol=1e-12)
+
+
+@given(spec=spectra(), grid=grids())
+@settings(max_examples=30, deadline=None)
+def test_kernel_energy_equals_weight_sum(spec, grid):
+    k = build_kernel(spec, grid)
+    assert k.energy == pytest.approx(float(weight_array(spec, grid).sum()),
+                                     rel=1e-9)
+
+
+@given(n=st.integers(1, 64))
+def test_folded_index_involution(n):
+    f = folded_frequency_index(n)
+    assert f[0] == 0
+    assert np.all(f <= n // 2)
+    # folding is symmetric: f[m] == f[n - m] for m in 1..n-1
+    if n > 1:
+        assert np.array_equal(f[1:], f[1:][::-1])
+
+
+# --------------------------------------------------------------------------
+# RNG properties
+# --------------------------------------------------------------------------
+@given(
+    u1=st.floats(0.0, 2 * np.pi),
+    u2=st.floats(min_value=1e-10, max_value=1.0),
+)
+def test_box_muller_finite(u1, u2):
+    x = float(box_muller(u1, u2))
+    assert np.isfinite(x)
+    # |X| <= sqrt(-2 log u2)
+    assert abs(x) <= np.sqrt(-2.0 * np.log(u2)) + 1e-12
+
+
+@given(
+    seed=st.integers(0, 2**32),
+    x0=st.integers(-100, 100),
+    y0=st.integers(-100, 100),
+    nx=st.integers(1, 20),
+    ny=st.integers(1, 20),
+    block=st.sampled_from([4, 16, 64]),
+)
+@settings(max_examples=25, deadline=None)
+def test_block_noise_window_consistency(seed, x0, y0, nx, ny, block):
+    bn = BlockNoise(seed=seed, block=block)
+    full = bn.window(x0 - 3, y0 - 3, nx + 6, ny + 6)
+    sub = bn.window(x0, y0, nx, ny)
+    assert np.array_equal(full[3 : 3 + nx, 3 : 3 + ny], sub)
+
+
+# --------------------------------------------------------------------------
+# Hermitian / synthesis properties
+# --------------------------------------------------------------------------
+@given(grid=grids(), seed=st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_hermitian_construction_invariant(grid, seed):
+    u = hermitian_random_array(grid, seed=seed)
+    assert is_hermitian(u)
+
+
+@given(spec=spectra(), seed=st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_methods_equivalent_any_spectrum(spec, seed):
+    grid = Grid2D(nx=16, ny=16, lx=32.0, ly=32.0)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(grid.shape)
+    f_conv = convolve_full(spec, grid, noise=x)
+    f_dir = direct_surface_from_array(spec, grid, hermitian_array_from_noise(x))
+    scale = max(float(np.max(np.abs(f_conv))), 1e-12)
+    assert np.max(np.abs(f_conv - f_dir)) < 1e-9 * scale
+
+
+# --------------------------------------------------------------------------
+# Transition / blending properties
+# --------------------------------------------------------------------------
+@given(
+    sd=st.lists(st.floats(-100, 100), min_size=1, max_size=32),
+    t=st.floats(min_value=0.01, max_value=50.0),
+    profile=st.sampled_from([linear, smoothstep, cosine]),
+)
+def test_ramp_weight_bounds_and_complement(sd, t, profile):
+    # t > 0: at a hard edge (t == 0) the boundary point belongs to both a
+    # region and its complement by the closed-membership convention, so
+    # the complement identity intentionally does not hold there.
+    sd_arr = np.asarray(sd)
+    w = ramp_weight(sd_arr, t, profile)
+    assert np.all((w >= 0.0) & (w <= 1.0))
+    w_comp = ramp_weight(-sd_arr, t, profile)
+    # all three shipped profiles are antisymmetric about t = 1/2
+    assert np.allclose(w + w_comp, 1.0, atol=1e-9)
+
+
+@given(
+    n_points=st.integers(2, 6),
+    n_queries=st.integers(1, 40),
+    t=st.floats(0.0, 40.0),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_point_oriented_weights_partition(n_points, n_queries, t, seed):
+    rng = np.random.default_rng(seed)
+    px = rng.uniform(0, 100, n_points)
+    py = rng.uniform(0, 100, n_points)
+    assume(
+        np.min(
+            np.hypot(px[:, None] - px[None, :], py[:, None] - py[None, :])
+            + np.eye(n_points) * 1e9
+        )
+        > 1e-6
+    )
+    qx = rng.uniform(-20, 120, n_queries)
+    qy = rng.uniform(-20, 120, n_queries)
+    w = point_oriented_weights(px, py, qx, qy, half_width=t)
+    assert w.shape == (n_points, n_queries)
+    assert np.all((w >= -1e-12) & (w <= 1.0 + 1e-12))
+    assert np.allclose(w.sum(axis=0), 1.0, atol=1e-9)
+
+
+@given(seed=st.integers(0, 10_000), t=st.floats(0.5, 30.0))
+@settings(max_examples=30, deadline=None)
+def test_point_oriented_nearest_weight_at_least_half(seed, t):
+    rng = np.random.default_rng(seed)
+    px, py = rng.uniform(0, 100, 4), rng.uniform(0, 100, 4)
+    assume(
+        np.min(np.hypot(px[:, None] - px, py[:, None] - py) + np.eye(4) * 1e9)
+        > 1.0
+    )
+    qx, qy = rng.uniform(0, 100, 25), rng.uniform(0, 100, 25)
+    w = point_oriented_weights(px, py, qx, qy, half_width=t)
+    d2 = (px[:, None] - qx) ** 2 + (py[:, None] - qy) ** 2
+    nearest = np.argmin(d2, axis=0)
+    assert np.all(w[nearest, np.arange(25)] >= 0.5 - 1e-9)

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.oned import (
+    Exponential1D,
+    Gaussian1D,
+    Matern1D,
+    build_kernel_1d,
+    weight_vector,
+)
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.core.spectra_ext import CompositeSpectrum, RotatedSpectrum
+from repro.core.transform import gaussian_to_marginal
+from repro.fields.continuous import level_weights
+from repro.scattering.kirchhoff import (
+    coherent_reflection_coefficient,
+    rayleigh_parameter,
+)
+from repro.scattering.monte_carlo import tukey_taper
+from repro.stats.extremes import exceedance_curve
+
+heights = st.floats(min_value=0.05, max_value=5.0)
+lengths = st.floats(min_value=1.0, max_value=40.0)
+
+
+@st.composite
+def spectra_1d(draw):
+    kind = draw(st.sampled_from(["gaussian", "exponential", "matern"]))
+    h = draw(heights)
+    cl = draw(lengths)
+    if kind == "gaussian":
+        return Gaussian1D(h=h, cl=cl)
+    if kind == "exponential":
+        return Exponential1D(h=h, cl=cl)
+    return Matern1D(h=h, cl=cl, order=draw(st.floats(0.6, 6.0)))
+
+
+# ---------------------------------------------------------------------------
+# 1D spectra / kernels
+# ---------------------------------------------------------------------------
+@given(spec=spectra_1d(), k=st.floats(-10.0, 10.0))
+def test_1d_spectrum_nonnegative_even(spec, k):
+    w = float(spec.spectrum(np.asarray(k)))
+    assert w >= 0.0
+    assert w == pytest.approx(float(spec.spectrum(np.asarray(-k))), rel=1e-12)
+
+
+@given(spec=spectra_1d(), x=st.floats(-200.0, 200.0))
+def test_1d_acf_bounded_and_even(spec, x):
+    rho = float(spec.autocorrelation(np.asarray(x)))
+    assert rho <= spec.variance * (1.0 + 1e-9)
+    assert rho == pytest.approx(float(spec.autocorrelation(np.asarray(-x))),
+                                rel=1e-9, abs=1e-12)
+
+
+@given(spec=spectra_1d(), n=st.sampled_from([64, 256, 1024]))
+@settings(max_examples=30, deadline=None)
+def test_1d_kernel_energy_equals_weight_sum(spec, n):
+    length = float(n)
+    w = weight_vector(spec, n, length)
+    k = build_kernel_1d(spec, n, length)
+    assert k.energy == pytest.approx(float(w.sum()), rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Extended 2D spectra
+# ---------------------------------------------------------------------------
+@given(
+    h1=heights, h2=heights, cl1=lengths, cl2=lengths,
+    kx=st.floats(-3.0, 3.0), ky=st.floats(-3.0, 3.0),
+)
+def test_composite_additivity(h1, h2, cl1, cl2, kx, ky):
+    a = GaussianSpectrum(h=h1, clx=cl1, cly=cl1)
+    b = ExponentialSpectrum(h=h2, clx=cl2, cly=cl2)
+    comp = CompositeSpectrum([a, b])
+    assert float(comp.spectrum(kx, ky)) == pytest.approx(
+        float(a.spectrum(kx, ky)) + float(b.spectrum(kx, ky)), rel=1e-12
+    )
+    assert comp.variance == pytest.approx(h1 * h1 + h2 * h2, rel=1e-12)
+
+
+@given(
+    h=heights, clx=lengths, cly=lengths,
+    angle=st.floats(-np.pi, np.pi),
+    kx=st.floats(-2.0, 2.0), ky=st.floats(-2.0, 2.0),
+)
+def test_rotated_even_and_variance_preserving(h, clx, cly, angle, kx, ky):
+    rot = RotatedSpectrum(GaussianSpectrum(h=h, clx=clx, cly=cly), angle)
+    w = float(rot.spectrum(kx, ky))
+    assert w >= 0.0
+    # even in each axis by construction (the symmetrised form)
+    assert w == pytest.approx(float(rot.spectrum(-kx, ky)), rel=1e-9,
+                              abs=1e-15)
+    assert w == pytest.approx(float(rot.spectrum(kx, -ky)), rel=1e-9,
+                              abs=1e-15)
+    assert float(rot.autocorrelation(0.0, 0.0)) == pytest.approx(
+        h * h, rel=1e-9
+    )
+
+
+# ---------------------------------------------------------------------------
+# Continuous-layout level weights
+# ---------------------------------------------------------------------------
+@given(
+    n_levels=st.integers(1, 6),
+    values=st.lists(st.floats(0.1, 200.0), min_size=1, max_size=32),
+    seed=st.integers(0, 10_000),
+)
+def test_level_weights_partition_and_reconstruction(n_levels, values, seed):
+    rng = np.random.default_rng(seed)
+    levels = np.sort(rng.uniform(1.0, 100.0, n_levels))
+    assume(np.all(np.diff(levels) > 1e-6))
+    v = np.asarray(values)
+    idx, wl, wh = level_weights(v, levels)
+    assert np.all((wl >= 0) & (wl <= 1) & (wh >= 0) & (wh <= 1))
+    assert np.allclose(wl + wh, 1.0)
+    upper = np.minimum(idx + 1, levels.size - 1)
+    recon = wl * levels[idx] + wh * levels[upper]
+    clamped = np.clip(v, levels[0], levels[-1])
+    assert np.allclose(recon, clamped, rtol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Transforms
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(0, 1000), power=st.floats(0.3, 3.0))
+@settings(max_examples=30, deadline=None)
+def test_marginal_transform_monotone_in_field(seed, power):
+    rng = np.random.default_rng(seed)
+    f = rng.standard_normal(512)
+    t = gaussian_to_marginal(f, lambda u: u**power)
+    order = np.argsort(f)
+    assert np.all(np.diff(t[order]) >= -1e-12)
+    assert np.all((t >= 0.0) & (t <= 1.0))
+
+
+# ---------------------------------------------------------------------------
+# Scattering identities
+# ---------------------------------------------------------------------------
+@given(
+    k=st.floats(0.5, 20.0), h=st.floats(0.0, 2.0),
+    ti=st.floats(0.0, 1.2), ts=st.floats(-1.2, 1.2),
+)
+def test_rayleigh_parameter_nonnegative_symmetric(k, h, ti, ts):
+    g = float(rayleigh_parameter(k, h, ti, np.asarray(ts)))
+    assert g >= 0.0
+    g_swap = float(rayleigh_parameter(k, h, ts, np.asarray(ti)))
+    assert g == pytest.approx(g_swap, rel=1e-12)
+
+
+@given(k=st.floats(0.5, 20.0), h=st.floats(0.0, 2.0), ti=st.floats(0.0, 1.2))
+def test_coherent_coefficient_in_unit_interval(k, h, ti):
+    r = coherent_reflection_coefficient(k, h, ti)
+    assert 0.0 <= r <= 1.0
+
+
+@given(n=st.integers(2, 512), alpha=st.floats(0.0, 1.0))
+def test_tukey_taper_bounds(n, alpha):
+    w = tukey_taper(n, alpha)
+    assert w.shape == (n,)
+    assert np.all((w >= -1e-12) & (w <= 1.0 + 1e-12))
+    assert np.allclose(w, w[::-1])  # symmetric
+
+
+# ---------------------------------------------------------------------------
+# Extremes
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(0, 1000), n=st.integers(10, 2000))
+@settings(max_examples=30, deadline=None)
+def test_exceedance_monotone_and_bounded(seed, n):
+    rng = np.random.default_rng(seed)
+    z, p = exceedance_curve(rng.standard_normal(n))
+    assert np.all((p >= 0.0) & (p <= 1.0))
+    assert np.all(np.diff(p) <= 1e-12)

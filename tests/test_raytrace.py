@@ -1,0 +1,132 @@
+"""Tests for the discrete ray tracer (paper refs [11]-[12])."""
+
+import numpy as np
+import pytest
+
+from repro.core.oned import Gaussian1D, ProfileGenerator
+from repro.propagation.raytrace import (
+    communication_distance,
+    path_gain_db,
+    trace_rays,
+)
+
+
+@pytest.fixture
+def flat():
+    x = np.linspace(0.0, 1000.0, 1001)
+    return x, np.zeros_like(x)
+
+
+@pytest.fixture
+def hill():
+    x = np.linspace(0.0, 1000.0, 1001)
+    z = 30.0 * np.exp(-(((x - 500.0) / 40.0) ** 2))
+    return x, z
+
+
+class TestTraceRays:
+    def test_free_space_direct_only(self, flat):
+        # high antennas, few bounces allowed: the direct ray dominates
+        x, z = flat
+        res = trace_rays(x, z, (100.0, 200.0), (900.0, 200.0), 300e6,
+                         n_rays=181, max_bounces=1)
+        assert not res.direct_blocked
+        d = 800.0
+        assert abs(res.field) * np.sqrt(d) == pytest.approx(1.0, abs=0.6)
+
+    def test_two_ray_interference_flat_ground(self, flat):
+        x, z = flat
+        res = trace_rays(x, z, (100.0, 10.0), (900.0, 10.0), 300e6,
+                         n_rays=2001, max_bounces=2)
+        assert res.n_captured >= 2  # direct + ground bounce
+        # interference: gain differs from the direct-only value
+        gain = path_gain_db(res, 800.0)
+        assert -30.0 < gain < 7.0
+
+    def test_hill_blocks_direct(self, hill):
+        x, z = hill
+        res = trace_rays(x, z, (100.0, 5.0), (900.0, 5.0), 300e6,
+                         n_rays=501, max_bounces=2)
+        assert res.direct_blocked
+        # ray tracing has no diffraction: deep shadow
+        assert path_gain_db(res, 800.0) < -60.0
+
+    def test_direct_clears_above_hill(self, hill):
+        x, z = hill
+        res = trace_rays(x, z, (100.0, 50.0), (900.0, 50.0), 300e6,
+                         n_rays=181, max_bounces=1)
+        assert not res.direct_blocked
+
+    def test_reflection_coefficient_scales_bounce(self, flat):
+        x, z = flat
+        kw = dict(n_rays=2001, max_bounces=2, frequency_hz=300e6)
+        full = trace_rays(x, z, (100.0, 10.0), (900.0, 10.0),
+                          reflection_coefficient=-1.0, **kw)
+        weak = trace_rays(x, z, (100.0, 10.0), (900.0, 10.0),
+                          reflection_coefficient=-0.1, **kw)
+        # with a weak reflection the field is closer to the direct ray
+        d = 800.0
+        assert abs(abs(weak.field) * np.sqrt(d) - 1.0) < \
+            abs(abs(full.field) * np.sqrt(d) - 1.0) + 0.2
+
+    def test_roughness_attenuates_bounce(self, flat):
+        x, z = flat
+        kw = dict(n_rays=2001, max_bounces=2, frequency_hz=300e6)
+        smooth = trace_rays(x, z, (100.0, 10.0), (900.0, 10.0),
+                            roughness_std=0.0, **kw)
+        rough = trace_rays(x, z, (100.0, 10.0), (900.0, 10.0),
+                           roughness_std=10.0, **kw)
+        d = 800.0
+        # rough ground kills the bounce: field -> direct ray only
+        assert abs(abs(rough.field) * np.sqrt(d) - 1.0) < 0.25
+        assert abs(smooth.field) != pytest.approx(abs(rough.field), rel=1e-3)
+
+    def test_validation(self, flat):
+        x, z = flat
+        with pytest.raises(ValueError):
+            trace_rays(x[:1], z[:1], (0, 1), (1, 1), 300e6)
+        with pytest.raises(ValueError):
+            trace_rays(x[::-1], z, (0, 1), (1, 1), 300e6)
+        with pytest.raises(ValueError):
+            trace_rays(x, z, (0, 1), (1, 1), 300e6, capture_radius=0.0)
+
+
+class TestPathGain:
+    def test_reference_value(self):
+        from repro.propagation.raytrace import RayTraceResult
+
+        res = RayTraceResult(field=1.0 / np.sqrt(500.0) + 0j, n_captured=1,
+                             n_launched=1, direct_blocked=False)
+        assert path_gain_db(res, 500.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        from repro.propagation.raytrace import RayTraceResult
+
+        res = RayTraceResult(field=0j, n_captured=0, n_launched=1,
+                             direct_blocked=True)
+        with pytest.raises(ValueError):
+            path_gain_db(res, 0.0)
+
+
+class TestCommunicationDistance:
+    def test_flat_reaches_far(self, flat):
+        x, z = flat
+        d = communication_distance(x, z, 300e6, tx_height=5.0, rx_height=2.0,
+                                   step=100.0, n_rays=361, max_bounces=1)
+        assert d >= 800.0
+
+    def test_rough_shortens_distance(self):
+        # the qualitative result of paper ref [12]: rougher surface,
+        # shorter communication distance
+        x = np.linspace(0.0, 2000.0, 2001)
+        gen = ProfileGenerator(Gaussian1D(h=4.0, cl=30.0), 4096, 4096.0)
+        z_rough = gen.generate(seed=6)[:2001]
+        d_flat = communication_distance(
+            x, np.zeros_like(x), 300e6, tx_height=4.0, rx_height=2.0,
+            step=100.0, n_rays=361, max_bounces=1,
+        )
+        d_rough = communication_distance(
+            x, z_rough, 300e6, tx_height=4.0, rx_height=2.0,
+            step=100.0, n_rays=361, max_bounces=1,
+        )
+        assert d_rough < d_flat

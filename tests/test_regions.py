@@ -1,0 +1,163 @@
+"""Unit tests for region geometry (signed distances, membership)."""
+
+import numpy as np
+import pytest
+
+from repro.fields.regions import (
+    Circle,
+    Complement,
+    Ellipse,
+    Everywhere,
+    HalfPlane,
+    Intersection,
+    Polygon,
+    Rectangle,
+    Union,
+)
+
+
+class TestHalfPlane:
+    def test_membership(self):
+        hp = HalfPlane(nx=1.0, ny=0.0, c=5.0)  # x <= 5
+        assert hp.contains(4.0, 100.0)
+        assert not hp.contains(6.0, 0.0)
+
+    def test_signed_distance_metric(self):
+        hp = HalfPlane(nx=3.0, ny=4.0, c=0.0)  # normalised internally
+        assert hp.signed_distance(3.0, 4.0) == pytest.approx(5.0)
+        assert hp.signed_distance(-3.0, -4.0) == pytest.approx(-5.0)
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValueError):
+            HalfPlane(nx=0.0, ny=0.0, c=1.0)
+
+
+class TestRectangle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rectangle(x0=1.0, x1=1.0, y0=0.0, y1=1.0)
+
+    def test_inside_distance(self):
+        r = Rectangle(x0=0.0, x1=10.0, y0=0.0, y1=10.0)
+        assert r.signed_distance(5.0, 5.0) == pytest.approx(-5.0)
+        assert r.signed_distance(1.0, 5.0) == pytest.approx(-1.0)
+
+    def test_outside_face_distance(self):
+        r = Rectangle(x0=0.0, x1=10.0, y0=0.0, y1=10.0)
+        assert r.signed_distance(13.0, 5.0) == pytest.approx(3.0)
+
+    def test_outside_corner_distance(self):
+        r = Rectangle(x0=0.0, x1=10.0, y0=0.0, y1=10.0)
+        assert r.signed_distance(13.0, 14.0) == pytest.approx(5.0)
+
+    def test_center(self):
+        r = Rectangle(x0=0.0, x1=10.0, y0=2.0, y1=6.0)
+        assert r.center == (5.0, 4.0)
+
+    def test_boundary_counts_inside(self):
+        r = Rectangle(x0=0.0, x1=10.0, y0=0.0, y1=10.0)
+        assert r.contains(10.0, 5.0)
+
+
+class TestCircle:
+    def test_signed_distance(self):
+        c = Circle(cx=0.0, cy=0.0, radius=5.0)
+        assert c.signed_distance(3.0, 4.0) == pytest.approx(0.0)
+        assert c.signed_distance(0.0, 0.0) == pytest.approx(-5.0)
+        assert c.signed_distance(10.0, 0.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Circle(cx=0.0, cy=0.0, radius=0.0)
+
+    def test_vectorised(self):
+        c = Circle(cx=1.0, cy=1.0, radius=2.0)
+        x = np.array([1.0, 5.0])
+        assert list(c.contains(x, 1.0)) == [True, False]
+
+
+class TestEllipse:
+    def test_degenerates_to_circle(self):
+        e = Ellipse(cx=0.0, cy=0.0, a=3.0, b=3.0)
+        c = Circle(cx=0.0, cy=0.0, radius=3.0)
+        pts = np.linspace(-5, 5, 11)
+        assert np.allclose(
+            e.signed_distance(pts, 1.0), c.signed_distance(pts, 1.0), atol=1e-9
+        )
+
+    def test_axes(self):
+        e = Ellipse(cx=0.0, cy=0.0, a=4.0, b=2.0)
+        assert e.contains(3.9, 0.0)
+        assert not e.contains(0.0, 2.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ellipse(cx=0.0, cy=0.0, a=0.0, b=1.0)
+
+
+class TestPolygon:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 0)])
+
+    def test_square_membership(self):
+        p = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert p.contains(5.0, 5.0)
+        assert not p.contains(11.0, 5.0)
+        assert not p.contains(-1.0, -1.0)
+
+    def test_square_signed_distance_matches_rectangle(self):
+        p = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        r = Rectangle(x0=0.0, x1=10.0, y0=0.0, y1=10.0)
+        xs = np.array([5.0, 1.0, 13.0, -2.0])
+        ys = np.array([5.0, 5.0, 5.0, -2.0])
+        assert np.allclose(p.signed_distance(xs, ys), r.signed_distance(xs, ys))
+
+    def test_concave_polygon(self):
+        # L-shape: the notch must be outside
+        p = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert p.contains(1.0, 3.0)
+        assert p.contains(3.0, 1.0)
+        assert not p.contains(3.0, 3.0)
+
+    def test_clockwise_orientation_equivalent(self):
+        ccw = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        cw = Polygon([(0, 0), (0, 10), (10, 10), (10, 0)])
+        pts = np.array([[5.0, 5.0], [12.0, 5.0]])
+        assert np.allclose(
+            ccw.signed_distance(pts[:, 0], pts[:, 1]),
+            cw.signed_distance(pts[:, 0], pts[:, 1]),
+        )
+
+    def test_grid_evaluation_shape(self):
+        p = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        X, Y = np.meshgrid(np.linspace(-1, 5, 7), np.linspace(-1, 5, 9),
+                           indexing="ij")
+        sd = p.signed_distance(X, Y)
+        assert sd.shape == (7, 9)
+
+
+class TestCombinators:
+    def test_union(self):
+        u = Circle(0, 0, 1.0) | Circle(3, 0, 1.0)
+        assert u.contains(0.0, 0.0)
+        assert u.contains(3.0, 0.0)
+        assert not u.contains(1.5, 0.0)
+
+    def test_intersection(self):
+        i = Circle(0, 0, 2.0) & Circle(2, 0, 2.0)
+        assert i.contains(1.0, 0.0)
+        assert not i.contains(-1.5, 0.0)
+
+    def test_complement(self):
+        c = ~Circle(0, 0, 1.0)
+        assert not c.contains(0.0, 0.0)
+        assert c.contains(2.0, 0.0)
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            Union(())
+
+    def test_everywhere(self):
+        e = Everywhere()
+        assert np.all(e.contains(np.array([-1e9, 0.0, 1e9]), 0.0))

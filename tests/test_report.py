@@ -1,0 +1,56 @@
+"""Tests for the bundled validation report."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.grid import Grid2D
+from repro.core.spectra import GaussianSpectrum
+from repro.validation.report import (
+    DEFAULT_SPECTRA,
+    render_markdown,
+    run_validation_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+    return run_validation_report(grid=grid, n_realisations=8)
+
+
+class TestReport:
+    def test_structure(self, report):
+        assert set(report["families"]) == set(DEFAULT_SPECTRA)
+        for entry in report["families"].values():
+            assert {"discretisation", "method_equivalence_rel", "ensemble",
+                    "slope_identity_rel_error"} <= set(entry)
+
+    def test_passes_on_default_configuration(self, report):
+        assert report["pass"] is True
+
+    def test_equivalence_at_rounding(self, report):
+        for entry in report["families"].values():
+            assert entry["method_equivalence_rel"] < 1e-10
+
+    def test_custom_spectra(self):
+        grid = Grid2D(nx=48, ny=48, lx=192.0, ly=192.0)
+        rep = run_validation_report(
+            grid=grid,
+            spectra={"g": GaussianSpectrum(h=1.0, clx=12.0, cly=12.0)},
+            n_realisations=4,
+        )
+        assert list(rep["families"]) == ["g"]
+
+    def test_markdown_rendering(self, report):
+        md = render_markdown(report)
+        assert md.startswith("# Validation report")
+        assert "PASS" in md
+        for name in DEFAULT_SPECTRA:
+            assert name in md
+
+    def test_cli_full_flag(self, capsys):
+        rc = main(["validate", "--full", "--n", "64", "--domain", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Validation report" in out
+        assert "PASS" in out

@@ -1,0 +1,144 @@
+"""Tests for slope statistics and streamed export."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import ConvolutionGenerator, convolve_full
+from repro.core.grid import Grid2D
+from repro.core.rng import BlockNoise
+from repro.core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    PowerLawSpectrum,
+)
+from repro.io.streamed import load_streamed_surface, stream_to_npy
+from repro.stats.slopes import (
+    measured_forward_slope_variance,
+    slope_variance_continuum,
+    slope_variance_discrete,
+    slope_variance_spectral,
+)
+
+
+class TestSlopeVariance:
+    def test_gaussian_closed_form_matches_spectral(self):
+        grid = Grid2D(nx=1024, ny=1024, lx=1024.0, ly=1024.0)
+        s = GaussianSpectrum(h=1.5, clx=20.0, cly=30.0)
+        closed = slope_variance_continuum(s)
+        spectral = slope_variance_spectral(s, grid)
+        assert spectral[0] == pytest.approx(closed[0], rel=1e-6)
+        assert spectral[1] == pytest.approx(closed[1], rel=1e-6)
+        assert closed[0] == pytest.approx(2 * 1.5**2 / 20.0**2)
+
+    def test_power_law_closed_form_matches_spectral(self):
+        grid = Grid2D(nx=2048, ny=2048, lx=2048.0, ly=2048.0)
+        for n in (3.0, 4.0, 6.0):
+            s = PowerLawSpectrum(h=1.0, clx=20.0, cly=20.0, order=n)
+            closed = slope_variance_continuum(s)[0]
+            spectral = slope_variance_spectral(s, grid)[0]
+            assert spectral == pytest.approx(closed, rel=0.01), n
+
+    def test_divergent_families_raise(self):
+        with pytest.raises(ValueError, match="diverge"):
+            slope_variance_continuum(
+                ExponentialSpectrum(h=1.0, clx=10.0, cly=10.0)
+            )
+        with pytest.raises(ValueError, match="N <= 2"):
+            slope_variance_continuum(
+                PowerLawSpectrum(h=1.0, clx=10.0, cly=10.0, order=2.0)
+            )
+
+    def test_exponential_band_limited_grows_with_resolution(self):
+        s = ExponentialSpectrum(h=1.0, clx=20.0, cly=20.0)
+        coarse = slope_variance_spectral(
+            s, Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)
+        )[0]
+        fine = slope_variance_spectral(
+            s, Grid2D(nx=1024, ny=1024, lx=512.0, ly=512.0)
+        )[0]
+        assert fine > 2.0 * coarse  # divergence made visible
+
+    def test_discrete_identity_on_generated_surface(self):
+        """The forward-difference identity holds exactly in expectation."""
+        grid = Grid2D(nx=256, ny=256, lx=512.0, ly=512.0)
+        s = ExponentialSpectrum(h=1.0, clx=15.0, cly=15.0)
+        pred_x, pred_y = slope_variance_discrete(s, grid)
+        acc_x = acc_y = 0.0
+        n = 16
+        for seed in range(n):
+            f = convolve_full(s, grid, seed=300 + seed)
+            mx, my = measured_forward_slope_variance(f, grid.dx, grid.dy)
+            acc_x += mx
+            acc_y += my
+        assert acc_x / n == pytest.approx(pred_x, rel=0.05)
+        assert acc_y / n == pytest.approx(pred_y, rel=0.05)
+
+    def test_discrete_below_spectral(self):
+        # the finite difference under-responds at high K: discrete < spectral
+        grid = Grid2D(nx=256, ny=256, lx=512.0, ly=512.0)
+        s = GaussianSpectrum(h=1.0, clx=6.0, cly=6.0)
+        d = slope_variance_discrete(s, grid)[0]
+        c = slope_variance_spectral(s, grid)[0]
+        assert d < c
+
+    def test_measured_validation(self):
+        with pytest.raises(ValueError):
+            measured_forward_slope_variance(np.zeros(8), 1.0, 1.0)
+
+
+class TestStreamedExport:
+    @pytest.fixture
+    def gen(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        return ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=12.0, cly=12.0), grid,
+            truncation=(8, 8),
+        )
+
+    def test_round_trip_matches_window(self, gen, tmp_path):
+        bn = BlockNoise(seed=5)
+        p = stream_to_npy(tmp_path / "big", gen, bn, total_nx=200, ny=64,
+                          strip_nx=64)
+        assert p.suffix == ".npy"
+        s = load_streamed_surface(p, x_slice=slice(50, 120))
+        ref = gen.generate_window(bn, 50, 0, 70, 64)
+        assert np.allclose(s.heights, ref, atol=1e-10)
+        assert s.origin[0] == pytest.approx(50 * gen.grid.dx)
+
+    def test_strip_width_invariance(self, gen, tmp_path):
+        bn = BlockNoise(seed=6)
+        p1 = stream_to_npy(tmp_path / "a", gen, bn, total_nx=150, ny=32,
+                           strip_nx=150)
+        p2 = stream_to_npy(tmp_path / "b", gen, bn, total_nx=150, ny=32,
+                           strip_nx=37)
+        a = np.load(p1)
+        b = np.load(p2)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_metadata_sidecar(self, gen, tmp_path):
+        import json
+
+        bn = BlockNoise(seed=7, block=128)
+        p = stream_to_npy(tmp_path / "c", gen, bn, total_nx=64, ny=32,
+                          x0=10, y0=-5)
+        meta = json.loads((tmp_path / "c.npy.meta.json").read_text())
+        assert meta["noise_seed"] == 7
+        assert meta["x0"] == 10 and meta["y0"] == -5
+
+    def test_readable_by_plain_numpy(self, gen, tmp_path):
+        bn = BlockNoise(seed=8)
+        p = stream_to_npy(tmp_path / "d", gen, bn, total_nx=80, ny=16)
+        mm = np.load(p, mmap_mode="r")
+        assert mm.shape == (80, 16)
+        assert np.isfinite(mm[40, 8])
+
+    def test_validation(self, gen, tmp_path):
+        with pytest.raises(ValueError):
+            stream_to_npy(tmp_path / "x", gen, BlockNoise(seed=1),
+                          total_nx=0, ny=8)
+        bn = BlockNoise(seed=1)
+        p = stream_to_npy(tmp_path / "y", gen, bn, total_nx=16, ny=8)
+        with pytest.raises(ValueError):
+            load_streamed_surface(p, x_slice=slice(4, 4))
+        with pytest.raises(ValueError):
+            load_streamed_surface(p, x_slice=slice(0, 8, 2))

@@ -1,0 +1,172 @@
+"""Unit tests for the spectral families (paper eqns 5-10)."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    PowerLawSpectrum,
+    Spectrum,
+    register_spectrum,
+    spectrum_from_dict,
+)
+
+
+class TestValidation:
+    def test_negative_h_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianSpectrum(h=-1.0, clx=1.0, cly=1.0)
+
+    def test_zero_cl_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianSpectrum(h=1.0, clx=0.0, cly=1.0)
+
+    def test_power_law_order_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            PowerLawSpectrum(h=1.0, clx=1.0, cly=1.0, order=1.0)
+        with pytest.raises(ValueError):
+            PowerLawSpectrum(h=1.0, clx=1.0, cly=1.0, order=0.5)
+
+    def test_zero_h_allowed(self):
+        s = GaussianSpectrum(h=0.0, clx=1.0, cly=1.0)
+        assert s.variance == 0.0
+        assert s.autocorrelation(0.0, 0.0) == 0.0
+
+
+class TestClosedForms:
+    def test_gaussian_spectrum_value(self):
+        s = GaussianSpectrum(h=2.0, clx=3.0, cly=4.0)
+        # eqn 5 at K = 0
+        expected = 3.0 * 4.0 * 4.0 / (4 * np.pi)
+        assert s.spectrum(0.0, 0.0) == pytest.approx(expected)
+
+    def test_gaussian_acf_value(self):
+        s = GaussianSpectrum(h=2.0, clx=3.0, cly=4.0)
+        # eqn 6
+        assert s.autocorrelation(3.0, 0.0) == pytest.approx(4.0 * np.exp(-1.0))
+        assert s.autocorrelation(0.0, 4.0) == pytest.approx(4.0 * np.exp(-1.0))
+
+    def test_exponential_spectrum_value(self):
+        s = ExponentialSpectrum(h=2.0, clx=3.0, cly=4.0)
+        expected = 3.0 * 4.0 * 4.0 / (2 * np.pi)
+        assert s.spectrum(0.0, 0.0) == pytest.approx(expected)
+        # eqn 9 shape: decays as [1 + (K clx)^2]^(−3/2) along x
+        k = 2.0
+        ratio = s.spectrum(k, 0.0) / s.spectrum(0.0, 0.0)
+        assert ratio == pytest.approx((1 + (k * 3.0) ** 2) ** -1.5)
+
+    def test_exponential_acf_value(self):
+        s = ExponentialSpectrum(h=2.0, clx=3.0, cly=4.0)
+        assert s.autocorrelation(3.0, 0.0) == pytest.approx(4.0 * np.exp(-1.0))
+
+    def test_power_law_gamma_ratio(self):
+        # Gamma(N)/Gamma(N-1) == N-1
+        s = PowerLawSpectrum(h=1.0, clx=2.0, cly=2.0, order=3.5)
+        expected = 2.0 * 2.0 / (4 * np.pi) * 2.5
+        assert s.spectrum(0.0, 0.0) == pytest.approx(expected)
+
+    def test_power_law_acf_at_zero_is_variance(self):
+        for n in (1.5, 2.0, 3.0, 5.0, 10.0):
+            s = PowerLawSpectrum(h=2.0, clx=5.0, cly=5.0, order=n)
+            assert s.autocorrelation(0.0, 0.0) == pytest.approx(4.0, rel=1e-10)
+
+    def test_power_law_acf_monotone_decreasing(self):
+        s = PowerLawSpectrum(h=1.0, clx=5.0, cly=5.0, order=2.0)
+        r = np.linspace(0.0, 50.0, 200)
+        rho = s.autocorrelation(r, 0.0)
+        assert np.all(np.diff(rho) <= 1e-12)
+        assert rho[-1] < 0.05  # decays far out
+
+    def test_acf_even_symmetry(self, any_spectrum):
+        x = np.array([1.0, 5.0, 10.0])
+        assert np.allclose(
+            any_spectrum.autocorrelation(x, 2.0),
+            any_spectrum.autocorrelation(-x, -2.0),
+        )
+
+
+class TestFourierPair:
+    """spectrum and autocorrelation must be exact 2D Fourier pairs."""
+
+    @pytest.mark.parametrize(
+        "spec, k_factor, rel",
+        [
+            # Gaussian decays super-exponentially: small domain suffices.
+            (GaussianSpectrum(h=1.0, clx=2.0, cly=3.0), 40.0, 1e-4),
+            # Exponential has a K^-3 tail: integrate much further and
+            # accept the residual tail mass ~ h^2 / (cl * K_max).
+            (ExponentialSpectrum(h=1.5, clx=2.0, cly=2.0), 2000.0, 2e-3),
+            (PowerLawSpectrum(h=1.0, clx=2.0, cly=2.0, order=2.0), 2000.0, 2e-3),
+            (PowerLawSpectrum(h=1.0, clx=3.0, cly=3.0, order=4.0), 200.0, 1e-3),
+        ],
+    )
+    def test_integral_of_spectrum_is_variance(self, spec, k_factor, rel):
+        # eqn 1: integral W dK = h^2 (numerical, over one quadrant x4)
+        val, _ = integrate.dblquad(
+            lambda ky, kx: spec.spectrum(kx, ky),
+            0.0, k_factor / spec.clx,
+            0.0, k_factor / spec.cly,
+            epsabs=1e-12, epsrel=1e-10,
+        )
+        assert 4.0 * val == pytest.approx(spec.variance, rel=rel)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            GaussianSpectrum(h=1.0, clx=2.0, cly=2.0),
+            ExponentialSpectrum(h=1.0, clx=2.0, cly=2.0),
+            PowerLawSpectrum(h=1.0, clx=2.0, cly=2.0, order=2.5),
+        ],
+    )
+    def test_transform_of_spectrum_matches_acf_at_lags(self, spec):
+        # rho(r) = iint W e^{jKr} dK, checked at a couple of lags
+        for (x, y) in [(1.0, 0.0), (2.0, 1.0)]:
+            val, _ = integrate.dblquad(
+                lambda ky, kx: spec.spectrum(kx, ky)
+                * np.cos(kx * x) * np.cos(ky * y),
+                0.0, 30.0, 0.0, 30.0, epsabs=1e-10,
+            )
+            # even spectrum: e^{jKr} -> 4 * cos(Kx x) cos(Ky y) over quadrant
+            assert 4.0 * val == pytest.approx(
+                float(spec.autocorrelation(x, y)), abs=2e-3
+            )
+
+
+class TestUtilities:
+    def test_correlation_coefficient_normalised(self, any_spectrum):
+        assert any_spectrum.correlation_coefficient(0.0, 0.0) == pytest.approx(1.0)
+
+    def test_correlation_coefficient_zero_h(self):
+        s = GaussianSpectrum(h=0.0, clx=1.0, cly=1.0)
+        assert np.all(s.correlation_coefficient(np.array([0.0, 1.0]), 0.0) == 1.0)
+
+    def test_with_params(self):
+        s = GaussianSpectrum(h=1.0, clx=2.0, cly=3.0)
+        s2 = s.with_params(h=5.0)
+        assert s2.h == 5.0 and s2.clx == 2.0 and s2.cly == 3.0
+        assert isinstance(s2, GaussianSpectrum)
+
+    def test_with_params_preserves_power_law_order(self):
+        s = PowerLawSpectrum(h=1.0, clx=2.0, cly=2.0, order=3.0)
+        s2 = s.with_params(clx=9.0)
+        assert isinstance(s2, PowerLawSpectrum)
+        assert s2.order == 3.0 and s2.clx == 9.0
+
+    def test_isotropic_constructor(self):
+        s = ExponentialSpectrum.isotropic(h=1.0, cl=7.0)
+        assert s.clx == 7.0 and s.cly == 7.0
+
+    def test_serialisation_round_trip(self, any_spectrum):
+        d = any_spectrum.to_dict()
+        s2 = spectrum_from_dict(d)
+        assert s2 == any_spectrum
+
+    def test_spectrum_from_dict_unknown_kind(self):
+        with pytest.raises(KeyError):
+            spectrum_from_dict({"kind": "nope", "h": 1, "clx": 1, "cly": 1})
+
+    def test_register_requires_concrete_kind(self):
+        with pytest.raises(ValueError):
+            register_spectrum(Spectrum)  # type: ignore[type-abstract]

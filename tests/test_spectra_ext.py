@@ -1,0 +1,176 @@
+"""Tests for the extended spectral families (rotated/composite/PM)."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import convolve_full
+from repro.core.grid import Grid2D
+from repro.core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    spectrum_from_dict,
+)
+from repro.core.spectra_ext import (
+    CompositeSpectrum,
+    PiersonMoskowitzSpectrum,
+    RotatedSpectrum,
+)
+from repro.core.weights import build_kernel, weight_array
+
+
+class TestRotated:
+    def test_quarter_turn_swaps_axes(self):
+        base = GaussianSpectrum(h=1.0, clx=10.0, cly=40.0)
+        rot = RotatedSpectrum(base, np.pi / 2.0)
+        k = np.linspace(0.0, 0.5, 7)
+        assert np.allclose(rot.spectrum(k, 0.0), base.spectrum(0.0, k))
+        assert np.allclose(rot.autocorrelation(k, 0.0),
+                           base.autocorrelation(0.0, k))
+
+    def test_zero_rotation_is_identity(self):
+        base = GaussianSpectrum(h=1.5, clx=12.0, cly=30.0)
+        rot = RotatedSpectrum(base, 0.0)
+        kx = np.linspace(-0.4, 0.4, 9)
+        assert np.allclose(rot.spectrum(kx, 0.1), base.spectrum(kx, 0.1))
+
+    def test_variance_preserved_any_angle(self):
+        base = GaussianSpectrum(h=1.0, clx=10.0, cly=30.0)
+        grid = Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)
+        for angle in (0.3, 0.8, 1.2):
+            rot = RotatedSpectrum(base, angle)
+            assert rot.autocorrelation(0.0, 0.0) == pytest.approx(1.0)
+            assert weight_array(rot, grid).sum() == pytest.approx(1.0, rel=1e-4)
+
+    def test_generates_anisotropic_texture(self):
+        # a 45-degree rotation of a strongly anisotropic spectrum makes
+        # the two grid axes statistically equivalent
+        base = GaussianSpectrum(h=1.0, clx=8.0, cly=40.0)
+        rot = RotatedSpectrum(base, np.pi / 4.0)
+        grid = Grid2D(nx=256, ny=256, lx=1024.0, ly=1024.0)
+        f = convolve_full(rot, grid, seed=3)
+        from repro.stats import estimate_clx, estimate_cly
+
+        clx = estimate_clx(f, grid.dx)
+        cly = estimate_cly(f, grid.dy)
+        assert clx == pytest.approx(cly, rel=0.35)
+
+    def test_kernel_buildable(self):
+        rot = RotatedSpectrum(GaussianSpectrum(h=1.0, clx=10.0, cly=25.0), 0.6)
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        k = build_kernel(rot, grid)
+        assert k.energy == pytest.approx(1.0, rel=1e-3)
+
+    def test_serialisation_round_trip(self):
+        rot = RotatedSpectrum(ExponentialSpectrum(h=2.0, clx=5.0, cly=9.0), 1.1)
+        assert spectrum_from_dict(rot.to_dict()) == rot
+
+    def test_equality_and_hash(self):
+        a = RotatedSpectrum(GaussianSpectrum(h=1, clx=2, cly=3), 0.5)
+        b = RotatedSpectrum(GaussianSpectrum(h=1, clx=2, cly=3), 0.5)
+        c = RotatedSpectrum(GaussianSpectrum(h=1, clx=2, cly=3), 0.6)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestComposite:
+    def test_variance_adds(self):
+        comp = CompositeSpectrum([
+            GaussianSpectrum(h=3.0, clx=40.0, cly=40.0),
+            ExponentialSpectrum(h=4.0, clx=5.0, cly=5.0),
+        ])
+        assert comp.h == pytest.approx(5.0)
+        assert comp.autocorrelation(0.0, 0.0) == pytest.approx(25.0)
+
+    def test_spectrum_is_sum(self):
+        g = GaussianSpectrum(h=1.0, clx=20.0, cly=20.0)
+        e = ExponentialSpectrum(h=0.5, clx=4.0, cly=4.0)
+        comp = CompositeSpectrum([g, e])
+        k = np.linspace(0.0, 1.0, 5)
+        assert np.allclose(comp.spectrum(k, 0.0),
+                           g.spectrum(k, 0.0) + e.spectrum(k, 0.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeSpectrum([])
+
+    def test_two_scale_surface(self):
+        # swell + ripple: ACF shows fast initial drop then long shoulder
+        comp = CompositeSpectrum([
+            GaussianSpectrum(h=1.0, clx=80.0, cly=80.0),   # swell
+            GaussianSpectrum(h=0.5, clx=5.0, cly=5.0),      # ripple
+        ])
+        rho = comp.correlation_coefficient(np.array([0.0, 10.0, 40.0]), 0.0)
+        # at lag 10: ripple fully decorrelated, swell nearly intact
+        expected_mid = (1.0 * np.exp(-(10 / 80) ** 2) + 0.0) / 1.25
+        assert rho[1] == pytest.approx(expected_mid, abs=0.02)
+
+    def test_generation_variance(self):
+        comp = CompositeSpectrum([
+            GaussianSpectrum(h=1.0, clx=30.0, cly=30.0),
+            GaussianSpectrum(h=1.0, clx=6.0, cly=6.0),
+        ])
+        grid = Grid2D(nx=256, ny=256, lx=1024.0, ly=1024.0)
+        f = convolve_full(comp, grid, seed=4)
+        assert f.std() == pytest.approx(comp.h, rel=0.2)
+
+    def test_serialisation_round_trip(self):
+        comp = CompositeSpectrum([
+            GaussianSpectrum(h=1.0, clx=30.0, cly=30.0),
+            ExponentialSpectrum(h=2.0, clx=6.0, cly=6.0),
+        ])
+        assert spectrum_from_dict(comp.to_dict()) == comp
+
+
+class TestPiersonMoskowitz:
+    def test_variance_closed_form(self):
+        pm = PiersonMoskowitzSpectrum(wind_speed=10.0)
+        # h^2 = alpha U^4 / (4 beta g^2)
+        expected = 8.1e-3 * 10.0**4 / (4.0 * 0.74 * 9.81**2)
+        assert pm.variance == pytest.approx(expected, rel=1e-9)
+
+    def test_wind_speed_scaling(self):
+        h5 = PiersonMoskowitzSpectrum(wind_speed=5.0).h
+        h10 = PiersonMoskowitzSpectrum(wind_speed=10.0).h
+        assert h10 == pytest.approx(4.0 * h5)  # h ~ U^2
+
+    def test_discrete_variance_closure(self):
+        pm = PiersonMoskowitzSpectrum(wind_speed=5.0)
+        grid = Grid2D(nx=256, ny=256, lx=60.0 * pm.clx, ly=60.0 * pm.clx)
+        assert weight_array(pm, grid).sum() == pytest.approx(
+            pm.variance, rel=0.05
+        )
+
+    def test_numeric_acf_matches_variance(self):
+        pm = PiersonMoskowitzSpectrum(wind_speed=5.0)
+        assert pm.autocorrelation(0.0, 0.0) == pytest.approx(
+            pm.variance, rel=0.01
+        )
+
+    def test_spreading_anisotropy(self):
+        pm = PiersonMoskowitzSpectrum(wind_speed=6.0, wind_direction=0.0,
+                                      spreading=4.0)
+        kp = 1.0 / pm.clx
+        # spectrum along the wind (Kx) exceeds cross-wind (Ky)
+        assert pm.spectrum(kp, 0.0) > 2.0 * pm.spectrum(0.0, kp)
+
+    def test_isotropic_spreading(self):
+        pm = PiersonMoskowitzSpectrum(wind_speed=6.0, spreading=0.0)
+        kp = 1.0 / pm.clx
+        assert pm.spectrum(kp, 0.0) == pytest.approx(pm.spectrum(0.0, kp))
+
+    def test_generation(self):
+        pm = PiersonMoskowitzSpectrum(wind_speed=5.0)
+        grid = Grid2D(nx=128, ny=128, lx=40.0 * pm.clx, ly=40.0 * pm.clx)
+        f = convolve_full(pm, grid, seed=5)
+        assert f.std() == pytest.approx(pm.h, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiersonMoskowitzSpectrum(wind_speed=0.1)
+        with pytest.raises(ValueError):
+            PiersonMoskowitzSpectrum(wind_speed=5.0, spreading=-1.0)
+
+    def test_serialisation_round_trip(self):
+        pm = PiersonMoskowitzSpectrum(wind_speed=7.5, wind_direction=0.4,
+                                      spreading=2.0)
+        assert spectrum_from_dict(pm.to_dict()) == pm

@@ -1,0 +1,96 @@
+"""Unit tests for scalar estimators."""
+
+import numpy as np
+import pytest
+
+from repro.stats.estimators import (
+    ensemble_std_tolerance,
+    height_moments,
+    normality_diagnostics,
+    rms_height,
+    rms_slope,
+)
+
+
+class TestHeightMoments:
+    def test_gaussian_sample(self, rng):
+        x = rng.standard_normal(200_000) * 2.0 + 1.0
+        m = height_moments(x)
+        assert m.mean == pytest.approx(1.0, abs=0.05)
+        assert m.std == pytest.approx(2.0, abs=0.05)
+        assert m.skewness == pytest.approx(0.0, abs=0.05)
+        assert m.kurtosis_excess == pytest.approx(0.0, abs=0.1)
+        assert m.n == 200_000
+
+    def test_skewed_sample(self, rng):
+        x = rng.exponential(1.0, 100_000)
+        m = height_moments(x)
+        assert m.skewness == pytest.approx(2.0, abs=0.2)
+
+    def test_constant_sample(self):
+        m = height_moments(np.full(10, 3.0))
+        assert m.std == 0.0 and m.skewness == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            height_moments(np.array([]))
+
+    def test_ddof(self):
+        x = np.array([1.0, 2.0, 3.0])
+        m0 = height_moments(x, ddof=0)
+        m1 = height_moments(x, ddof=1)
+        assert m1.std > m0.std
+        assert m1.std == pytest.approx(np.std(x, ddof=1))
+
+    def test_as_dict(self, rng):
+        d = height_moments(rng.standard_normal(100)).as_dict()
+        assert set(d) == {"mean", "std", "skewness", "kurtosis_excess", "n"}
+
+
+class TestRms:
+    def test_rms_height_removes_mean(self):
+        x = np.array([1.0, 3.0])
+        assert rms_height(x) == pytest.approx(1.0)
+
+    def test_rms_slope_plane(self):
+        X, Y = np.meshgrid(np.arange(16.0), np.arange(16.0), indexing="ij")
+        z = 2.0 * X + 0.5 * Y
+        sx, sy = rms_slope(z, 1.0, 1.0)
+        assert sx == pytest.approx(2.0)
+        assert sy == pytest.approx(0.5)
+
+    def test_rms_slope_spacing(self):
+        X, _ = np.meshgrid(np.arange(8.0), np.arange(8.0), indexing="ij")
+        sx_unit, _ = rms_slope(X, 1.0, 1.0)
+        sx_half, _ = rms_slope(X, 0.5, 1.0)
+        assert sx_half == pytest.approx(2.0 * sx_unit)
+
+    def test_rms_slope_validation(self):
+        with pytest.raises(ValueError):
+            rms_slope(np.zeros((4, 4)), 0.0, 1.0)
+
+
+class TestNormality:
+    def test_gaussian_passes(self, rng):
+        d = normality_diagnostics(rng.standard_normal(50_000))
+        assert abs(d["z_skewness"]) < 4.0
+        assert abs(d["z_kurtosis"]) < 4.0
+
+    def test_uniform_fails_kurtosis(self, rng):
+        d = normality_diagnostics(rng.uniform(-1, 1, 50_000))
+        assert d["kurtosis_excess"] == pytest.approx(-1.2, abs=0.1)
+        assert d["z_kurtosis"] < -10.0
+
+
+class TestTolerance:
+    def test_shrinks_with_samples(self):
+        assert ensemble_std_tolerance(1.0, 10_000) < ensemble_std_tolerance(1.0, 100)
+
+    def test_scales_with_h(self):
+        assert ensemble_std_tolerance(2.0, 100) == pytest.approx(
+            2.0 * ensemble_std_tolerance(1.0, 100)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ensemble_std_tolerance(1.0, 1)

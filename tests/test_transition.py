@@ -1,0 +1,89 @@
+"""Unit tests for transition profiles and ramp weights (eqns 38-39, 44)."""
+
+import numpy as np
+import pytest
+
+from repro.fields.transition import (
+    PROFILES,
+    cosine,
+    get_profile,
+    linear,
+    ramp_weight,
+    smoothstep,
+)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("phi", [linear, smoothstep, cosine])
+    def test_endpoints(self, phi):
+        assert phi(np.array(0.0)) == pytest.approx(0.0)
+        assert phi(np.array(1.0)) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("phi", [linear, smoothstep, cosine])
+    def test_monotone(self, phi):
+        t = np.linspace(0, 1, 101)
+        assert np.all(np.diff(phi(t)) >= -1e-12)
+
+    @pytest.mark.parametrize("phi", [linear, smoothstep, cosine])
+    def test_clipping_outside_unit_interval(self, phi):
+        assert phi(np.array(-0.5)) == pytest.approx(0.0)
+        assert phi(np.array(1.5)) == pytest.approx(1.0)
+
+    def test_linear_is_identity_inside(self):
+        t = np.linspace(0, 1, 11)
+        assert np.allclose(linear(t), t)
+
+    def test_smoothstep_midpoint(self):
+        assert smoothstep(np.array(0.5)) == pytest.approx(0.5)
+
+    def test_cosine_midpoint(self):
+        assert cosine(np.array(0.5)) == pytest.approx(0.5)
+
+    def test_smoothstep_flat_derivative_at_ends(self):
+        eps = 1e-5
+        d0 = (smoothstep(np.array(eps)) - 0.0) / eps
+        d1 = (1.0 - smoothstep(np.array(1.0 - eps))) / eps
+        assert d0 < 1e-3 and d1 < 1e-3
+
+    def test_get_profile_by_name_and_callable(self):
+        assert get_profile("linear") is linear
+        f = lambda t: t  # noqa: E731
+        assert get_profile(f) is f
+        with pytest.raises(KeyError):
+            get_profile("nope")
+
+    def test_registry_complete(self):
+        assert set(PROFILES) == {"linear", "smoothstep", "cosine"}
+
+
+class TestRampWeight:
+    def test_deep_inside_and_outside(self):
+        sd = np.array([-10.0, 10.0])
+        w = ramp_weight(sd, half_width=2.0)
+        assert np.allclose(w, [1.0, 0.0])
+
+    def test_linear_in_band(self):
+        # eqns 38-39: linear across [-T, T]
+        sd = np.array([-2.0, -1.0, 0.0, 1.0, 2.0])
+        w = ramp_weight(sd, half_width=2.0)
+        assert np.allclose(w, [1.0, 0.75, 0.5, 0.25, 0.0])
+
+    def test_hard_edge_at_zero_width(self):
+        sd = np.array([-1.0, 0.0, 1.0])
+        w = ramp_weight(sd, half_width=0.0)
+        assert np.allclose(w, [1.0, 1.0, 0.0])
+
+    def test_negative_half_width_rejected(self):
+        with pytest.raises(ValueError):
+            ramp_weight(np.zeros(3), half_width=-1.0)
+
+    def test_complementary_ramps_partition(self):
+        # a region and its complement blend to exactly 1 everywhere
+        sd = np.linspace(-5, 5, 41)
+        w_in = ramp_weight(sd, 2.0)
+        w_out = ramp_weight(-sd, 2.0)
+        assert np.allclose(w_in + w_out, 1.0)
+
+    def test_profile_argument(self):
+        sd = np.array([0.0])
+        assert ramp_weight(sd, 1.0, "cosine") == pytest.approx(0.5)

@@ -1,0 +1,104 @@
+"""Tests for the validation harness (checks + ensemble verification)."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import ConvolutionGenerator
+from repro.core.grid import Grid2D
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.validation.checks import (
+    kernel_energy_closure,
+    variance_closure,
+    weight_acf_error,
+)
+from repro.validation.ensemble import (
+    ensemble_variance,
+    verify_homogeneous,
+)
+
+
+class TestChecks:
+    def test_gaussian_acf_check_tight(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        s = GaussianSpectrum(h=1.0, clx=20.0, cly=20.0)
+        rep = weight_acf_error(s, grid)
+        assert rep.max_abs_error < 1e-6
+        assert rep.rel_error_at_zero < 1e-6
+        assert rep.variance_target == 1.0
+
+    def test_exponential_acf_check_reports_discretisation(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        s = ExponentialSpectrum(h=1.0, clx=15.0, cly=15.0)
+        rep = weight_acf_error(s, grid)
+        # heavy tail -> visible error, still moderate
+        assert 1e-4 < rep.rel_error_at_zero < 0.2
+
+    def test_error_shrinks_with_refinement(self):
+        s = ExponentialSpectrum(h=1.0, clx=15.0, cly=15.0)
+        coarse = weight_acf_error(s, Grid2D(nx=64, ny=64, lx=256.0, ly=256.0))
+        fine = weight_acf_error(s, Grid2D(nx=256, ny=256, lx=256.0, ly=256.0))
+        assert fine.rel_error_at_zero < coarse.rel_error_at_zero
+
+    def test_variance_closure_values(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        assert variance_closure(
+            GaussianSpectrum(h=1.0, clx=20.0, cly=20.0), grid
+        ) < 1e-9
+        assert variance_closure(
+            GaussianSpectrum(h=0.0, clx=20.0, cly=20.0), grid
+        ) == 0.0
+
+    def test_kernel_energy_closure(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        assert kernel_energy_closure(
+            GaussianSpectrum(h=2.0, clx=20.0, cly=20.0), grid
+        ) < 1e-9
+
+    def test_report_as_dict(self):
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        d = weight_acf_error(GaussianSpectrum(h=1, clx=8, cly=8), grid).as_dict()
+        assert set(d) == {
+            "max_abs_error", "rms_error", "rel_error_at_zero", "variance_target"
+        }
+
+
+class TestEnsemble:
+    def test_verify_homogeneous_default_generator(self):
+        grid = Grid2D(nx=48, ny=48, lx=192.0, ly=192.0)
+        s = GaussianSpectrum(h=1.0, clx=12.0, cly=12.0)
+        rep = verify_homogeneous(s, grid, n_realisations=24, seed0=100)
+        assert rep.variance_rel_error < 0.15
+        assert rep.spectrum_rel_error < 0.25
+        assert rep.acf_rms_error < 0.1
+        assert rep.discrete_variance == pytest.approx(1.0, rel=1e-6)
+
+    def test_verify_custom_generator_truncated(self):
+        grid = Grid2D(nx=48, ny=48, lx=192.0, ly=192.0)
+        s = GaussianSpectrum(h=1.0, clx=12.0, cly=12.0)
+        gen = ConvolutionGenerator(s, grid, truncation=0.999)
+        rep = verify_homogeneous(
+            s, grid, n_realisations=16, seed0=7,
+            generate=lambda seed: gen.generate(seed=seed),
+        )
+        # truncated kernel preserves the variance (renormalised)
+        assert rep.variance_rel_error < 0.2
+
+    def test_ensemble_variance_converges(self):
+        grid = Grid2D(nx=48, ny=48, lx=192.0, ly=192.0)
+        s = GaussianSpectrum(h=2.0, clx=12.0, cly=12.0)
+        v = ensemble_variance(
+            lambda seed: __import__("repro.core.convolution", fromlist=["x"])
+            .convolve_full(s, grid, seed=seed),
+            n_realisations=32,
+        )
+        assert v == pytest.approx(4.0, rel=0.15)
+
+    def test_ensemble_variance_validation(self):
+        with pytest.raises(ValueError):
+            ensemble_variance(lambda s: np.zeros(4), 0)
+
+    def test_report_as_dict(self):
+        grid = Grid2D(nx=32, ny=32, lx=128.0, ly=128.0)
+        s = GaussianSpectrum(h=1.0, clx=10.0, cly=10.0)
+        d = verify_homogeneous(s, grid, n_realisations=4).as_dict()
+        assert "measured_variance" in d and "spectrum_rel_error" in d

@@ -1,0 +1,164 @@
+"""Unit tests for weighting arrays and kernels (eqns 14-17, 34-35)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid2D
+from repro.core.spectra import GaussianSpectrum
+from tests.tolerances import variance_rtol
+from repro.core.weights import (
+    Kernel,
+    amplitude_array,
+    build_kernel,
+    kernel_half_width,
+    truncate_kernel,
+    truncate_kernel_energy,
+    weight_array,
+    weight_autocorrelation,
+)
+
+
+class TestWeightArray:
+    def test_shape_and_positivity(self, any_spectrum, grid):
+        w = weight_array(any_spectrum, grid)
+        assert w.shape == grid.shape
+        assert np.all(w >= 0)
+
+    def test_sum_approximates_variance(self, any_spectrum, grid):
+        # eqn 1 discretised: sum w ~ h^2
+        w = weight_array(any_spectrum, grid)
+        assert w.sum() == pytest.approx(any_spectrum.variance,
+                                        rel=variance_rtol(any_spectrum))
+
+    def test_even_symmetry_under_folding(self, gaussian, grid):
+        # w[m] == w[N - m] for m in 1..N-1 (eqn 16)
+        w = weight_array(gaussian, grid)
+        assert np.allclose(w[1:, :], w[1:, :][::-1, :])
+        assert np.allclose(w[:, 1:], w[:, 1:][:, ::-1])
+
+    def test_dc_bin_is_peak_for_lowpass(self, gaussian, grid):
+        w = weight_array(gaussian, grid)
+        assert w[0, 0] == w.max()
+
+    def test_amplitude_is_sqrt(self, gaussian, grid):
+        w = weight_array(gaussian, grid)
+        v = amplitude_array(gaussian, grid)
+        assert np.allclose(v * v, w)
+
+    def test_anisotropic_orientation(self, grid):
+        # longer clx -> narrower spectrum along Kx -> w falls faster in x
+        s = GaussianSpectrum(h=1.0, clx=40.0, cly=10.0)
+        w = weight_array(s, grid)
+        assert w[4, 0] < w[0, 4]
+
+
+class TestWeightAutocorrelation:
+    def test_zero_lag_is_variance(self, any_spectrum, grid):
+        acf = weight_autocorrelation(any_spectrum, grid)
+        assert acf[0, 0] == pytest.approx(any_spectrum.variance,
+                                          rel=variance_rtol(any_spectrum))
+
+    def test_matches_analytic_acf_gaussian(self, grid):
+        # the paper's accuracy check: DFT(w) ~ rho(r)
+        s = GaussianSpectrum(h=1.0, clx=20.0, cly=20.0)
+        acf = weight_autocorrelation(s, grid)
+        x = grid.x_centered[:, None]
+        y = grid.y_centered[None, :]
+        expected = s.autocorrelation(x, y)
+        assert np.max(np.abs(acf - expected)) < 1e-6
+
+    def test_even_in_lag(self, any_spectrum, grid):
+        acf = weight_autocorrelation(any_spectrum, grid)
+        assert np.allclose(acf[1:, :], acf[1:, :][::-1, :], atol=1e-12)
+
+
+class TestKernel:
+    def test_kernel_centre_is_peak(self, any_spectrum, grid):
+        k = build_kernel(any_spectrum, grid)
+        assert k.shape == grid.shape
+        assert (k.cx, k.cy) == (grid.mx, grid.my)
+        assert k.values[k.cx, k.cy] == pytest.approx(k.values.max())
+
+    def test_kernel_energy_is_variance(self, any_spectrum, grid):
+        k = build_kernel(any_spectrum, grid)
+        assert k.energy == pytest.approx(any_spectrum.variance,
+                                         rel=variance_rtol(any_spectrum))
+
+    def test_kernel_symmetric(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        v = k.values
+        # symmetric about the centre along both axes (even spectrum)
+        assert np.allclose(v[1:, :], v[1:, :][::-1, :], atol=1e-12)
+        assert np.allclose(v[:, 1:], v[:, 1:][:, ::-1], atol=1e-12)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            Kernel(values=np.zeros(3), cx=0, cy=0, dx=1.0, dy=1.0)
+        with pytest.raises(ValueError):
+            Kernel(values=np.zeros((3, 3)), cx=5, cy=0, dx=1.0, dy=1.0)
+
+    def test_half_widths(self):
+        k = Kernel(values=np.zeros((5, 7)), cx=2, cy=3, dx=1.0, dy=1.0)
+        assert k.half_width_x == 2
+        assert k.half_width_y == 3
+        k2 = Kernel(values=np.zeros((5, 7)), cx=1, cy=6, dx=1.0, dy=1.0)
+        assert k2.half_width_x == 3
+        assert k2.half_width_y == 6
+
+
+class TestTruncation:
+    def test_truncate_shape_and_centre(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        t = truncate_kernel(k, 5, 3)
+        assert t.shape == (11, 7)
+        assert (t.cx, t.cy) == (5, 3)
+        # centre value preserved
+        assert t.values[5, 3] == k.values[k.cx, k.cy]
+
+    def test_truncate_clips_at_edges(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        t = truncate_kernel(k, 10_000, 10_000)
+        assert t.shape == k.shape
+
+    def test_truncate_rejects_negative(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        with pytest.raises(ValueError):
+            truncate_kernel(k, -1, 0)
+
+    def test_energy_truncation_keeps_fraction(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        t = truncate_kernel_energy(k, 0.99, renormalise=False)
+        assert t.energy >= 0.99 * k.energy
+        assert t.shape[0] < k.shape[0]  # actually truncates
+
+    def test_energy_truncation_renormalises(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        t = truncate_kernel_energy(k, 0.99, renormalise=True)
+        assert t.energy == pytest.approx(k.energy, rel=1e-12)
+
+    def test_kernel_half_width_monotone_in_fraction(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        hx1, _ = kernel_half_width(k, 0.90)
+        hx2, _ = kernel_half_width(k, 0.9999)
+        assert hx2 >= hx1
+
+    def test_kernel_half_width_full_energy(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        hx, hy = kernel_half_width(k, 1.0)
+        t = truncate_kernel(k, hx, hy)
+        assert t.energy == pytest.approx(k.energy, rel=1e-9)
+
+    def test_kernel_half_width_validation(self, gaussian, grid):
+        k = build_kernel(gaussian, grid)
+        with pytest.raises(ValueError):
+            kernel_half_width(k, 0.0)
+        with pytest.raises(ValueError):
+            kernel_half_width(k, 1.5)
+
+    def test_smaller_cl_gives_smaller_support(self, grid):
+        # the paper's claim: kernel support scales with correlation length
+        k_small = build_kernel(GaussianSpectrum(h=1.0, clx=5.0, cly=5.0), grid)
+        k_large = build_kernel(GaussianSpectrum(h=1.0, clx=20.0, cly=20.0), grid)
+        hs, _ = kernel_half_width(k_small, 0.999)
+        hl, _ = kernel_half_width(k_large, 0.999)
+        assert hs < hl

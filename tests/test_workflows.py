@@ -1,0 +1,162 @@
+"""End-to-end workflow integration tests.
+
+Each test exercises a realistic multi-module pipeline the way a
+downstream user would chain the public API — the places where unit
+tests cannot catch interface drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import ConvolutionGenerator
+from repro.core.grid import Grid2D
+from repro.core.inhomogeneous import InhomogeneousGenerator
+from repro.core.rng import BlockNoise
+from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+from repro.core.surface import Surface
+from repro.core.transform import lognormal_transform
+from repro.fields.parameter_map import LayeredLayout, PlateLattice, RegionSpec
+from repro.fields.regions import Circle, Rectangle
+from repro.figures import figure2_layout, figure_surface
+from repro.io.npzio import load_surface, save_surface
+from repro.parallel.executor import generate_tiled
+from repro.parallel.tiles import TilePlan
+from repro.propagation.link import evaluate_link
+from repro.stats.fitting import classify_family
+from repro.stats.local import interior_region_mask, region_statistics
+
+
+class TestGenerateClassifyRoundTrip:
+    def test_fig2_quadrants_show_family_signatures(self):
+        """The Figure 2 pipeline realises the family *signatures*.
+
+        A quadrant interior holds only ~8 correlation lengths at the
+        paper's parameters — too few for a single-slab ACF fit to
+        separate neighbouring families (that discrimination is tested
+        at proper scale in test_fitting.py).  What IS identifiable per
+        quadrant, and what the paper's figure visually shows, is the
+        tail class: the exponential quadrant carries far more
+        small-scale slope energy than the Gaussian one, and its heavy
+        tail is preferred by the classifier over the Gaussian shape.
+        """
+        n = 384
+        surface = figure_surface("fig2", n=n, seed=11)
+        grid = surface.grid
+        q = n // 2
+        m = n // 6
+        q1 = surface.heights[q + m :, q + m :]   # gaussian h=1 cl=40
+        q3 = surface.heights[: q - m, : q - m]   # exponential h=2 cl=80
+
+        def norm_slope(slab, cl, h):
+            gx = np.diff(slab, axis=0) / grid.dx
+            return float(np.sqrt(np.mean(gx**2))) * cl / h
+
+        assert norm_slope(q3, 80.0, 2.0) > 2.5 * norm_slope(q1, 40.0, 1.0)
+
+        # classifier on the heavy-tail quadrant: exponential-class
+        # candidates beat the gaussian shape decisively
+        best, fits = classify_family(q3, grid.dx, cl_guess=60.0)
+        key = best.kind if best.order is None else \
+            f"power_law_{best.order:g}"
+        assert key in {"exponential", "power_law_2"}
+        assert fits["gaussian"].rss > 1.5 * best.rss
+
+    def test_save_load_classify(self, tmp_path):
+        # 384^2: enough correlation lengths that exponential separates
+        # from the adjacent power-law N=2 candidate
+        grid = Grid2D(nx=384, ny=384, lx=1536.0, ly=1536.0)
+        spec = ExponentialSpectrum(h=1.2, clx=25.0, cly=25.0)
+        gen = ConvolutionGenerator(spec, grid)
+        s = Surface(heights=gen.generate(seed=3), grid=grid,
+                    provenance={"spectrum": spec.to_dict()})
+        save_surface(tmp_path / "s.npz", s)
+        loaded = load_surface(tmp_path / "s.npz")
+        best, _ = classify_family(loaded.heights, loaded.grid.dx,
+                                  cl_guess=20.0)
+        assert best.kind == "exponential"
+        assert best.h == pytest.approx(1.2, rel=0.25)
+
+
+class TestInhomogeneousPipelines:
+    def test_tiled_inhomogeneous_region_stats(self):
+        """Tile-generate a layered surface, then verify per-region h."""
+        grid = Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)
+        lay = LayeredLayout(
+            GaussianSpectrum(h=1.0, clx=20.0, cly=20.0),
+            [RegionSpec(Circle(256.0, 256.0, 120.0),
+                        ExponentialSpectrum(h=0.2, clx=20.0, cly=20.0),
+                        half_width=40.0)],
+        )
+        gen = InhomogeneousGenerator(lay, grid, truncation=0.999)
+        plan = TilePlan(total_nx=128, total_ny=128, tile_nx=48, tile_ny=64)
+        s = generate_tiled(gen, BlockNoise(seed=21), plan, backend="thread",
+                           workers=2)
+        pond = region_statistics(
+            s, interior_region_mask(s, Circle(256.0, 256.0, 120.0), 50.0)
+        )
+        assert pond["std"] == pytest.approx(0.2, rel=0.4)
+
+    def test_transformed_inhomogeneous_terrain(self):
+        """Plates -> generate -> non-Gaussian marginal, ranks preserved."""
+        grid = Grid2D(nx=96, ny=96, lx=384.0, ly=384.0)
+        lat = PlateLattice.quadrants(
+            384.0, 384.0,
+            GaussianSpectrum(h=0.5, clx=15.0, cly=15.0),
+            GaussianSpectrum(h=1.0, clx=15.0, cly=15.0),
+            GaussianSpectrum(h=1.5, clx=15.0, cly=15.0),
+            GaussianSpectrum(h=1.0, clx=15.0, cly=15.0),
+            half_width=20.0,
+        )
+        s = InhomogeneousGenerator(lat, grid, truncation=0.999).generate(
+            seed=4
+        )
+        t = lognormal_transform(s.heights, sigma=0.6)
+        # the rough quadrant remains the most variable after transform
+        rough = t[:40, :40]
+        smooth = t[56:, 56:]
+        assert rough.std() > smooth.std()
+
+
+class TestPropagationPipeline:
+    def test_link_over_generated_and_reloaded_surface(self, tmp_path):
+        grid = Grid2D(nx=256, ny=64, lx=2048.0, ly=512.0)
+        spec = GaussianSpectrum(h=3.0, clx=60.0, cly=60.0)
+        s = Surface(
+            heights=ConvolutionGenerator(spec, grid).generate(seed=7),
+            grid=grid,
+        )
+        save_surface(tmp_path / "terrain.npz", s)
+        terrain = load_surface(tmp_path / "terrain.npz")
+        link = evaluate_link(
+            terrain, (100.0, 256.0), (1900.0, 256.0), 915e6,
+            tx_height=5.0, rx_height=2.0,
+        )
+        assert link.distance == pytest.approx(1800.0)
+        assert np.isfinite(link.total_db)
+        assert link.total_db > 90.0  # at least free space at 1.8 km
+
+
+class TestRegionMaskedQA:
+    def test_rectangle_region_statistics_workflow(self):
+        grid = Grid2D(nx=128, ny=128, lx=512.0, ly=512.0)
+        lat = PlateLattice(
+            [0.0, 256.0, 512.0], [0.0, 512.0],
+            [[GaussianSpectrum(h=0.4, clx=12.0, cly=12.0)],
+             [GaussianSpectrum(h=1.6, clx=12.0, cly=12.0)]],
+            half_width=24.0,
+        )
+        s = InhomogeneousGenerator(lat, grid, truncation=0.999).generate(
+            seed=13
+        )
+        left = region_statistics(
+            s, interior_region_mask(
+                s, Rectangle(0.0, 256.0, 0.0, 512.0), 40.0
+            )
+        )
+        right = region_statistics(
+            s, interior_region_mask(
+                s, Rectangle(256.0, 512.0, 0.0, 512.0), 40.0
+            )
+        )
+        assert left["std"] == pytest.approx(0.4, rel=0.3)
+        assert right["std"] == pytest.approx(1.6, rel=0.3)

@@ -1,0 +1,16 @@
+"""Shared numeric tolerances for the test suite."""
+
+
+def variance_rtol(spectrum) -> float:
+    """Discretisation tolerance for ``sum(w) ~ h^2`` style checks.
+
+    The Gaussian spectrum is band-limited in practice (super-exponential
+    decay), so its discretised variance closes to machine precision on
+    the fixture grids.  The Exponential (K^-3 tail) and low-order
+    Power-Law (K^-2N tail) spectra park real mass beyond the Nyquist
+    band; the residual is a property of the discretisation, not a bug,
+    so those families get proportionally wider bands here.
+    """
+    return {"gaussian": 1e-6, "power_law": 0.06, "exponential": 0.12}[
+        spectrum.kind
+    ]
