@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Perf-regression gate for the convolution engines.
+
+Reads ``benchmarks/out/engine_fft.json`` (written by
+``test_bench_engine_fft.py``) and fails when:
+
+* the default path (``auto``, which dispatches to the FFT engine for
+  production-size kernels) is more than ``--max-slowdown`` times the
+  seed baseline (the pre-engine per-tile ``scipy.signal.fftconvolve``
+  path) — the "don't regress the default" contract;
+* the FFT engine's speedup over the spatial reference path falls below
+  ``--min-speedup`` — the engine's reason to exist;
+* either accuracy deviation exceeds ``--max-deviation``.
+
+Usage (CI tier-2, after running the bench)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_fft.py
+    python benchmarks/check_engine_gate.py
+
+Exit code 0 on pass, 1 on any gate failure, 2 when the results file is
+missing or unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS = Path(__file__).resolve().parent / "out" / "engine_fft.json"
+
+
+def check(results: dict, max_slowdown: float, min_speedup: float,
+          max_deviation: float) -> list:
+    """Return the list of human-readable gate failures (empty = pass)."""
+    failures = []
+    timings = results["timings_s"]
+    default_t = timings["fft_tiled"]  # auto dispatches to fft at this size
+    seed_t = timings["legacy_fftconvolve_tiled"]
+    ratio = default_t / seed_t
+    if ratio > max_slowdown:
+        failures.append(
+            f"default path regressed: {default_t:.3f}s vs seed "
+            f"{seed_t:.3f}s ({ratio:.2f}x > {max_slowdown:.2f}x allowed)"
+        )
+    speedup = results["speedup_fft_vs_spatial"]
+    if speedup < min_speedup:
+        failures.append(
+            f"fft engine speedup {speedup:.2f}x over the spatial path is "
+            f"below the required {min_speedup:.2f}x"
+        )
+    for key in ("max_abs_dev_fft_vs_legacy",
+                "max_abs_dev_fft_vs_spatial_sample"):
+        dev = results[key]
+        if not dev <= max_deviation:  # catches NaN too
+            failures.append(
+                f"{key} = {dev:.3e} exceeds {max_deviation:.1e}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="?", type=Path,
+                        default=DEFAULT_RESULTS,
+                        help="engine bench results JSON "
+                             "(default: benchmarks/out/engine_fft.json)")
+    parser.add_argument("--max-slowdown", type=float, default=1.10,
+                        help="allowed default-path time as a multiple of "
+                             "the seed baseline (default 1.10)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required fft-vs-spatial speedup (default 3.0)")
+    parser.add_argument("--max-deviation", type=float, default=1e-10,
+                        help="allowed max abs deviation between engines")
+    args = parser.parse_args(argv)
+
+    try:
+        results = json.loads(args.results.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"engine gate: cannot read {args.results}: {exc}",
+              file=sys.stderr)
+        print("run: PYTHONPATH=src python -m pytest "
+              "benchmarks/test_bench_engine_fft.py", file=sys.stderr)
+        return 2
+
+    failures = check(results, args.max_slowdown, args.min_speedup,
+                     args.max_deviation)
+    timings = results["timings_s"]
+    print(
+        f"engine gate: fft {timings['fft_tiled']:.3f}s, seed "
+        f"{timings['legacy_fftconvolve_tiled']:.3f}s, spatial (est) "
+        f"{timings['spatial_estimated_tiled']:.1f}s, speedup "
+        f"{results['speedup_fft_vs_spatial']:.1f}x"
+    )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("engine gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,20 @@ import pytest
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
 
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as tier-2 ``bench``.
+
+    Tier-1 CI runs ``pytest -m "not bench" tests benchmarks`` (or just
+    the default ``pytest``, whose testpaths exclude this directory);
+    tier-2 selects ``-m bench``.
+    """
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
+
 
 def bench_n(default: int = 512) -> int:
     """Samples per axis for figure benches (REPRO_BENCH_N overrides)."""

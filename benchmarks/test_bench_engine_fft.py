@@ -1,0 +1,151 @@
+"""Engine bench — overlap-save FFT tile engine vs the spatial reference.
+
+Acceptance criterion of the engine PR: tiled generation of a 4096x4096
+Gaussian-spectrum surface with a >=129x129 kernel must be >=3x faster
+with ``--engine fft`` than the seed spatial path, with max abs deviation
+<= 1e-10 vs ``apply_kernel_valid``'s oracle, recorded in
+``benchmarks/out/engine_fft.json``.  The recorded row also carries the
+default-path (``auto``) timing and the pre-engine ``fftconvolve``
+timing, which ``benchmarks/check_engine_gate.py`` compares to enforce
+the <=10%-slowdown regression gate.
+
+The spatial engine is O(output * K^2) — a full 4096^2 run with a 129^2
+kernel would take tens of minutes — so its tiled time is measured on a
+256^2 output sample and scaled by the output count (the engine has no
+economy of scale to misrepresent: cost is exactly proportional to
+output samples for a fixed kernel).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import (
+    ConvolutionGenerator,
+    _apply_kernel_valid_fftconvolve,
+    apply_kernel_valid_fft,
+    apply_kernel_valid_spatial,
+    noise_window_for,
+    select_engine,
+)
+from repro.core.engine import plan_cache
+from repro.core.grid import Grid2D
+from repro.core.rng import BlockNoise
+from repro.core.spectra import GaussianSpectrum
+from repro.parallel.tiles import TilePlan
+
+SURFACE = 4096
+TILE = 512
+TRUNC = (64, 64)  # -> 129 x 129 kernel
+SPATIAL_SAMPLE = 256  # spatial oracle sample edge (extrapolated)
+
+
+@pytest.fixture(scope="module")
+def gen():
+    grid = Grid2D(nx=256, ny=256, lx=256.0, ly=256.0)  # dx = 1
+    spec = GaussianSpectrum(h=1.0, clx=24.0, cly=24.0)
+    return ConvolutionGenerator(spec, grid, truncation=TRUNC, engine="fft")
+
+
+def _tiled_conv(gen, noise: BlockNoise, plan: TilePlan, conv):
+    """Run ``conv(kernel, window)`` over every tile of ``plan``.
+
+    Returns ``(surface, conv_seconds)``.  Only the per-tile valid
+    correlations are timed: reading the tile's noise window from the
+    deterministic noise plane costs the same for every engine (it is the
+    halo-exchange analogue, not engine work), and its jitter would
+    otherwise swamp the engine delta this bench exists to measure.
+    """
+    out = np.empty((plan.total_nx, plan.total_ny))
+    elapsed = 0.0
+    for t in plan:
+        wx0, wy0, wnx, wny = noise_window_for(gen.kernel, t.x0, t.y0,
+                                              t.nx, t.ny)
+        window = noise.window(wx0, wy0, wnx, wny)
+        t0 = time.perf_counter()
+        tile = conv(gen.kernel, window)
+        elapsed += time.perf_counter() - t0
+        out[t.x0 : t.x1, t.y0 : t.y1] = tile
+    return out, elapsed
+
+
+def test_bench_engine_fft_speedup(benchmark, record, gen):
+    kernel_shape = gen.footprint
+    assert kernel_shape[0] >= 129 and kernel_shape[1] >= 129
+    assert select_engine(kernel_shape) == "fft"  # auto == fft at this size
+
+    noise = BlockNoise(seed=41)
+    plan = TilePlan(total_nx=SURFACE, total_ny=SURFACE,
+                    tile_nx=TILE, tile_ny=TILE)
+
+    # Warm both code paths (scipy FFT workspaces, page cache) so the
+    # timed passes compare steady-state costs.
+    gen.generate_window(noise, 0, 0, TILE, TILE)
+    _apply_kernel_valid_fftconvolve(
+        gen.kernel, noise.window(0, 0, TILE + 128, TILE + 128)
+    )
+
+    # --- FFT engine (the auto-dispatch default for this kernel) --------
+    plan_cache.clear()
+    fft_surface, t_fft = _tiled_conv(gen, noise, plan, apply_kernel_valid_fft)
+    cache_stats = plan_cache.stats().as_dict()
+
+    # --- seed baseline: per-tile fftconvolve ---------------------------
+    legacy, t_legacy = _tiled_conv(gen, noise, plan,
+                                   _apply_kernel_valid_fftconvolve)
+
+    maxdev_legacy = float(np.max(np.abs(fft_surface - legacy)))
+    del legacy
+
+    # --- spatial oracle on a sample tile, extrapolated -----------------
+    wx0, wy0, wnx, wny = noise_window_for(
+        gen.kernel, 0, 0, SPATIAL_SAMPLE, SPATIAL_SAMPLE
+    )
+    window = noise.window(wx0, wy0, wnx, wny)
+    t0 = time.perf_counter()
+    spatial_sample = apply_kernel_valid_spatial(gen.kernel, window)
+    t_sample = time.perf_counter() - t0
+    t_spatial_est = t_sample * (SURFACE * SURFACE) / SPATIAL_SAMPLE**2
+    maxdev_spatial = float(np.max(np.abs(
+        fft_surface[:SPATIAL_SAMPLE, :SPATIAL_SAMPLE] - spatial_sample
+    )))
+
+    speedup = t_spatial_est / t_fft
+
+    # timing-table entry: one warm-cache tile through the FFT engine
+    benchmark.pedantic(
+        lambda: gen.generate_window(noise, 0, 0, TILE, TILE),
+        rounds=3, iterations=1,
+    )
+
+    record("engine_fft", {
+        "claim": "overlap-save FFT engine >=3x over the spatial path at "
+                 "4096^2 / 129^2 kernel, <=1e-10 deviation",
+        "surface": [SURFACE, SURFACE],
+        "tile": [TILE, TILE],
+        "kernel": list(kernel_shape),
+        "tiles": len(plan),
+        "default_engine_for_kernel": select_engine(kernel_shape),
+        "timings_s": {
+            "fft_tiled": t_fft,
+            "legacy_fftconvolve_tiled": t_legacy,
+            "spatial_sample": t_sample,
+            "spatial_estimated_tiled": t_spatial_est,
+        },
+        "spatial_sample_edge": SPATIAL_SAMPLE,
+        "speedup_fft_vs_spatial": speedup,
+        "speedup_fft_vs_legacy": t_legacy / t_fft,
+        "max_abs_dev_fft_vs_legacy": maxdev_legacy,
+        "max_abs_dev_fft_vs_spatial_sample": maxdev_spatial,
+        "plan_cache": cache_stats,
+    })
+
+    assert speedup >= 3.0
+    assert maxdev_legacy <= 1e-10
+    assert maxdev_spatial <= 1e-10
+    # one plan, reused by every tile of the FFT pass
+    assert cache_stats["misses"] == 1
+    assert cache_stats["hits"] == len(plan) - 1

@@ -42,7 +42,7 @@ from typing import List, Optional
 import numpy as np
 
 from ._version import __version__
-from .core.convolution import ConvolutionGenerator
+from .core.convolution import ENGINES, ConvolutionGenerator
 from .core.grid import Grid2D
 from .core.spectra import (
     ExponentialSpectrum,
@@ -114,7 +114,9 @@ def _emit_surface(surface: Surface, args: argparse.Namespace) -> None:
 def _cmd_generate(args: argparse.Namespace) -> int:
     grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
     spectrum = _spectrum_from_args(args)
-    gen = ConvolutionGenerator(spectrum, grid, truncation=args.truncation)
+    gen = ConvolutionGenerator(
+        spectrum, grid, truncation=args.truncation, engine=args.engine
+    )
     heights = gen.generate(seed=args.seed)
     surface = Surface(
         heights=heights,
@@ -123,6 +125,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             "method": "convolution",
             "spectrum": spectrum.to_dict(),
             "seed": args.seed,
+            "engine": args.engine,
         },
     )
     _emit_surface(surface, args)
@@ -258,6 +261,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_args(g)
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--truncation", type=float, default=0.9999)
+    g.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="auto",
+        help="convolution engine: auto picks spatial for small kernels "
+        "and the plan-cached overlap-save FFT otherwise",
+    )
     g.add_argument("--npz", default=None, help="write surface NPZ")
     g.add_argument("--pgm", default=None, help="write grayscale PGM")
     g.add_argument("--ppm", default=None, help="write terrain PPM")

@@ -2,14 +2,25 @@
 and inhomogeneous generation (the paper's primary contribution)."""
 
 from .convolution import (
+    ENGINES,
     ConvolutionGenerator,
     apply_kernel_valid,
+    apply_kernel_valid_fft,
+    apply_kernel_valid_spatial,
     convolve_full,
     convolve_reference,
     convolve_spatial,
     generate_window,
     noise_window_for,
     resolve_kernel,
+    select_engine,
+)
+from .engine import (
+    CacheStats,
+    KernelPlan,
+    KernelPlanCache,
+    choose_block_shape,
+    plan_cache,
 )
 from .ensemble import RunningFieldStats, ensemble_seeds, generate_ensemble
 from .direct_dft import (
@@ -96,8 +107,12 @@ __all__ = [
     "direct_surface_from_array",
     # convolution
     "ConvolutionGenerator", "convolve_full", "convolve_spatial",
-    "convolve_reference", "apply_kernel_valid", "generate_window",
-    "noise_window_for", "resolve_kernel",
+    "convolve_reference", "apply_kernel_valid", "apply_kernel_valid_spatial",
+    "apply_kernel_valid_fft", "generate_window",
+    "noise_window_for", "resolve_kernel", "select_engine", "ENGINES",
+    # FFT engine / plan cache
+    "KernelPlan", "KernelPlanCache", "CacheStats", "choose_block_shape",
+    "plan_cache",
     # inhomogeneous
     "InhomogeneousGenerator", "PointOrientedLayout", "PointSpec",
     "point_oriented_weights", "blend_fields", "blend_reference", "kernel_stack",

@@ -23,13 +23,27 @@ advantages — follow:
    kernel support is compact; truncating it (``truncate_kernel*``) cuts
    cost proportionally at a controlled variance/shape error.
 
-Two execution paths are provided and tested against each other:
+Execution paths, tested against each other:
 
 * :func:`convolve_full` — FFT circular path, *identical* (to rounding)
   to the direct DFT method with matched noise (experiment C1);
-* :func:`convolve_spatial` / :func:`apply_kernel_valid` — explicit
+* :func:`convolve_spatial` / :func:`apply_kernel_valid` — valid-mode
   correlation with a (possibly truncated) kernel, used for windowed,
-  streamed and tiled generation.
+  streamed and tiled generation.  Three interchangeable engines compute
+  it (``--engine {auto,spatial,fft}`` on the CLI):
+
+  ``"spatial"``
+      Explicit sliding correlation, O(out * K^2).  The reference oracle
+      for the equivalence tests, and the fastest choice for very small
+      kernels where FFT setup dominates.
+  ``"fft"``
+      Overlap-save FFT (:func:`apply_kernel_valid_fft`) with the
+      process-wide :data:`repro.core.engine.plan_cache`: the padded
+      kernel spectrum is computed once per ``(kernel, block shape)`` and
+      reused across tiles, strips, and inhomogeneous regions.
+  ``"auto"``
+      Dispatch by kernel support (:func:`select_engine`): spatial below
+      ``SPATIAL_KERNEL_AREA_MAX`` kernel samples, FFT above.
 
 For literal-minded verification, :func:`convolve_reference` evaluates
 eqn (36) by direct summation (O(N^2 K^2); tests only).
@@ -37,11 +51,14 @@ eqn (36) by direct summation (O(N^2 K^2); tests only).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Tuple, Union
 
 import numpy as np
+from scipy import fft as sfft
 from scipy import signal
 
+from .engine import KernelPlanCache, choose_block_shape, plan_cache
 from .grid import Grid2D
 from .rng import BlockNoise, SeedLike, as_generator, standard_normal_field
 from .spectra import Spectrum
@@ -58,6 +75,11 @@ __all__ = [
     "convolve_spatial",
     "convolve_reference",
     "apply_kernel_valid",
+    "apply_kernel_valid_spatial",
+    "apply_kernel_valid_fft",
+    "select_engine",
+    "ENGINES",
+    "SPATIAL_KERNEL_AREA_MAX",
     "noise_window_for",
     "generate_window",
     "resolve_kernel",
@@ -65,6 +87,34 @@ __all__ = [
 ]
 
 TruncationSpec = Union[None, float, Tuple[int, int]]
+
+#: Valid values for the ``engine`` argument of the windowed paths.
+ENGINES = ("auto", "spatial", "fft")
+
+#: ``auto`` dispatch threshold: kernels with at most this many samples
+#: run through the explicit spatial correlation (cheaper than an FFT
+#: round-trip at ~1-2 ns per kernel-sample per output on current CPUs);
+#: larger kernels take the plan-cached overlap-save FFT engine.
+SPATIAL_KERNEL_AREA_MAX = 49
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {'|'.join(ENGINES)}"
+        )
+    return engine
+
+
+def select_engine(kernel_shape: Tuple[int, int]) -> str:
+    """The ``auto``-dispatch decision: ``"spatial"`` or ``"fft"``.
+
+    Purely a function of the kernel support so that every tile of a run
+    (and every worker process) makes the same choice — a prerequisite
+    for bit-identical serial/thread/process execution.
+    """
+    kx, ky = kernel_shape
+    return "spatial" if kx * ky <= SPATIAL_KERNEL_AREA_MAX else "fft"
 
 
 def convolve_full(
@@ -101,6 +151,8 @@ def convolve_spatial(
     kernel: Kernel,
     noise: np.ndarray,
     boundary: str = "wrap",
+    engine: str = "auto",
+    cache: Optional[KernelPlanCache] = None,
 ) -> np.ndarray:
     """Apply a centred kernel to a noise field of the output's shape.
 
@@ -112,6 +164,9 @@ def convolve_spatial(
     ``"reflect"`` / ``"zero"``
         Non-periodic edge handling (useful when the physical surface is a
         patch, not a torus).  ``"zero"`` tapers variance near edges.
+
+    ``engine``/``cache`` select the valid-correlation engine, see
+    :func:`apply_kernel_valid`.
     """
     noise = np.asarray(noise, dtype=float)
     if noise.ndim != 2:
@@ -128,10 +183,25 @@ def convolve_spatial(
     else:
         raise ValueError(f"unknown boundary {boundary!r}")
     padded = np.pad(noise, ((px_lo, px_hi), (py_lo, py_hi)), mode=mode)
-    return apply_kernel_valid(kernel, padded)
+    return apply_kernel_valid(kernel, padded, engine=engine, cache=cache)
 
 
-def apply_kernel_valid(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
+def _check_valid_shapes(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
+    noise = np.asarray(noise, dtype=float)
+    kx, ky = kernel.shape
+    if noise.shape[0] < kx or noise.shape[1] < ky:
+        raise ValueError(
+            f"noise window {noise.shape} smaller than kernel {kernel.shape}"
+        )
+    return noise
+
+
+def apply_kernel_valid(
+    kernel: Kernel,
+    noise: np.ndarray,
+    engine: str = "auto",
+    cache: Optional[KernelPlanCache] = None,
+) -> np.ndarray:
     """Valid-mode correlation: the core windowed-generation primitive.
 
     ``out[i, j] = sum_k kernel[k] * noise[i + k_x, j + k_y]`` for every
@@ -139,15 +209,133 @@ def apply_kernel_valid(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
     is ``noise.shape - kernel.shape + 1``.  Output sample ``(i, j)``
     corresponds to the noise-plane location ``(i + cx, j + cy)``.
 
-    Uses FFT-based correlation (``scipy.signal.fftconvolve`` on the
-    flipped kernel) — O((N+K) log(N+K)) per axis rather than O(N K).
+    Parameters
+    ----------
+    engine:
+        ``"spatial"`` (explicit correlation, the reference oracle),
+        ``"fft"`` (plan-cached overlap-save FFT), or ``"auto"``
+        (dispatch by kernel support, :func:`select_engine`).  All
+        engines agree to < 1e-12 absolute for unit-variance surfaces
+        (property-tested) and each is individually deterministic.
+    cache:
+        Plan cache for the FFT engine (default: the process-wide
+        :data:`repro.core.engine.plan_cache`).
     """
-    noise = np.asarray(noise, dtype=float)
+    engine = _check_engine(engine)
+    if engine == "auto":
+        engine = select_engine(kernel.shape)
+    if engine == "spatial":
+        return apply_kernel_valid_spatial(kernel, noise)
+    return apply_kernel_valid_fft(kernel, noise, cache=cache)
+
+
+def apply_kernel_valid_spatial(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
+    """Explicit spatial evaluation of the valid correlation.
+
+    Accumulates one shifted noise slab per kernel sample — O(out * K^2)
+    but allocation-light and exactly the printed sum of eqn (36), which
+    makes it both the reference oracle for the FFT engine and the
+    fastest path for very small (truncated) kernels.
+    """
+    noise = _check_valid_shapes(kernel, noise)
     kx, ky = kernel.shape
-    if noise.shape[0] < kx or noise.shape[1] < ky:
+    onx = noise.shape[0] - kx + 1
+    ony = noise.shape[1] - ky + 1
+    out = np.zeros((onx, ony))
+    values = kernel.values
+    for dx in range(kx):
+        row = values[dx]
+        for dy in range(ky):
+            c = row[dy]
+            if c == 0.0:
+                continue
+            out += c * noise[dx : dx + onx, dy : dy + ony]
+    return out
+
+
+def apply_kernel_valid_fft(
+    kernel: Kernel,
+    noise: np.ndarray,
+    cache: Optional[KernelPlanCache] = None,
+    block_shape: Optional[Tuple[int, int]] = None,
+) -> np.ndarray:
+    """Overlap-save FFT evaluation of the valid correlation.
+
+    The noise window is processed in FFT blocks (one block when the
+    window is small, fixed-size blocks stepped by ``block - kernel + 1``
+    when it is large, see :func:`repro.core.engine.choose_block_shape`);
+    each block is transformed with ``rfft2``, multiplied by the cached
+    padded-kernel spectrum, and inverse-transformed, keeping only the
+    wrap-free samples.  The kernel transform itself comes from ``cache``
+    — across a tiled or streamed run it is computed once per kernel and
+    block shape, which is what makes this the production hot path.
+
+    Parameters
+    ----------
+    cache:
+        Plan cache (default: process-wide :data:`~repro.core.engine.
+        plan_cache`).
+    block_shape:
+        Explicit per-axis FFT lengths (testing/tuning); must be at least
+        the kernel support per axis.  Default: automatic policy.
+
+    Notes
+    -----
+    Results are a pure function of ``(kernel, noise, block shape)`` —
+    cache hits, misses, and rebuilds in other processes produce
+    bit-identical output, so all executor backends agree exactly.
+    """
+    noise = _check_valid_shapes(kernel, noise)
+    kx, ky = kernel.shape
+    onx = noise.shape[0] - kx + 1
+    ony = noise.shape[1] - ky + 1
+    # h = 0 (or an all-zero truncation) synthesises the flat surface; do
+    # not route it through the cache, whose normalised plans assume a
+    # non-degenerate amplitude.
+    if kernel.scale == 0.0 or not np.any(kernel.values):
+        return np.zeros((onx, ony))
+    if block_shape is None:
+        block_shape = choose_block_shape(noise.shape, kernel.shape)
+    bx, by = int(block_shape[0]), int(block_shape[1])
+    if bx < kx or by < ky:
         raise ValueError(
-            f"noise window {noise.shape} smaller than kernel {kernel.shape}"
+            f"block_shape {block_shape} smaller than kernel {kernel.shape}"
         )
+    plan = (cache if cache is not None else plan_cache).get_plan(
+        kernel, (bx, by)
+    )
+    factor = kernel.plan_scale  # undoes the plan's normalisation
+    out = np.empty((onx, ony))
+    step_x = bx - kx + 1
+    step_y = by - ky + 1
+    for x0 in range(0, onx, step_x):
+        nx_blk = min(step_x, onx - x0)
+        for y0 in range(0, ony, step_y):
+            ny_blk = min(step_y, ony - y0)
+            seg = noise[x0 : x0 + bx, y0 : y0 + by]
+            spec = sfft.rfft2(seg, s=(bx, by))
+            spec *= plan.kfft
+            conv = sfft.irfft2(spec, s=(bx, by))
+            # circular wrap contaminates only the first kernel-1 rows /
+            # columns of each block; the rest equals the linear result
+            out[x0 : x0 + nx_blk, y0 : y0 + ny_blk] = conv[
+                kx - 1 : kx - 1 + nx_blk, ky - 1 : ky - 1 + ny_blk
+            ]
+    if factor != 1.0:
+        out *= factor
+    return out
+
+
+def _apply_kernel_valid_fftconvolve(kernel: Kernel, noise: np.ndarray
+                                    ) -> np.ndarray:
+    """The pre-engine implementation (``scipy.signal.fftconvolve``).
+
+    Re-transforms the kernel on every call; retained as the seed-state
+    baseline for the perf-regression gate
+    (``benchmarks/check_engine_gate.py``) and as an extra cross-check in
+    the equivalence tests.  Not part of the public engine choices.
+    """
+    noise = _check_valid_shapes(kernel, noise)
     flipped = kernel.values[::-1, ::-1]
     out = signal.fftconvolve(noise, flipped, mode="valid")
     return np.ascontiguousarray(out)
@@ -194,18 +382,20 @@ def generate_window(
     y0: int,
     nx: int,
     ny: int,
+    engine: str = "auto",
+    cache: Optional[KernelPlanCache] = None,
 ) -> np.ndarray:
     """Generate an arbitrary window of the infinite surface (advantage (a)).
 
     The surface value at global index ``(i, j)`` is a deterministic
-    function of ``(kernel, noise.seed)``; windows generated separately
-    agree on overlaps (exactly in the underlying noise, to FFT rounding
-    ~1e-15 in the heights), which is what enables streaming strips,
-    parallel tiles, and surfaces of unbounded extent.
+    function of ``(kernel, noise.seed, engine)``; windows generated
+    separately agree on overlaps (exactly in the underlying noise, to
+    FFT rounding ~1e-15 in the heights), which is what enables streaming
+    strips, parallel tiles, and surfaces of unbounded extent.
     """
     wx0, wy0, wnx, wny = noise_window_for(kernel, x0, y0, nx, ny)
     window = noise.window(wx0, wy0, wnx, wny)
-    return apply_kernel_valid(kernel, window)
+    return apply_kernel_valid(kernel, window, engine=engine, cache=cache)
 
 
 def resolve_kernel(
@@ -216,13 +406,36 @@ def resolve_kernel(
     ``truncation`` may be ``None`` (full kernel), a float in (0, 1]
     (energy fraction, see :func:`truncate_kernel_energy`), or an explicit
     ``(half_x, half_y)`` tuple of one-sided supports in samples.
+
+    The returned kernel carries a plan-cache ``identity`` — spectrum
+    parameters normalised to unit ``h``, grid geometry, and the
+    truncation spec — and ``scale = h``: spectra differing only in
+    height std then share one cached FFT plan (the synthesis is linear
+    in ``h``), see :mod:`repro.core.engine`.
     """
     kernel = build_kernel(spectrum, grid)
     if truncation is None:
+        pass
+    elif isinstance(truncation, tuple):
+        kernel = truncate_kernel(kernel, *truncation)
+    else:
+        kernel = truncate_kernel_energy(kernel, float(truncation))
+    trunc_token = (
+        tuple(int(t) for t in truncation)
+        if isinstance(truncation, tuple)
+        else truncation
+    )
+    try:
+        unit = spectrum.with_params(h=1.0) if spectrum.h != 1.0 else spectrum
+        identity = (
+            unit,
+            grid.nx, grid.ny, float(grid.dx), float(grid.dy),
+            trunc_token,
+        )
+        hash(identity)  # custom spectra may be unhashable -> fingerprint
+    except (TypeError, ValueError):
         return kernel
-    if isinstance(truncation, tuple):
-        return truncate_kernel(kernel, *truncation)
-    return truncate_kernel_energy(kernel, float(truncation))
+    return replace(kernel, identity=identity, scale=float(spectrum.h))
 
 
 class ConvolutionGenerator:
@@ -246,6 +459,10 @@ class ConvolutionGenerator:
         Kernel truncation spec, see :func:`resolve_kernel`.  Default
         retains 99.99% of the kernel energy, which keeps windowed
         generation cheap while changing the surface variance by < 0.01%.
+    engine:
+        Valid-correlation engine for the windowed paths
+        (``"auto"`` | ``"spatial"`` | ``"fft"``), see
+        :func:`apply_kernel_valid`.
 
     Examples
     --------
@@ -265,10 +482,12 @@ class ConvolutionGenerator:
         spectrum: Spectrum,
         grid: Grid2D,
         truncation: TruncationSpec = 0.9999,
+        engine: str = "auto",
     ) -> None:
         self.spectrum = spectrum
         self.grid = grid
         self.truncation = truncation
+        self.engine = _check_engine(engine)
         self.kernel = resolve_kernel(spectrum, grid, truncation)
 
     # ------------------------------------------------------------------
@@ -293,13 +512,17 @@ class ConvolutionGenerator:
             noise = standard_normal_field(self.grid.shape, seed)
         if exact:
             return convolve_full(self.spectrum, self.grid, noise=noise)
-        return convolve_spatial(self.kernel, noise, boundary=boundary)
+        return convolve_spatial(
+            self.kernel, noise, boundary=boundary, engine=self.engine
+        )
 
     def generate_window(
         self, noise: BlockNoise, x0: int, y0: int, nx: int, ny: int
     ) -> np.ndarray:
         """Window ``[x0, x0+nx) x [y0, y0+ny)`` of the infinite surface."""
-        return generate_window(self.kernel, noise, x0, y0, nx, ny)
+        return generate_window(
+            self.kernel, noise, x0, y0, nx, ny, engine=self.engine
+        )
 
     @property
     def footprint(self) -> Tuple[int, int]:
@@ -309,5 +532,6 @@ class ConvolutionGenerator:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ConvolutionGenerator(spectrum={self.spectrum!r}, "
-            f"footprint={self.footprint}, truncation={self.truncation!r})"
+            f"footprint={self.footprint}, truncation={self.truncation!r}, "
+            f"engine={self.engine!r})"
         )

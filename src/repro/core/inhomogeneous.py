@@ -43,6 +43,7 @@ from ..fields.parameter_map import WeightMap
 from ..fields.transition import get_profile
 from .convolution import (
     TruncationSpec,
+    _check_engine,
     apply_kernel_valid,
     convolve_spatial,
     noise_window_for,
@@ -310,6 +311,15 @@ class InhomogeneousGenerator:
     truncation:
         Kernel truncation spec passed to each homogeneous kernel (see
         :func:`repro.core.convolution.resolve_kernel`).
+    engine:
+        Valid-correlation engine for every homogeneous convolution
+        (``"auto"`` | ``"spatial"`` | ``"fft"``, see
+        :func:`repro.core.convolution.apply_kernel_valid`).  Because the
+        kernels come from :func:`~repro.core.convolution.resolve_kernel`
+        they carry plan-cache identities: under the FFT engine each
+        region's kernel transform is computed once and reused across
+        every tile/strip of a run — the M-region blend then costs M
+        block FFTs per tile, not M kernel transforms.
 
     Examples
     --------
@@ -331,10 +341,12 @@ class InhomogeneousGenerator:
         layout: Layout,
         grid: Grid2D,
         truncation: TruncationSpec = 0.9999,
+        engine: str = "auto",
     ) -> None:
         self.layout = layout
         self.grid = grid
         self.truncation = truncation
+        self.engine = _check_engine(engine)
         self._weight_map: Optional[WeightMap] = None
         self._kernels: Optional[List[Kernel]] = None
 
@@ -378,7 +390,8 @@ class InhomogeneousGenerator:
             )
         wm = self.weight_map
         fields = [
-            convolve_spatial(k, noise, boundary=boundary) for k in self.kernels
+            convolve_spatial(k, noise, boundary=boundary, engine=self.engine)
+            for k in self.kernels
         ]
         heights = blend_fields(wm.weights, fields)
         return Surface(
@@ -390,6 +403,7 @@ class InhomogeneousGenerator:
                 "spectra": [s.to_dict() for s in wm.spectra],
                 "truncation": repr(self.truncation),
                 "boundary": boundary,
+                "engine": self.engine,
             },
         )
 
@@ -413,7 +427,9 @@ class InhomogeneousGenerator:
             kern = self._kernel_for(spec)
             wx0, wy0, wnx, wny = noise_window_for(kern, x0, y0, nx, ny)
             window = noise.window(wx0, wy0, wnx, wny)
-            fields.append(apply_kernel_valid(kern, window))
+            fields.append(
+                apply_kernel_valid(kern, window, engine=self.engine)
+            )
         heights = blend_fields(wm.weights, fields)
         return Surface(
             heights=heights,
@@ -424,6 +440,7 @@ class InhomogeneousGenerator:
                 "layout": type(self.layout).__name__,
                 "window": [x0, y0, nx, ny],
                 "noise_seed": noise.seed,
+                "engine": self.engine,
             },
         )
 

@@ -34,8 +34,10 @@ that eqn (36) becomes an ordinary centred convolution.  Kernel truncation
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from functools import cached_property
+from typing import Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -101,6 +103,16 @@ def weight_autocorrelation(spectrum: Spectrum, grid: Grid2D) -> np.ndarray:
     return np.ascontiguousarray(acf.real)
 
 
+def _validate_energy_fraction(energy_fraction: float) -> None:
+    """Reject energy fractions outside (0, 1] (incl. NaN) with a clear error."""
+    ef = float(energy_fraction)
+    if not (0.0 < ef <= 1.0):  # NaN fails every comparison -> rejected too
+        raise ValueError(
+            f"energy_fraction must be in (0, 1], got {energy_fraction!r}; "
+            "1.0 keeps the full kernel, values near 1 truncate mildly"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Convolution kernel (paper eqns 34-35)
 # ---------------------------------------------------------------------------
@@ -121,6 +133,19 @@ class Kernel:
     energy:
         ``sum(values**2)``; equals the variance of the surface the kernel
         generates from unit white noise.
+    identity:
+        Optional hashable provenance token for the FFT plan cache
+        (:mod:`repro.core.engine`).  Kernels sharing an identity must be
+        exact scalar multiples of each other with ratio ``scale``;
+        :func:`repro.core.convolution.resolve_kernel` sets it to the
+        unit-``h`` spectrum parameters + grid spacing + truncation spec.
+        Anything that changes the values (truncation, arithmetic) must
+        drop it — hence plain constructors leave it ``None`` and the
+        cache falls back to a content :attr:`fingerprint`.
+    scale:
+        Linear amplitude relative to the ``identity``'s unit kernel
+        (``h`` for spectrum-built kernels); only meaningful when
+        ``identity`` is set.
     """
 
     values: np.ndarray
@@ -128,6 +153,8 @@ class Kernel:
     cy: int
     dx: float
     dy: float
+    identity: Optional[Hashable] = None
+    scale: float = 1.0
 
     def __post_init__(self) -> None:
         v = self.values
@@ -153,6 +180,44 @@ class Kernel:
     def half_width_y(self) -> int:
         """Max one-sided support in y (samples)."""
         return max(self.cy, self.shape[1] - 1 - self.cy)
+
+    # -- plan-cache identity -------------------------------------------
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash of the kernel (geometry, spacing, and values).
+
+        Exact (byte-level) and therefore safe as a cache key for any
+        kernel, including hand-built ones; computed lazily and cached on
+        the instance (the dataclass is frozen, so values never change).
+        """
+        meta = np.array(
+            [self.shape[0], self.shape[1], self.cx, self.cy], dtype=np.int64
+        )
+        digest = hashlib.sha1()
+        digest.update(meta.tobytes())
+        digest.update(np.array([self.dx, self.dy], dtype=float).tobytes())
+        digest.update(np.ascontiguousarray(self.values).tobytes())
+        return digest.hexdigest()
+
+    @property
+    def plan_key(self) -> Hashable:
+        """Key under which the FFT plan cache files this kernel.
+
+        Identity-carrying kernels share plans across amplitude scalings
+        (``h`` variants); zero-scale (``h = 0``) kernels must not poison
+        the shared entry with an unnormalisable plan, so they fall back
+        to the exact fingerprint, as do anonymous kernels.
+        """
+        if self.identity is not None and self.scale != 0.0:
+            return ("id", self.identity)
+        return ("fp", self.fingerprint)
+
+    @property
+    def plan_scale(self) -> float:
+        """Normalisation the plan cache applies for this kernel's key."""
+        if self.identity is not None and self.scale != 0.0:
+            return float(self.scale)
+        return 1.0
 
 
 def build_kernel(spectrum: Spectrum, grid: Grid2D) -> Kernel:
@@ -217,8 +282,7 @@ def kernel_half_width(kernel: Kernel, energy_fraction: float = 0.999) -> Tuple[i
     ``(half_x, half_y)`` scaled by the kernel aspect ratio.  Used by
     :func:`truncate_kernel_energy` and by the kernel-scaling bench (C2).
     """
-    if not 0.0 < energy_fraction <= 1.0:
-        raise ValueError("energy_fraction must be in (0, 1]")
+    _validate_energy_fraction(energy_fraction)
     total = kernel.energy
     if total == 0.0:
         return (0, 0)
@@ -246,7 +310,13 @@ def truncate_kernel_energy(kernel: Kernel, energy_fraction: float = 0.999,
         If true (default), rescale the truncated kernel so its energy
         equals the original: truncation then changes the correlation
         *shape* slightly but preserves the height variance exactly.
+
+    Raises
+    ------
+    ValueError
+        If ``energy_fraction`` lies outside ``(0, 1]`` (or is NaN).
     """
+    _validate_energy_fraction(energy_fraction)
     hx, hy = kernel_half_width(kernel, energy_fraction)
     sub = truncate_kernel(kernel, hx, hy)
     if renormalise and sub.energy > 0.0:

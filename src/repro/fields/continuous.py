@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.convolution import (
     TruncationSpec,
+    _check_engine,
     apply_kernel_valid,
     convolve_spatial,
     noise_window_for,
@@ -91,6 +92,10 @@ class ContinuousGenerator:
         interpolation = more convolutions per surface.
     truncation:
         Kernel truncation spec per level.
+    engine:
+        Convolution engine for every per-level correlation: ``"auto"``
+        (dispatch by kernel size), ``"spatial"`` or ``"fft"`` — see
+        :func:`repro.core.convolution.apply_kernel_valid`.
 
     Examples
     --------
@@ -114,12 +119,14 @@ class ContinuousGenerator:
         grid: Grid2D,
         levels: int | Sequence[float] = 5,
         truncation: TruncationSpec = 0.999,
+        engine: str = "auto",
     ) -> None:
         self.family = family
         self.h_field = h_field
         self.cl_field = cl_field
         self.grid = grid
         self.truncation = truncation
+        self.engine = _check_engine(engine)
 
         if isinstance(levels, (int, np.integer)):
             if levels < 1:
@@ -176,7 +183,7 @@ class ContinuousGenerator:
         if noise.shape != self.grid.shape:
             raise ValueError("noise shape does not match the grid")
         fields = [
-            convolve_spatial(k, noise, boundary=boundary)
+            convolve_spatial(k, noise, boundary=boundary, engine=self.engine)
             for k in self._kernels
         ]
         gx, gy = self.grid.meshgrid()
@@ -188,6 +195,7 @@ class ContinuousGenerator:
                 "method": "continuous-parameters",
                 "levels": self.levels.tolist(),
                 "truncation": repr(self.truncation),
+                "engine": self.engine,
             },
         )
 
@@ -198,7 +206,9 @@ class ContinuousGenerator:
         for kern in self._kernels:
             wx0, wy0, wnx, wny = noise_window_for(kern, x0, y0, nx, ny)
             window = noise.window(wx0, wy0, wnx, wny)
-            fields.append(apply_kernel_valid(kern, window))
+            fields.append(
+                apply_kernel_valid(kern, window, engine=self.engine)
+            )
         win_grid = self.grid.with_shape(nx, ny)
         origin = (x0 * self.grid.dx, y0 * self.grid.dy)
         gx, gy = win_grid.meshgrid()
@@ -211,5 +221,6 @@ class ContinuousGenerator:
                 "method": "continuous-parameters-window",
                 "levels": self.levels.tolist(),
                 "noise_seed": noise.seed,
+                "engine": self.engine,
             },
         )

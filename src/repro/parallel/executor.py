@@ -37,6 +37,7 @@ from typing import Iterable, List, Optional, Protocol, Tuple
 
 import numpy as np
 
+from ..core.engine import plan_cache
 from ..core.rng import BlockNoise
 from ..core.surface import Surface
 from .tiles import Tile, TilePlan
@@ -106,6 +107,7 @@ def generate_tiled(
     grid = generator.grid  # type: ignore[attr-defined]
     out = np.empty((plan.total_nx, plan.total_ny), dtype=float)
     tiles = plan.tiles()
+    stats_before = plan_cache.stats()
 
     def place(tile: Tile, values: np.ndarray) -> None:
         ix = tile.x0 - plan.origin_x
@@ -139,14 +141,30 @@ def generate_tiled(
 
     big_grid = grid.with_shape(plan.total_nx, plan.total_ny)
     origin = (plan.origin_x * grid.dx, plan.origin_y * grid.dy)
+    provenance = {
+        "method": "tiled",
+        "backend": backend,
+        "tiles": len(tiles),
+        "noise_seed": noise.seed,
+    }
+    engine = getattr(generator, "engine", None)
+    if engine is not None:
+        provenance["engine"] = engine
+    footprint = getattr(generator, "footprint", None)
+    if footprint is not None:
+        read, output = plan.halo_samples(tuple(footprint))
+        provenance["halo_overhead"] = read / output - 1.0
+    if backend in ("serial", "thread"):
+        # Process workers hold their own plan caches; a delta against the
+        # parent's cache would be meaningless there.
+        stats_after = plan_cache.stats()
+        provenance["plan_cache"] = {
+            "hits": stats_after.hits - stats_before.hits,
+            "misses": stats_after.misses - stats_before.misses,
+        }
     return Surface(
         heights=out,
         grid=big_grid,
         origin=origin,
-        provenance={
-            "method": "tiled",
-            "backend": backend,
-            "tiles": len(tiles),
-            "noise_seed": noise.seed,
-        },
+        provenance=provenance,
     )

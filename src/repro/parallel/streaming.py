@@ -95,15 +95,19 @@ class StripStream:
         heights = _tile_heights(self.generator, self.noise, tile)
         self._emitted += 1
         grid = self.generator.grid.with_shape(tile.nx, tile.ny)  # type: ignore[attr-defined]
+        provenance = {
+            "method": "strip-stream",
+            "strip_index": self._emitted - 1,
+            "noise_seed": self.noise.seed,
+        }
+        engine = getattr(self.generator, "engine", None)
+        if engine is not None:
+            provenance["engine"] = engine
         return Surface(
             heights=heights,
             grid=grid,
             origin=(gx * grid.dx, self.y0 * grid.dy),
-            provenance={
-                "method": "strip-stream",
-                "strip_index": self._emitted - 1,
-                "noise_seed": self.noise.seed,
-            },
+            provenance=provenance,
         )
 
 
@@ -124,16 +128,20 @@ def stream_strips(
     if total_nx <= 0:
         raise ValueError("total_nx must be positive")
     emitted = 0
+    engine = getattr(generator, "engine", None)
     while emitted < total_nx:
         nx = min(strip_nx, total_nx - emitted)
         tile = Tile(x0=x0 + emitted, y0=y0, nx=nx, ny=width_ny)
         heights = _tile_heights(generator, noise, tile)
         grid = generator.grid.with_shape(tile.nx, tile.ny)  # type: ignore[attr-defined]
+        provenance = {"method": "strip-stream", "noise_seed": noise.seed}
+        if engine is not None:
+            provenance["engine"] = engine
         yield Surface(
             heights=heights,
             grid=grid,
             origin=(tile.x0 * grid.dx, y0 * grid.dy),
-            provenance={"method": "strip-stream", "noise_seed": noise.seed},
+            provenance=provenance,
         )
         emitted += nx
 

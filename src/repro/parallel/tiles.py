@@ -106,16 +106,29 @@ class TilePlan:
                 ny = min(self.tile_ny, self.origin_y + self.total_ny - gy)
                 yield Tile(x0=gx, y0=gy, nx=nx, ny=ny)
 
-    def halo_overhead(self, kernel_shape: Tuple[int, int]) -> float:
-        """Fraction of redundant noise reads caused by halos.
+    def halo_samples(self, kernel_shape: Tuple[int, int]) -> Tuple[int, int]:
+        """Noise-read accounting for this plan under ``kernel_shape``.
 
         Each tile reads a noise window inflated by ``kernel - 1`` per
-        axis; this returns (total noise samples read) / (output samples)
-        - 1.  Guides the tile-size choice: halo cost ~ K/tile per axis
-        (bench A2 sweeps this).
+        axis (the halo).  Returns ``(total_read, output)`` — the total
+        noise samples read across all tiles and the output sample count —
+        so executors can report halo cost in provenance without
+        re-walking the plan.
         """
         kx, ky = kernel_shape
+        if kx <= 0 or ky <= 0:
+            raise ValueError(f"kernel shape must be positive, got {kernel_shape}")
         read = 0
         for t in self:
             read += (t.nx + kx - 1) * (t.ny + ky - 1)
-        return read / (self.total_nx * self.total_ny) - 1.0
+        return read, self.total_nx * self.total_ny
+
+    def halo_overhead(self, kernel_shape: Tuple[int, int]) -> float:
+        """Fraction of redundant noise reads caused by halos.
+
+        ``(total noise samples read) / (output samples) - 1`` from
+        :meth:`halo_samples`.  Guides the tile-size choice: halo cost
+        ~ K/tile per axis (bench A2 sweeps this).
+        """
+        read, output = self.halo_samples(kernel_shape)
+        return read / output - 1.0

@@ -55,6 +55,30 @@ class TestGenerate:
                  ["generate", "--spectrum", "gaussian", "--h", "1.0",
                   "--n", "16", "--domain", "16"])
 
+    def test_generate_engine_flag(self, tmp_path, capsys):
+        surfaces = {}
+        for engine in ("auto", "spatial", "fft"):
+            out = tmp_path / f"{engine}.npz"
+            rc = main([
+                "generate", "--spectrum", "gaussian", "--h", "1.0",
+                "--cl", "20", "--n", "48", "--domain", "192", "--seed", "9",
+                "--engine", engine, "--npz", str(out),
+            ])
+            assert rc == 0
+            capsys.readouterr()
+            s = load_surface(out)
+            assert s.provenance["engine"] == engine
+            surfaces[engine] = s.heights
+        assert np.max(
+            np.abs(surfaces["spatial"] - surfaces["fft"])
+        ) <= 1e-10
+
+    def test_generate_engine_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "--cl", "20", "--n", "16", "--domain", "64",
+                  "--engine", "warp"])
+        assert "--engine" in capsys.readouterr().err
+
     def test_generate_anisotropic(self, capsys):
         rc = main([
             "generate", "--clx", "10", "--cly", "30",

@@ -2,19 +2,33 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.convolution import (
+    ENGINES,
+    SPATIAL_KERNEL_AREA_MAX,
     ConvolutionGenerator,
+    _apply_kernel_valid_fftconvolve,
     apply_kernel_valid,
+    apply_kernel_valid_fft,
+    apply_kernel_valid_spatial,
     convolve_full,
     convolve_reference,
     convolve_spatial,
     generate_window,
     noise_window_for,
     resolve_kernel,
+    select_engine,
 )
+from repro.core.engine import KernelPlanCache, choose_block_shape
 from repro.core.grid import Grid2D
 from repro.core.rng import BlockNoise, standard_normal_field
+from repro.core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    PowerLawSpectrum,
+)
 from repro.core.weights import Kernel, build_kernel, truncate_kernel
 
 
@@ -143,6 +157,162 @@ class TestResolveKernel:
     def test_float_energy(self, gaussian, grid):
         k = resolve_kernel(gaussian, grid, 0.99)
         assert k.shape[0] < grid.nx
+
+
+def _family_spectrum(family: str, h: float, cl: float):
+    if family == "gaussian":
+        return GaussianSpectrum(h=h, clx=cl, cly=cl)
+    if family == "exponential":
+        return ExponentialSpectrum(h=h, clx=cl, cly=cl)
+    return PowerLawSpectrum(h=h, clx=cl, cly=cl, order=2.0)
+
+
+class TestEngineDispatch:
+    def test_select_engine_threshold(self):
+        # 7x7 = 49 is the last spatial kernel; anything bigger goes FFT
+        assert select_engine((7, 7)) == "spatial"
+        assert select_engine((1, 1)) == "spatial"
+        assert select_engine((7, 8)) == "fft"
+        assert select_engine((129, 129)) == "fft"
+        assert SPATIAL_KERNEL_AREA_MAX == 7 * 7
+
+    def test_auto_small_kernel_is_bitwise_spatial(self, gaussian, grid):
+        kern = truncate_kernel(build_kernel(gaussian, grid), 3, 3)
+        noise = standard_normal_field((30, 30), seed=8)
+        assert np.array_equal(
+            apply_kernel_valid(kern, noise, engine="auto"),
+            apply_kernel_valid_spatial(kern, noise),
+        )
+
+    def test_auto_large_kernel_is_bitwise_fft(self, gaussian, grid):
+        kern = truncate_kernel(build_kernel(gaussian, grid), 8, 8)
+        noise = standard_normal_field((40, 40), seed=9)
+        assert np.array_equal(
+            apply_kernel_valid(kern, noise, engine="auto"),
+            apply_kernel_valid_fft(kern, noise),
+        )
+
+    def test_unknown_engine_rejected(self, gaussian, grid):
+        kern = build_kernel(gaussian, grid)
+        with pytest.raises(ValueError, match="unknown engine"):
+            apply_kernel_valid(kern, np.zeros(grid.shape), engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            ConvolutionGenerator(gaussian, grid, engine="warp")
+        assert ENGINES == ("auto", "spatial", "fft")
+
+    def test_generator_stores_engine(self, gaussian, grid):
+        gen = ConvolutionGenerator(gaussian, grid, engine="fft")
+        assert gen.engine == "fft"
+        assert "fft" in repr(gen)
+
+
+class TestEngineEquivalence:
+    """Satellite: property-based spatial/FFT interchangeability."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        family=st.sampled_from(["gaussian", "exponential", "power_law"]),
+        h=st.floats(0.05, 4.0),
+        cl=st.floats(4.0, 24.0),
+        n=st.integers(32, 72),
+        energy=st.floats(0.95, 0.9999),
+        out_x=st.integers(1, 40),
+        out_y=st.integers(1, 40),
+        seed=st.integers(0, 2**31),
+    )
+    def test_fft_matches_spatial_property(
+        self, family, h, cl, n, energy, out_x, out_y, seed
+    ):
+        grid = Grid2D(nx=n, ny=n, lx=4.0 * n, ly=4.0 * n)
+        kern = resolve_kernel(_family_spectrum(family, h, cl), grid, energy)
+        kx, ky = kern.shape
+        noise = np.random.default_rng(seed).standard_normal(
+            (kx + out_x - 1, ky + out_y - 1)
+        )
+        a = apply_kernel_valid_spatial(kern, noise)
+        b = apply_kernel_valid_fft(kern, noise, cache=KernelPlanCache())
+        assert a.shape == b.shape == (out_x, out_y)
+        assert np.max(np.abs(a - b)) <= 1e-10
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        family=st.sampled_from(["gaussian", "exponential", "power_law"]),
+        half_x=st.integers(0, 12),
+        half_y=st.integers(0, 12),
+        seed=st.integers(0, 2**31),
+    )
+    def test_fft_matches_spatial_explicit_truncation(
+        self, family, half_x, half_y, seed
+    ):
+        grid = Grid2D(nx=48, ny=48, lx=192.0, ly=192.0)
+        kern = resolve_kernel(
+            _family_spectrum(family, 1.3, 10.0), grid, (half_x, half_y)
+        )
+        noise = np.random.default_rng(seed).standard_normal(
+            (kern.shape[0] + 20, kern.shape[1] + 20)
+        )
+        a = apply_kernel_valid_spatial(kern, noise)
+        b = apply_kernel_valid_fft(kern, noise, cache=KernelPlanCache())
+        assert np.max(np.abs(a - b)) <= 1e-10
+
+    def test_fft_matches_legacy_fftconvolve(self, any_spectrum, grid):
+        kern = resolve_kernel(any_spectrum, grid, 0.999)
+        noise = standard_normal_field(
+            (kern.shape[0] + 30, kern.shape[1] + 30), seed=21
+        )
+        legacy = _apply_kernel_valid_fftconvolve(kern, noise)
+        fft = apply_kernel_valid_fft(kern, noise)
+        assert np.max(np.abs(legacy - fft)) <= 1e-10
+
+    def test_overlap_save_multiblock_matches_single_block(self, gaussian, grid):
+        # Force many small blocks and compare against one whole-window FFT:
+        # exercises the wrap-discard arithmetic across interior block seams.
+        kern = resolve_kernel(gaussian, grid, (6, 6))  # 13x13
+        noise = standard_normal_field((90, 83), seed=22)
+        whole = apply_kernel_valid_fft(
+            kern, noise, cache=KernelPlanCache(),
+            block_shape=choose_block_shape(noise.shape, kern.shape),
+        )
+        blocked = apply_kernel_valid_fft(
+            kern, noise, cache=KernelPlanCache(), block_shape=(16, 18)
+        )
+        spatial = apply_kernel_valid_spatial(kern, noise)
+        assert np.max(np.abs(whole - spatial)) <= 1e-10
+        assert np.max(np.abs(blocked - spatial)) <= 1e-10
+
+    def test_block_smaller_than_kernel_rejected(self, gaussian, grid):
+        kern = resolve_kernel(gaussian, grid, (6, 6))
+        noise = np.zeros((40, 40))
+        with pytest.raises(ValueError, match="block_shape"):
+            apply_kernel_valid_fft(kern, noise, block_shape=(8, 40))
+
+    @pytest.mark.parametrize("boundary", ["wrap", "reflect", "zero"])
+    def test_convolve_spatial_engines_match(self, any_spectrum, grid, boundary):
+        kern = resolve_kernel(any_spectrum, grid, 0.999)
+        x = standard_normal_field(grid.shape, seed=23)
+        a = convolve_spatial(kern, x, boundary=boundary, engine="spatial")
+        b = convolve_spatial(kern, x, boundary=boundary, engine="fft")
+        assert np.max(np.abs(a - b)) <= 1e-10
+
+    def test_generate_window_engines_match(self, any_spectrum, grid):
+        kern = resolve_kernel(any_spectrum, grid, 0.999)
+        bn = BlockNoise(seed=24)
+        a = generate_window(kern, bn, -7, 3, 33, 21, engine="spatial")
+        b = generate_window(kern, bn, -7, 3, 33, 21, engine="fft")
+        assert np.max(np.abs(a - b)) <= 1e-10
+
+    def test_engine_individually_deterministic(self, gaussian, grid):
+        kern = resolve_kernel(gaussian, grid, 0.999)
+        noise = standard_normal_field(
+            (kern.shape[0] + 10, kern.shape[1] + 10), seed=25
+        )
+        # fresh cache (miss) and warm cache (hit) must agree bit-for-bit
+        cache = KernelPlanCache()
+        first = apply_kernel_valid_fft(kern, noise, cache=cache)
+        second = apply_kernel_valid_fft(kern, noise, cache=cache)
+        other = apply_kernel_valid_fft(kern, noise, cache=KernelPlanCache())
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, other)
 
 
 class TestConvolutionGenerator:

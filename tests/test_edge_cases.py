@@ -9,14 +9,23 @@ boundary configuration.
 import numpy as np
 import pytest
 
-from repro.core.convolution import ConvolutionGenerator, convolve_full
+from repro.core.convolution import (
+    ConvolutionGenerator,
+    apply_kernel_valid_fft,
+    apply_kernel_valid_spatial,
+    convolve_full,
+    resolve_kernel,
+)
+from repro.core.engine import KernelPlanCache
 from repro.core.grid import Grid2D
 from repro.core.inhomogeneous import InhomogeneousGenerator
-from repro.core.rng import BlockNoise
+from repro.core.rng import BlockNoise, standard_normal_field
 from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
-from repro.core.weights import build_kernel, truncate_kernel
+from repro.core.weights import Kernel, build_kernel, truncate_kernel
 from repro.fields.parameter_map import LayeredLayout, PlateLattice, RegionSpec
 from repro.fields.regions import Circle
+from repro.parallel.executor import generate_tiled
+from repro.parallel.tiles import TilePlan
 
 
 class TestDegenerateParameters:
@@ -155,6 +164,92 @@ class TestInhomogeneousEdges:
             ExponentialSpectrum(h=2.0, clx=6.0, cly=6.0)
         )
         assert np.all(wm.weights[idx] == 1.0)
+
+
+class TestEngineEdgeCases:
+    """Satellite: degenerate tiles/kernels through both engines."""
+
+    @pytest.fixture
+    def fat_kernel_gen(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        return {
+            engine: ConvolutionGenerator(
+                GaussianSpectrum(h=1.0, clx=16.0, cly=16.0), grid,
+                truncation=(8, 8), engine=engine,
+            )
+            for engine in ("spatial", "fft")
+        }
+
+    def test_1x1_tiles_both_engines(self, fat_kernel_gen):
+        # the pathological plan: every output sample is its own tile
+        bn = BlockNoise(seed=31)
+        plan = TilePlan(total_nx=6, total_ny=6, tile_nx=1, tile_ny=1)
+        tiled = {
+            e: generate_tiled(g, bn, plan, backend="serial").heights
+            for e, g in fat_kernel_gen.items()
+        }
+        oneshot = fat_kernel_gen["spatial"].generate_window(bn, 0, 0, 6, 6)
+        assert np.max(np.abs(tiled["spatial"] - oneshot)) <= 1e-10
+        assert np.max(np.abs(tiled["fft"] - oneshot)) <= 1e-10
+
+    def test_tiles_smaller_than_kernel_both_engines(self, fat_kernel_gen):
+        # 5x3 tiles under a 17x17 kernel: the noise window per tile is
+        # dominated by halo; both engines must still agree
+        bn = BlockNoise(seed=32)
+        plan = TilePlan(total_nx=20, total_ny=18, tile_nx=5, tile_ny=3)
+        a = generate_tiled(fat_kernel_gen["spatial"], bn, plan).heights
+        b = generate_tiled(fat_kernel_gen["fft"], bn, plan).heights
+        assert np.max(np.abs(a - b)) <= 1e-10
+
+    @pytest.mark.parametrize("shape,cx,cy", [
+        ((4, 6), 1, 2),   # even extents, off-centre
+        ((5, 4), 2, 1),   # mixed parity
+        ((2, 2), 0, 0),   # minimal even
+        ((5, 5), 2, 2),   # odd reference
+    ])
+    def test_even_and_odd_kernel_extents(self, shape, cx, cy):
+        # hand-built kernels with even extents never arise from
+        # build_kernel (always odd) but are legal Kernel values
+        rng = np.random.default_rng(33)
+        kern = Kernel(values=rng.standard_normal(shape), cx=cx, cy=cy,
+                      dx=1.0, dy=1.0)
+        noise = rng.standard_normal((shape[0] + 11, shape[1] + 13))
+        a = apply_kernel_valid_spatial(kern, noise)
+        b = apply_kernel_valid_fft(kern, noise, cache=KernelPlanCache())
+        assert a.shape == (12, 14)
+        assert np.max(np.abs(a - b)) <= 1e-10
+
+    @pytest.mark.parametrize("engine", ["spatial", "fft"])
+    def test_zero_variance_h0_both_engines(self, engine):
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        spec = GaussianSpectrum(h=0.0, clx=8.0, cly=8.0)
+        gen = ConvolutionGenerator(spec, grid, truncation=(6, 6),
+                                   engine=engine)
+        assert np.array_equal(gen.generate(seed=34), np.zeros(grid.shape))
+        w = gen.generate_window(BlockNoise(seed=34), -3, 2, 10, 12)
+        assert np.array_equal(w, np.zeros((10, 12)))
+
+    def test_h0_fft_does_not_pollute_cache(self):
+        grid = Grid2D(nx=32, ny=32, lx=64.0, ly=64.0)
+        kern = resolve_kernel(
+            GaussianSpectrum(h=0.0, clx=8.0, cly=8.0), grid, (4, 4)
+        )
+        cache = KernelPlanCache()
+        out = apply_kernel_valid_fft(kern, np.ones((20, 20)), cache=cache)
+        assert np.array_equal(out, np.zeros((12, 12)))
+        assert len(cache) == 0  # zero kernels shortcut past the cache
+
+    def test_single_output_sample_fft(self):
+        # noise exactly the kernel size: output is the 1x1 dot product
+        rng = np.random.default_rng(35)
+        kern = Kernel(values=rng.standard_normal((9, 9)), cx=4, cy=4,
+                      dx=1.0, dy=1.0)
+        noise = rng.standard_normal((9, 9))
+        out = apply_kernel_valid_fft(kern, noise, cache=KernelPlanCache())
+        assert out.shape == (1, 1)
+        assert out[0, 0] == pytest.approx(
+            float(np.sum(kern.values * noise)), abs=1e-10
+        )
 
 
 class TestNoiseInjection:

@@ -1,0 +1,104 @@
+"""Unit tests for the engine perf-regression gate script.
+
+The gate itself runs in tier-2 CI against real bench output; these tests
+pin its decision logic and exit codes against synthetic result rows so a
+broken gate cannot silently wave regressions through.
+"""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks"
+    / "check_engine_gate.py"
+)
+_spec = importlib.util.spec_from_file_location("check_engine_gate", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _results(fft=1.0, legacy=1.0, spatial_est=100.0, speedup=None,
+             dev_legacy=1e-15, dev_spatial=1e-15):
+    return {
+        "timings_s": {
+            "fft_tiled": fft,
+            "legacy_fftconvolve_tiled": legacy,
+            "spatial_estimated_tiled": spatial_est,
+        },
+        "speedup_fft_vs_spatial": (
+            spatial_est / fft if speedup is None else speedup
+        ),
+        "max_abs_dev_fft_vs_legacy": dev_legacy,
+        "max_abs_dev_fft_vs_spatial_sample": dev_spatial,
+    }
+
+
+class TestCheck:
+    def test_clean_results_pass(self):
+        assert gate.check(_results(), 1.10, 3.0, 1e-10) == []
+
+    def test_default_path_slowdown_fails(self):
+        failures = gate.check(_results(fft=1.2, legacy=1.0), 1.10, 3.0, 1e-10)
+        assert len(failures) == 1
+        assert "default path regressed" in failures[0]
+
+    def test_slowdown_within_margin_passes(self):
+        assert gate.check(_results(fft=1.09, legacy=1.0), 1.10, 3.0,
+                          1e-10) == []
+
+    def test_insufficient_speedup_fails(self):
+        failures = gate.check(_results(speedup=2.5), 1.10, 3.0, 1e-10)
+        assert any("speedup" in f for f in failures)
+
+    def test_deviation_fails(self):
+        failures = gate.check(_results(dev_legacy=1e-8), 1.10, 3.0, 1e-10)
+        assert any("max_abs_dev_fft_vs_legacy" in f for f in failures)
+
+    def test_nan_deviation_fails(self):
+        # NaN must not satisfy "<= bound"
+        failures = gate.check(_results(dev_spatial=math.nan), 1.10, 3.0,
+                              1e-10)
+        assert any("max_abs_dev_fft_vs_spatial_sample" in f
+                   for f in failures)
+
+    def test_multiple_failures_reported_together(self):
+        failures = gate.check(
+            _results(fft=2.0, legacy=1.0, speedup=1.0, dev_legacy=1.0),
+            1.10, 3.0, 1e-10,
+        )
+        assert len(failures) == 3
+
+
+class TestMain:
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "engine_fft.json"
+        path.write_text(json.dumps(_results()))
+        assert gate.main([str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_fail_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "engine_fft.json"
+        path.write_text(json.dumps(_results(fft=5.0, legacy=1.0)))
+        assert gate.main([str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        assert gate.main([str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_threshold_flags(self, tmp_path):
+        path = tmp_path / "engine_fft.json"
+        path.write_text(json.dumps(_results(fft=1.5, legacy=1.0)))
+        assert gate.main([str(path)]) == 1
+        assert gate.main([str(path), "--max-slowdown", "2.0"]) == 0
+
+    def test_real_bench_output_passes_if_present(self):
+        # keep the gate and the bench schema in lockstep: if the bench
+        # has been run in this checkout, its real row must gate clean
+        if not gate.DEFAULT_RESULTS.exists():
+            pytest.skip("bench output not present")
+        assert gate.main([]) == 0

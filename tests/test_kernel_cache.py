@@ -1,0 +1,208 @@
+"""Tests for the kernel-plan cache behind the FFT engine.
+
+Satellite of the overlap-save engine PR: pins the cache's observable
+contract — hit/miss/eviction accounting, the LRU bound, and the
+normalised-plan sharing that lets spectra differing only in ``h`` reuse
+one kernel transform.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import apply_kernel_valid_fft, resolve_kernel
+from repro.core.engine import (
+    DEFAULT_MAX_BLOCK_ELEMS,
+    KernelPlanCache,
+    choose_block_shape,
+    plan_cache,
+)
+from repro.core.grid import Grid2D
+from repro.core.spectra import GaussianSpectrum
+from repro.core.weights import Kernel
+
+
+@pytest.fixture
+def grid():
+    return Grid2D(nx=48, ny=48, lx=192.0, ly=192.0)
+
+
+def _kernel(grid, h=1.0, cl=10.0, trunc=(6, 6)):
+    return resolve_kernel(GaussianSpectrum(h=h, clx=cl, cly=cl), grid, trunc)
+
+
+def _anon_kernel(seed=0, shape=(9, 9)):
+    vals = np.random.default_rng(seed).standard_normal(shape)
+    return Kernel(values=vals, cx=shape[0] // 2, cy=shape[1] // 2,
+                  dx=1.0, dy=1.0)
+
+
+class TestCounters:
+    def test_miss_then_hits(self, grid):
+        cache = KernelPlanCache()
+        kern = _kernel(grid)
+        p1 = cache.get_plan(kern, (32, 32))
+        p2 = cache.get_plan(kern, (32, 32))
+        assert p1 is p2
+        s = cache.stats()
+        assert (s.misses, s.hits, s.size) == (1, 1, 1)
+        assert s.lookups == 2
+        assert s.as_dict()["maxsize"] == 32
+
+    def test_distinct_block_shapes_are_distinct_plans(self, grid):
+        cache = KernelPlanCache()
+        kern = _kernel(grid)
+        cache.get_plan(kern, (32, 32))
+        cache.get_plan(kern, (40, 32))
+        s = cache.stats()
+        assert (s.misses, s.hits, s.size) == (2, 0, 2)
+
+    def test_clear_resets(self, grid):
+        cache = KernelPlanCache()
+        cache.get_plan(_kernel(grid), (32, 32))
+        cache.clear()
+        s = cache.stats()
+        assert (s.hits, s.misses, s.evictions, s.size) == (0, 0, 0, 0)
+        assert len(cache) == 0
+
+
+class TestEviction:
+    def test_lru_bound(self, grid):
+        cache = KernelPlanCache(maxsize=2)
+        kerns = [_kernel(grid, cl=c) for c in (8.0, 10.0, 12.0)]
+        for k in kerns:
+            cache.get_plan(k, (32, 32))
+        s = cache.stats()
+        assert s.size == 2
+        assert s.evictions == 1
+        # the oldest (cl=8) was evicted; re-requesting it is a miss
+        cache.get_plan(kerns[0], (32, 32))
+        assert cache.stats().misses == 4
+
+    def test_lru_recency_order(self, grid):
+        cache = KernelPlanCache(maxsize=2)
+        a, b, c = (_kernel(grid, cl=cl) for cl in (8.0, 10.0, 12.0))
+        cache.get_plan(a, (32, 32))
+        cache.get_plan(b, (32, 32))
+        cache.get_plan(a, (32, 32))  # refresh a; b is now LRU
+        cache.get_plan(c, (32, 32))  # evicts b
+        hits_before = cache.stats().hits
+        cache.get_plan(a, (32, 32))
+        assert cache.stats().hits == hits_before + 1
+
+    def test_configure_shrinks(self, grid):
+        cache = KernelPlanCache(maxsize=8)
+        for c in (8.0, 10.0, 12.0):
+            cache.get_plan(_kernel(grid, cl=c), (32, 32))
+        cache.configure(1)
+        s = cache.stats()
+        assert s.size == 1
+        assert s.evictions == 2
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            KernelPlanCache(maxsize=0)
+        with pytest.raises(ValueError):
+            KernelPlanCache().configure(-1)
+
+
+class TestHSharing:
+    """Spectra differing only in h reuse one normalised plan."""
+
+    def test_one_plan_two_heights(self, grid):
+        cache = KernelPlanCache()
+        k1 = _kernel(grid, h=1.0)
+        k2 = _kernel(grid, h=2.5)
+        assert k1.plan_key == k2.plan_key
+        noise = np.random.default_rng(1).standard_normal((40, 40))
+        a = apply_kernel_valid_fft(k1, noise, cache=cache)
+        b = apply_kernel_valid_fft(k2, noise, cache=cache)
+        s = cache.stats()
+        assert (s.misses, s.hits, s.size) == (1, 1, 1)
+        # linear in h: the shared plan rescales bit-exactly
+        assert np.array_equal(b, 2.5 * a)
+
+    def test_warm_order_does_not_matter(self, grid):
+        # build the plan from h=3 first, then request h=1: results must
+        # match the plan built from h=1 directly.  Not bitwise — the two
+        # kernels' values differ by rounding (sqrt(9 S)/3 vs sqrt(S)) —
+        # but far inside the engine's 1e-10 equivalence contract.
+        noise = np.random.default_rng(2).standard_normal((40, 40))
+        c1 = KernelPlanCache()
+        apply_kernel_valid_fft(_kernel(grid, h=3.0), noise, cache=c1)
+        warm = apply_kernel_valid_fft(_kernel(grid, h=1.0), noise, cache=c1)
+        cold = apply_kernel_valid_fft(
+            _kernel(grid, h=1.0), noise, cache=KernelPlanCache()
+        )
+        assert np.max(np.abs(warm - cold)) <= 1e-12
+
+    def test_different_cl_do_not_share(self, grid):
+        k1 = _kernel(grid, cl=10.0)
+        k2 = _kernel(grid, cl=12.0)
+        assert k1.plan_key != k2.plan_key
+
+    def test_anonymous_kernels_use_fingerprint(self):
+        k = _anon_kernel(seed=3)
+        assert k.identity is None
+        assert k.plan_key[0] == "fp"
+        same = _anon_kernel(seed=3)
+        other = _anon_kernel(seed=4)
+        assert k.plan_key == same.plan_key
+        assert k.plan_key != other.plan_key
+
+    def test_fingerprint_kernels_cache_too(self):
+        cache = KernelPlanCache()
+        k = _anon_kernel(seed=5)
+        noise = np.random.default_rng(5).standard_normal((30, 30))
+        a = apply_kernel_valid_fft(k, noise, cache=cache)
+        b = apply_kernel_valid_fft(_anon_kernel(seed=5), noise, cache=cache)
+        s = cache.stats()
+        assert (s.misses, s.hits) == (1, 1)
+        assert np.array_equal(a, b)
+
+
+class TestBlockPolicy:
+    def test_whole_window_when_small(self):
+        bx, by = choose_block_shape((100, 100), (17, 17))
+        assert bx >= 100 and by >= 100
+        assert bx * by <= DEFAULT_MAX_BLOCK_ELEMS
+
+    def test_split_when_large(self):
+        big = 1 << 14  # 16384 per axis would exceed the element bound
+        bx, by = choose_block_shape((big, big), (129, 129))
+        assert bx * by <= DEFAULT_MAX_BLOCK_ELEMS
+        assert bx >= 129 and by >= 129
+
+    def test_block_never_exceeds_window(self):
+        bx, by = choose_block_shape((64, 64), (9, 9))
+        # padded to fast length, but bounded by a small window's extent
+        assert bx <= 64 + 16 and by <= 64 + 16
+
+
+class TestThreadSafety:
+    def test_concurrent_get_plan(self, grid):
+        cache = KernelPlanCache(maxsize=4)
+        kern = _kernel(grid)
+        plans = []
+
+        def work():
+            for _ in range(50):
+                plans.append(cache.get_plan(kern, (32, 32)))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(p) for p in plans}) == 1
+        s = cache.stats()
+        assert s.lookups == 400
+        assert s.misses == 1
+
+
+class TestProcessWideCache:
+    def test_singleton_exists_and_is_bounded(self):
+        s = plan_cache.stats()
+        assert s.maxsize >= 1
+        assert s.size <= s.maxsize

@@ -69,6 +69,17 @@ class TestTilePlan:
         k = (17, 17)
         assert small.halo_overhead(k) > large.halo_overhead(k)
 
+    def test_halo_samples_accounting(self):
+        plan = TilePlan(total_nx=64, total_ny=64, tile_nx=32, tile_ny=32)
+        read, output = plan.halo_samples((9, 9))
+        assert output == 64 * 64
+        assert read == 4 * (32 + 8) * (32 + 8)
+        assert plan.halo_overhead((9, 9)) == pytest.approx(read / output - 1.0)
+        # a 1x1 kernel has no halo at all
+        assert plan.halo_overhead((1, 1)) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            plan.halo_samples((0, 9))
+
 
 class TestBackends:
     def test_serial_thread_process_identical(self, gen):
@@ -112,6 +123,85 @@ class TestBackends:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestBackendsFftEngine:
+    """Satellite: backend determinism must survive the FFT engine."""
+
+    @pytest.fixture
+    def fft_gen(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        return ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=16.0, cly=16.0), grid,
+            truncation=(8, 8), engine="fft",
+        )
+
+    def test_serial_thread_process_identical_fft(self, fft_gen):
+        bn = BlockNoise(seed=2, block=48)
+        plan = TilePlan(total_nx=96, total_ny=80, tile_nx=40, tile_ny=30)
+        s = generate_tiled(fft_gen, bn, plan, backend="serial")
+        t = generate_tiled(fft_gen, bn, plan, backend="thread", workers=3)
+        assert np.array_equal(s.heights, t.heights)
+        p = generate_tiled(fft_gen, bn, plan, backend="process", workers=2)
+        assert np.array_equal(s.heights, p.heights)
+
+    def test_fft_tiles_match_spatial_tiles(self, fft_gen):
+        spatial_gen = ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=16.0, cly=16.0), fft_gen.grid,
+            truncation=(8, 8), engine="spatial",
+        )
+        bn = BlockNoise(seed=6, block=48)
+        plan = TilePlan(total_nx=96, total_ny=80, tile_nx=40, tile_ny=30)
+        fft = generate_tiled(fft_gen, bn, plan, backend="serial")
+        spatial = generate_tiled(spatial_gen, bn, plan, backend="serial")
+        assert np.max(np.abs(fft.heights - spatial.heights)) <= 1e-10
+
+    def test_provenance_reports_engine_and_halo(self, fft_gen):
+        bn = BlockNoise(seed=8)
+        plan = TilePlan(total_nx=64, total_ny=64, tile_nx=32, tile_ny=32)
+        s = generate_tiled(fft_gen, bn, plan, backend="serial")
+        assert s.provenance["engine"] == "fft"
+        assert s.provenance["halo_overhead"] == pytest.approx(
+            plan.halo_overhead(fft_gen.footprint)
+        )
+        # every tile shares one kernel and one block shape: tiles - 1 hits
+        # at most one miss (another test may have warmed the shared cache)
+        pc = s.provenance["plan_cache"]
+        assert pc["hits"] + pc["misses"] == len(plan)
+        assert pc["misses"] <= 1
+
+    def test_inhomogeneous_tiled_fft_matches_spatial(self):
+        grid = Grid2D(nx=64, ny=64, lx=256.0, ly=256.0)
+        lat = PlateLattice.quadrants(
+            256.0, 256.0,
+            GaussianSpectrum(h=0.5, clx=16.0, cly=16.0),
+            ExponentialSpectrum(h=1.5, clx=12.0, cly=12.0),
+            GaussianSpectrum(h=1.0, clx=20.0, cly=20.0),
+            GaussianSpectrum(h=0.5, clx=16.0, cly=16.0),
+            half_width=16.0,
+        )
+        bn = BlockNoise(seed=5, block=40)
+        plan = TilePlan(total_nx=64, total_ny=64, tile_nx=24, tile_ny=40)
+        outs = {}
+        for engine in ("spatial", "fft"):
+            g = InhomogeneousGenerator(lat, grid, truncation=(8, 8),
+                                       engine=engine)
+            outs[engine] = generate_tiled(g, bn, plan, backend="serial")
+        assert np.max(
+            np.abs(outs["fft"].heights - outs["spatial"].heights)
+        ) <= 1e-10
+
+    def test_streaming_fft_engine(self, fft_gen):
+        from repro.parallel.streaming import assemble_strips, stream_strips
+
+        bn = BlockNoise(seed=11)
+        strips = list(
+            stream_strips(fft_gen, bn, total_nx=60, width_ny=24, strip_nx=17)
+        )
+        assert all(s.provenance["engine"] == "fft" for s in strips)
+        asm = assemble_strips(iter(strips))
+        oneshot = fft_gen.generate_window(bn, 0, 0, 60, 24)
+        assert np.allclose(asm.heights, oneshot, atol=1e-10)
 
 
 class TestStreaming:

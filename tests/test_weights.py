@@ -155,6 +155,23 @@ class TestTruncation:
         with pytest.raises(ValueError):
             kernel_half_width(k, 1.5)
 
+    @pytest.mark.parametrize("bad", [0.0, -0.2, 1.0000001, 2.0,
+                                     float("nan"), float("inf")])
+    def test_energy_fraction_validated_everywhere(self, gaussian, grid, bad):
+        # regression: truncate_kernel_energy used to accept out-of-range
+        # fractions silently (>1 kept the full kernel, <=0 kept 1 sample)
+        k = build_kernel(gaussian, grid)
+        with pytest.raises(ValueError, match="energy_fraction"):
+            kernel_half_width(k, bad)
+        with pytest.raises(ValueError, match="energy_fraction"):
+            truncate_kernel_energy(k, bad)
+
+    def test_energy_fraction_one_keeps_full_kernel(self, gaussian, grid):
+        # 1.0 is the inclusive upper bound and must stay legal
+        k = build_kernel(gaussian, grid)
+        t = truncate_kernel_energy(k, 1.0, renormalise=False)
+        assert t.energy == pytest.approx(k.energy, rel=1e-9)
+
     def test_smaller_cl_gives_smaller_support(self, grid):
         # the paper's claim: kernel support scales with correlation length
         k_small = build_kernel(GaussianSpectrum(h=1.0, clx=5.0, cly=5.0), grid)
