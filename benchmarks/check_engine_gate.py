@@ -12,12 +12,25 @@ Reads ``benchmarks/out/engine_fft.json`` (written by
   ``--min-speedup`` — the engine's reason to exist;
 * either accuracy deviation exceeds ``--max-deviation``.
 
-Usage (CI tier-2, after running the bench)::
+Also reads ``benchmarks/out/inhomo_batch.json`` (written by
+``test_bench_inhomo_batch.py``) and fails when:
 
-    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_fft.py
+* the batched multi-region engine's speedup over the per-region path
+  (one forward+inverse FFT pair per region) falls below
+  ``--min-batch-speedup`` on the M=4 layout at 2048^2;
+* the batched surface deviates from the spatial oracle by more than
+  ``--max-deviation``;
+* the homogeneous default path regressed beyond ``--max-homog-slowdown``
+  relative to the seed ``fftconvolve`` baseline measured in the same
+  run.
+
+Usage (CI tier-2, after running the benches)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_fft.py \\
+        benchmarks/test_bench_inhomo_batch.py
     python benchmarks/check_engine_gate.py
 
-Exit code 0 on pass, 1 on any gate failure, 2 when the results file is
+Exit code 0 on pass, 1 on any gate failure, 2 when a results file is
 missing or unreadable.
 """
 
@@ -29,6 +42,9 @@ import sys
 from pathlib import Path
 
 DEFAULT_RESULTS = Path(__file__).resolve().parent / "out" / "engine_fft.json"
+DEFAULT_INHOMO_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "inhomo_batch.json"
+)
 
 
 def check(results: dict, max_slowdown: float, min_speedup: float,
@@ -60,17 +76,53 @@ def check(results: dict, max_slowdown: float, min_speedup: float,
     return failures
 
 
+def check_inhomo(results: dict, min_batch_speedup: float,
+                 max_deviation: float, max_homog_slowdown: float) -> list:
+    """Gate failures for the batched multi-region bench row."""
+    failures = []
+    speedup = results["speedup_batched_vs_per_region"]
+    if not speedup >= min_batch_speedup:  # catches NaN too
+        failures.append(
+            f"batched multi-region speedup {speedup:.2f}x over the "
+            f"per-region path is below the required "
+            f"{min_batch_speedup:.2f}x"
+        )
+    dev = results["max_abs_dev_batched_vs_spatial_sample"]
+    if not dev <= max_deviation:
+        failures.append(
+            f"max_abs_dev_batched_vs_spatial_sample = {dev:.3e} exceeds "
+            f"{max_deviation:.1e}"
+        )
+    ratio = results["homogeneous_ratio"]
+    if not ratio <= max_homog_slowdown:
+        failures.append(
+            f"homogeneous default path regressed: {ratio:.2f}x of the "
+            f"seed baseline > {max_homog_slowdown:.2f}x allowed"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", nargs="?", type=Path,
                         default=DEFAULT_RESULTS,
                         help="engine bench results JSON "
                              "(default: benchmarks/out/engine_fft.json)")
+    parser.add_argument("--inhomo-results", type=Path,
+                        default=DEFAULT_INHOMO_RESULTS,
+                        help="batched multi-region bench results JSON "
+                             "(default: benchmarks/out/inhomo_batch.json)")
     parser.add_argument("--max-slowdown", type=float, default=1.10,
                         help="allowed default-path time as a multiple of "
                              "the seed baseline (default 1.10)")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="required fft-vs-spatial speedup (default 3.0)")
+    parser.add_argument("--min-batch-speedup", type=float, default=2.0,
+                        help="required batched-vs-per-region speedup on "
+                             "the M=4 layout (default 2.0)")
+    parser.add_argument("--max-homog-slowdown", type=float, default=1.10,
+                        help="allowed homogeneous-path time as a multiple "
+                             "of the seed baseline (default 1.10)")
     parser.add_argument("--max-deviation", type=float, default=1e-10,
                         help="allowed max abs deviation between engines")
     args = parser.parse_args(argv)
@@ -83,15 +135,32 @@ def main(argv=None) -> int:
         print("run: PYTHONPATH=src python -m pytest "
               "benchmarks/test_bench_engine_fft.py", file=sys.stderr)
         return 2
+    try:
+        inhomo = json.loads(args.inhomo_results.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"engine gate: cannot read {args.inhomo_results}: {exc}",
+              file=sys.stderr)
+        print("run: PYTHONPATH=src python -m pytest "
+              "benchmarks/test_bench_inhomo_batch.py", file=sys.stderr)
+        return 2
 
     failures = check(results, args.max_slowdown, args.min_speedup,
                      args.max_deviation)
+    failures += check_inhomo(inhomo, args.min_batch_speedup,
+                             args.max_deviation, args.max_homog_slowdown)
     timings = results["timings_s"]
     print(
         f"engine gate: fft {timings['fft_tiled']:.3f}s, seed "
         f"{timings['legacy_fftconvolve_tiled']:.3f}s, spatial (est) "
         f"{timings['spatial_estimated_tiled']:.1f}s, speedup "
         f"{results['speedup_fft_vs_spatial']:.1f}x"
+    )
+    itimings = inhomo["timings_s"]
+    print(
+        f"batch gate: batched {itimings['batched_tiled']:.3f}s, "
+        f"per-region {itimings['per_region_tiled']:.3f}s, speedup "
+        f"{inhomo['speedup_batched_vs_per_region']:.2f}x, homogeneous "
+        f"ratio {inhomo['homogeneous_ratio']:.2f}x"
     )
     if failures:
         for f in failures:

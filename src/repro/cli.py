@@ -44,6 +44,7 @@ import numpy as np
 from ._version import __version__
 from .core.convolution import ENGINES, ConvolutionGenerator
 from .core.grid import Grid2D
+from .core.rng import BlockNoise
 from .core.spectra import (
     ExponentialSpectrum,
     GaussianSpectrum,
@@ -117,6 +118,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     gen = ConvolutionGenerator(
         spectrum, grid, truncation=args.truncation, engine=args.engine
     )
+    if args.tile is not None:
+        # Tiled windowed generation over the unbounded noise plane
+        # (non-periodic, unlike the one-shot path below); backends are
+        # bit-identical for a fixed tile size.
+        from .parallel.executor import generate_tiled
+        from .parallel.tiles import TilePlan
+
+        if args.tile <= 0:
+            raise SystemExit("--tile must be positive")
+        plan = TilePlan(total_nx=args.n, total_ny=args.n,
+                        tile_nx=args.tile, tile_ny=args.tile)
+        surface = generate_tiled(
+            gen, BlockNoise(seed=args.seed), plan,
+            backend=args.backend, workers=args.workers,
+        )
+        surface.provenance["spectrum"] = spectrum.to_dict()
+        surface.provenance["seed"] = args.seed
+        _emit_surface(surface, args)
+        return 0
     heights = gen.generate(seed=args.seed)
     surface = Surface(
         heights=heights,
@@ -267,6 +287,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="convolution engine: auto picks spatial for small kernels "
         "and the plan-cached overlap-save FFT otherwise",
+    )
+    g.add_argument(
+        "--tile", type=int, default=None,
+        help="generate tile-by-tile over the unbounded noise plane "
+             "(tile edge in samples; non-periodic windowed surface)",
+    )
+    g.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="serial",
+        help="tiled execution backend (with --tile): thread shares "
+             "memory, process uses persistent shared-memory workers",
+    )
+    g.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for the parallel backends (default: cores - 1)",
     )
     g.add_argument("--npz", default=None, help="write surface NPZ")
     g.add_argument("--pgm", default=None, help="write grayscale PGM")

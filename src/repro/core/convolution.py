@@ -58,7 +58,13 @@ import numpy as np
 from scipy import fft as sfft
 from scipy import signal
 
-from .engine import KernelPlanCache, choose_block_shape, plan_cache
+from .engine import (
+    BatchStats,
+    KernelPlanCache,
+    choose_block_shape,
+    common_margins,
+    plan_cache,
+)
 from .grid import Grid2D
 from .rng import BlockNoise, SeedLike, as_generator, standard_normal_field
 from .spectra import Spectrum
@@ -77,10 +83,12 @@ __all__ = [
     "apply_kernel_valid",
     "apply_kernel_valid_spatial",
     "apply_kernel_valid_fft",
+    "apply_kernels_valid",
     "select_engine",
     "ENGINES",
     "SPATIAL_KERNEL_AREA_MAX",
     "noise_window_for",
+    "batched_noise_window_for",
     "generate_window",
     "resolve_kernel",
     "ConvolutionGenerator",
@@ -174,16 +182,26 @@ def convolve_spatial(
     kx, ky = kernel.shape
     px_lo, px_hi = kernel.cx, kx - 1 - kernel.cx
     py_lo, py_hi = kernel.cy, ky - 1 - kernel.cy
-    if boundary == "wrap":
-        mode = "wrap"
-    elif boundary == "reflect":
-        mode = "symmetric"
-    elif boundary == "zero":
-        mode = "constant"
-    else:
-        raise ValueError(f"unknown boundary {boundary!r}")
+    mode = _pad_mode(boundary)
     padded = np.pad(noise, ((px_lo, px_hi), (py_lo, py_hi)), mode=mode)
     return apply_kernel_valid(kernel, padded, engine=engine, cache=cache)
+
+
+def _pad_mode(boundary: str) -> str:
+    """Map a boundary name to the matching :func:`numpy.pad` mode.
+
+    The extension value at any virtual index outside the field depends
+    only on that index (not on the pad width) for all three modes, so
+    padding once by the batch's common margins is value-identical to
+    padding per kernel by its own margins.
+    """
+    if boundary == "wrap":
+        return "wrap"
+    if boundary == "reflect":
+        return "symmetric"
+    if boundary == "zero":
+        return "constant"
+    raise ValueError(f"unknown boundary {boundary!r}")
 
 
 def _check_valid_shapes(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
@@ -373,6 +391,228 @@ def noise_window_for(
     """
     kx, ky = kernel.shape
     return (x0 - kernel.cx, y0 - kernel.cy, nx + kx - 1, ny + ky - 1)
+
+
+def batched_noise_window_for(
+    kernels: "list[Kernel] | tuple[Kernel, ...]",
+    x0: int,
+    y0: int,
+    nx: int,
+    ny: int,
+    margins: Optional[Tuple[int, int, int, int]] = None,
+) -> Tuple[int, int, int, int]:
+    """Single noise-plane window serving a whole kernel batch.
+
+    Like :func:`noise_window_for`, but for the batched engine: the
+    returned ``(wx0, wy0, wnx, wny)`` covers the union of every kernel's
+    footprint around the output window ``[x0, x0+nx) x [y0, y0+ny)``, so
+    one window read (and one forward FFT per block) feeds all of them.
+
+    ``margins`` overrides the computed :func:`~repro.core.engine.
+    common_margins` — pass the full-region margins when pruning, so the
+    window geometry does not depend on which regions happen to be
+    active.
+    """
+    lx, rx, ly, ry = common_margins(kernels) if margins is None else margins
+    return (x0 - lx, y0 - ly, nx + lx + rx, ny + ly + ry)
+
+
+def _normalize_active(active, n: int) -> Optional[np.ndarray]:
+    """Coerce an active-set spec (bool mask or index sequence) to a mask."""
+    if active is None:
+        return None
+    arr = np.asarray(active)
+    if arr.dtype == bool:
+        if arr.shape != (n,):
+            raise ValueError(
+                f"active mask shape {arr.shape} != (n_kernels,) = ({n},)"
+            )
+        return arr
+    mask = np.zeros(n, dtype=bool)
+    mask[arr.astype(int)] = True
+    return mask
+
+
+def apply_kernels_valid(
+    kernels: "list[Kernel] | tuple[Kernel, ...]",
+    noise: np.ndarray,
+    active=None,
+    engine: str = "auto",
+    cache: Optional[KernelPlanCache] = None,
+    block_shape: Optional[Tuple[int, int]] = None,
+    margins: Optional[Tuple[int, int, int, int]] = None,
+    stats: Optional[BatchStats] = None,
+) -> "list[Optional[np.ndarray]]":
+    """Batched valid correlation: M kernels against one noise window.
+
+    All kernels share the common output window implied by the batch's
+    :func:`~repro.core.engine.common_margins` ``(lx, rx, ly, ry)``:
+    output shape is ``noise.shape - (lx+rx, ly+ry)`` and output sample
+    ``(i, j)`` corresponds to noise-plane location ``(i+lx, j+ly)``.
+    On the FFT engine each overlap-save block is forward-transformed
+    **once** and multiplied against every active kernel's cached plan —
+    1 forward + M inverses instead of the M forward+inverse pairs of
+    per-kernel calls — which is the multi-region hot-path optimisation.
+
+    Parameters
+    ----------
+    active:
+        Optional active set: boolean mask of length ``len(kernels)`` or
+        a sequence of indices (e.g. from :meth:`repro.fields.
+        parameter_map.WeightMap.support`).  Inactive kernels are not
+        convolved and yield ``None`` in the result list.  Pruning is
+        bit-transparent: block geometry derives from ``margins`` (or the
+        *full* batch), so active outputs are identical with and without
+        pruning.
+    margins:
+        Explicit ``(lx, rx, ly, ry)`` common margins; must dominate
+        every kernel's one-sided supports.  Defaults to
+        :func:`~repro.core.engine.common_margins` of the full batch.
+    stats:
+        Optional :class:`~repro.core.engine.BatchStats` accumulating
+        forward/inverse FFT and active/skipped kernel counts.
+
+    Returns
+    -------
+    List of output arrays aligned with ``kernels`` (``None`` for pruned
+    entries).  For a single-kernel batch the FFT result is bit-identical
+    to :func:`apply_kernel_valid_fft` on the same window.
+    """
+    engine = _check_engine(engine)
+    n = len(kernels)
+    if n == 0:
+        return []
+    noise = np.asarray(noise, dtype=float)
+    if noise.ndim != 2:
+        raise ValueError("noise must be 2D")
+    lx, rx, ly, ry = common_margins(kernels) if margins is None else margins
+    for k in kernels:
+        if (k.cx > lx or k.shape[0] - 1 - k.cx > rx
+                or k.cy > ly or k.shape[1] - 1 - k.cy > ry):
+            raise ValueError(
+                f"margins {(lx, rx, ly, ry)} do not cover kernel "
+                f"support {k.shape} centred at ({k.cx}, {k.cy})"
+            )
+    kx_eff = lx + rx + 1
+    ky_eff = ly + ry + 1
+    if noise.shape[0] < kx_eff or noise.shape[1] < ky_eff:
+        raise ValueError(
+            f"noise window {noise.shape} smaller than batch footprint "
+            f"({kx_eff}, {ky_eff})"
+        )
+    mask = _normalize_active(active, n)
+    if engine == "auto":
+        # Dispatch on the common footprint so every tile of a run makes
+        # the same choice regardless of which regions are active there.
+        engine = select_engine((kx_eff, ky_eff))
+    if stats is not None:
+        n_active = n if mask is None else int(mask.sum())
+        stats.kernels_active += n_active
+        stats.kernels_skipped += n - n_active
+    if engine == "spatial":
+        return _apply_kernels_valid_spatial(kernels, noise, mask,
+                                            (lx, rx, ly, ry))
+    return _apply_kernels_valid_fft(kernels, noise, mask, (lx, rx, ly, ry),
+                                    cache=cache, block_shape=block_shape,
+                                    stats=stats)
+
+
+def _apply_kernels_valid_spatial(
+    kernels, noise, mask, margins
+) -> "list[Optional[np.ndarray]]":
+    """Spatial engine for the batch: per-kernel sub-window correlations.
+
+    Each kernel reads its own footprint-sized view of the shared window
+    (no copies), so results equal per-kernel
+    :func:`apply_kernel_valid_spatial` calls exactly.
+    """
+    lx, rx, ly, ry = margins
+    onx = noise.shape[0] - (lx + rx)
+    ony = noise.shape[1] - (ly + ry)
+    outs: "list[Optional[np.ndarray]]" = []
+    for m, k in enumerate(kernels):
+        if mask is not None and not mask[m]:
+            outs.append(None)
+            continue
+        ox = lx - k.cx
+        oy = ly - k.cy
+        sub = noise[ox : ox + onx + k.shape[0] - 1,
+                    oy : oy + ony + k.shape[1] - 1]
+        outs.append(apply_kernel_valid_spatial(k, sub))
+    return outs
+
+
+def _apply_kernels_valid_fft(
+    kernels,
+    noise,
+    mask,
+    margins,
+    cache: Optional[KernelPlanCache] = None,
+    block_shape: Optional[Tuple[int, int]] = None,
+    stats: Optional[BatchStats] = None,
+) -> "list[Optional[np.ndarray]]":
+    """Shared-forward overlap-save engine for the batch.
+
+    Block geometry (and hence FFT rounding) is a pure function of
+    ``(noise.shape, margins, block_shape)`` — independent of the active
+    set — and each kernel's wrap-free slice starts at row
+    ``lx + (kx_m - 1 - cx_m)`` of its inverse transform, which reduces
+    to the single-kernel engine's ``kx - 1`` when the margins are that
+    kernel's own.
+    """
+    lx, rx, ly, ry = margins
+    kx_eff = lx + rx + 1
+    ky_eff = ly + ry + 1
+    onx = noise.shape[0] - kx_eff + 1
+    ony = noise.shape[1] - ky_eff + 1
+    if block_shape is None:
+        block_shape = choose_block_shape(noise.shape, (kx_eff, ky_eff))
+    bx, by = int(block_shape[0]), int(block_shape[1])
+    if bx < kx_eff or by < ky_eff:
+        raise ValueError(
+            f"block_shape {block_shape} smaller than batch footprint "
+            f"({kx_eff}, {ky_eff})"
+        )
+    cache = cache if cache is not None else plan_cache
+    outs: "list[Optional[np.ndarray]]" = [None] * len(kernels)
+    plans = []  # (index, plan, row offset, col offset) of live kernels
+    for m, k in enumerate(kernels):
+        if mask is not None and not mask[m]:
+            continue
+        if k.scale == 0.0 or not np.any(k.values):
+            outs[m] = np.zeros((onx, ony))  # flat surface, no plan
+            continue
+        outs[m] = np.empty((onx, ony))
+        plans.append((
+            m,
+            cache.get_plan(k, (bx, by)),
+            lx + (k.shape[0] - 1 - k.cx),
+            ly + (k.shape[1] - 1 - k.cy),
+        ))
+    if plans:
+        step_x = bx - kx_eff + 1
+        step_y = by - ky_eff + 1
+        for x0 in range(0, onx, step_x):
+            nx_blk = min(step_x, onx - x0)
+            for y0 in range(0, ony, step_y):
+                ny_blk = min(step_y, ony - y0)
+                seg = noise[x0 : x0 + bx, y0 : y0 + by]
+                spec = sfft.rfft2(seg, s=(bx, by))
+                if stats is not None:
+                    stats.forward_ffts += 1
+                    stats.blocks += 1
+                for m, plan, px, py in plans:
+                    conv = sfft.irfft2(spec * plan.kfft, s=(bx, by))
+                    if stats is not None:
+                        stats.inverse_ffts += 1
+                    outs[m][x0 : x0 + nx_blk, y0 : y0 + ny_blk] = conv[
+                        px : px + nx_blk, py : py + ny_blk
+                    ]
+    for m, _plan, _px, _py in plans:
+        factor = kernels[m].plan_scale
+        if factor != 1.0:
+            outs[m] *= factor
+    return outs
 
 
 def generate_window(

@@ -52,7 +52,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Hashable, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Sequence, Tuple
 
 import numpy as np
 from scipy import fft as sfft
@@ -61,10 +61,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (weights -> engine)
     from .weights import Kernel
 
 __all__ = [
+    "BatchStats",
     "CacheStats",
     "KernelPlan",
     "KernelPlanCache",
     "choose_block_shape",
+    "common_margins",
     "plan_cache",
     "DEFAULT_MAX_BLOCK_ELEMS",
 ]
@@ -103,6 +105,66 @@ def choose_block_shape(
     bx = sfft.next_fast_len(min(nx, max(2 * kx - 1, _MIN_BLOCK_EDGE)), real=True)
     by = sfft.next_fast_len(min(ny, max(2 * ky - 1, _MIN_BLOCK_EDGE)), real=True)
     return (bx, by)
+
+
+def common_margins(kernels: Sequence["Kernel"]) -> Tuple[int, int, int, int]:
+    """One-sided noise margins covering every kernel of a batch.
+
+    A valid correlation with kernel ``m`` (centre ``cx_m, cy_m``) reads
+    ``cx_m`` noise samples to the left of an output sample and
+    ``kx_m - 1 - cx_m`` to its right (and likewise in ``y``).  The
+    common margins
+
+    ``(lx, rx, ly, ry) = (max cx, max (kx-1-cx), max cy, max (ky-1-cy))``
+
+    therefore describe the smallest single noise window from which
+    *all* kernels of the batch can be applied to the same output window
+    (footprint ``(lx + rx + 1, ly + ry + 1)``).  The batched engine
+    derives its block geometry from these margins, so callers that want
+    pruning to be bit-transparent must compute them from the *full*
+    kernel set and pass them explicitly.
+    """
+    if not kernels:
+        raise ValueError("common_margins() needs at least one kernel")
+    lx = max(k.cx for k in kernels)
+    rx = max(k.shape[0] - 1 - k.cx for k in kernels)
+    ly = max(k.cy for k in kernels)
+    ry = max(k.shape[1] - 1 - k.cy for k in kernels)
+    return (lx, rx, ly, ry)
+
+
+@dataclass
+class BatchStats:
+    """Mutable FFT-work counters filled in by the batched engine.
+
+    ``forward_ffts`` counts noise-block transforms (one per overlap-save
+    block, shared by every kernel of the batch); ``inverse_ffts`` counts
+    per-kernel inverse transforms; ``kernels_active``/``kernels_skipped``
+    count batch entries convolved vs pruned.  The per-region PR 1 path
+    would have paid ``blocks * kernels_active`` forward transforms.
+    """
+
+    forward_ffts: int = 0
+    inverse_ffts: int = 0
+    blocks: int = 0
+    kernels_active: int = 0
+    kernels_skipped: int = 0
+
+    def merge(self, other: "BatchStats") -> None:
+        self.forward_ffts += other.forward_ffts
+        self.inverse_ffts += other.inverse_ffts
+        self.blocks += other.blocks
+        self.kernels_active += other.kernels_active
+        self.kernels_skipped += other.kernels_skipped
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "forward_ffts": self.forward_ffts,
+            "inverse_ffts": self.inverse_ffts,
+            "blocks": self.blocks,
+            "kernels_active": self.kernels_active,
+            "kernels_skipped": self.kernels_skipped,
+        }
 
 
 @dataclass(frozen=True)

@@ -44,11 +44,12 @@ from ..fields.transition import get_profile
 from .convolution import (
     TruncationSpec,
     _check_engine,
-    apply_kernel_valid,
-    convolve_spatial,
-    noise_window_for,
+    _pad_mode,
+    apply_kernels_valid,
+    batched_noise_window_for,
     resolve_kernel,
 )
+from .engine import BatchStats, common_margins
 from .grid import Grid2D
 from .rng import BlockNoise, SeedLike, standard_normal_field
 from .spectra import Spectrum
@@ -239,13 +240,29 @@ class PointOrientedLayout:
 # ---------------------------------------------------------------------------
 # Blending engine
 # ---------------------------------------------------------------------------
-def blend_fields(weights: np.ndarray, fields: Sequence[np.ndarray]) -> np.ndarray:
-    """``f = sum_m g_m * f^(m)`` — the linear-blend fast path."""
+def blend_fields(weights: np.ndarray,
+                 fields: Sequence[Optional[np.ndarray]]) -> np.ndarray:
+    """``f = sum_m g_m * f^(m)`` — the linear-blend fast path.
+
+    ``fields[m]`` may be ``None`` for a pruned region, which is only
+    legal when its blend weight is identically zero (the active-set
+    contract); a zero-weight term is skipped either way, so pruned and
+    unpruned blends are bit-identical.
+    """
     weights = np.asarray(weights, dtype=float)
     if weights.shape[0] != len(fields):
         raise ValueError("one weight field per homogeneous field required")
     out = np.zeros(weights.shape[1:], dtype=float)
     for g, f in zip(weights, fields):
+        if f is None:
+            if np.any(g != 0.0):
+                raise ValueError(
+                    "missing homogeneous field for a region with non-zero "
+                    "blend weight"
+                )
+            continue
+        if not np.any(g != 0.0):
+            continue
         out += g * f
     return out
 
@@ -342,13 +359,17 @@ class InhomogeneousGenerator:
         grid: Grid2D,
         truncation: TruncationSpec = 0.9999,
         engine: str = "auto",
+        prune: bool = True,
     ) -> None:
         self.layout = layout
         self.grid = grid
         self.truncation = truncation
         self.engine = _check_engine(engine)
+        self.prune = bool(prune)
         self._weight_map: Optional[WeightMap] = None
         self._kernels: Optional[List[Kernel]] = None
+        self._kernel_cache: dict = {}
+        self._kernel_cache_fallback: List[Tuple[Spectrum, Kernel]] = []
 
     # -- cached pieces ---------------------------------------------------
     @property
@@ -363,10 +384,31 @@ class InhomogeneousGenerator:
         """One truncated kernel per distinct spectrum (computed once)."""
         if self._kernels is None:
             self._kernels = [
-                resolve_kernel(s, self.grid, self.truncation)
-                for s in self.weight_map.spectra
+                self._kernel_for(s) for s in self.weight_map.spectra
             ]
         return self._kernels
+
+    def _kernel_for(self, spectrum: Spectrum) -> Kernel:
+        """Kernel for one spectrum, cached by spectrum value.
+
+        The cache is keyed directly by the (hashable, frozen) spectrum,
+        so windowed/tiled/streamed runs resolve kernels without ever
+        materialising the full-construction-grid weight map.  Unhashable
+        custom spectra fall back to an identity-keyed list.
+        """
+        try:
+            kern = self._kernel_cache.get(spectrum)
+        except TypeError:
+            for seen, kern in self._kernel_cache_fallback:
+                if seen is spectrum:
+                    return kern
+            kern = resolve_kernel(spectrum, self.grid, self.truncation)
+            self._kernel_cache_fallback.append((spectrum, kern))
+            return kern
+        if kern is None:
+            kern = resolve_kernel(spectrum, self.grid, self.truncation)
+            self._kernel_cache[spectrum] = kern
+        return kern
 
     # -- generation --------------------------------------------------------
     def generate(
@@ -389,10 +431,19 @@ class InhomogeneousGenerator:
                 f"noise shape {noise.shape} != grid shape {self.grid.shape}"
             )
         wm = self.weight_map
-        fields = [
-            convolve_spatial(k, noise, boundary=boundary, engine=self.engine)
-            for k in self.kernels
-        ]
+        kernels = self.kernels
+        # One padded noise field sized for the union of all kernel
+        # footprints: the batched engine then shares each block's
+        # forward FFT across every region.  Padding once by the common
+        # margins is value-identical to per-kernel padding for all
+        # three boundary modes.
+        lx, rx, ly, ry = common_margins(kernels)
+        padded = np.pad(noise, ((lx, rx), (ly, ry)), mode=_pad_mode(boundary))
+        active = wm.support() if self.prune else None
+        stats = BatchStats()
+        fields = apply_kernels_valid(
+            kernels, padded, active=active, engine=self.engine, stats=stats
+        )
         heights = blend_fields(wm.weights, fields)
         return Surface(
             heights=heights,
@@ -404,6 +455,9 @@ class InhomogeneousGenerator:
                 "truncation": repr(self.truncation),
                 "boundary": boundary,
                 "engine": self.engine,
+                "regions_active": stats.kernels_active,
+                "regions_skipped": stats.kernels_skipped,
+                "batch_fft": stats.as_dict(),
             },
         )
 
@@ -420,16 +474,25 @@ class InhomogeneousGenerator:
         win_grid = self.grid.with_shape(nx, ny)
         origin = (x0 * self.grid.dx, y0 * self.grid.dy)
         wm = self.layout.weight_map(win_grid, origin=origin)
-        fields = []
-        for spec in wm.spectra:
-            # Kernels must match the *distinct spectra of this window's
-            # weight map* — reuse cached kernels by spectrum identity.
-            kern = self._kernel_for(spec)
-            wx0, wy0, wnx, wny = noise_window_for(kern, x0, y0, nx, ny)
-            window = noise.window(wx0, wy0, wnx, wny)
-            fields.append(
-                apply_kernel_valid(kern, window, engine=self.engine)
-            )
+        # Kernels match the distinct spectra of this window's weight map;
+        # every layout lists all regions in every window (with possibly
+        # all-zero weights), so the kernel batch — and hence the common
+        # margins and block geometry — is the same for every tile.
+        kernels = [self._kernel_for(s) for s in wm.spectra]
+        margins = common_margins(kernels)
+        wx0, wy0, wnx, wny = batched_noise_window_for(
+            kernels, x0, y0, nx, ny, margins=margins
+        )
+        window = noise.window(wx0, wy0, wnx, wny)
+        # Active set: regions with zero blend weight everywhere in this
+        # window are not convolved at all.  Margins stay those of the
+        # full batch, so pruning is bit-transparent.
+        active = wm.support() if self.prune else None
+        stats = BatchStats()
+        fields = apply_kernels_valid(
+            kernels, window, active=active, engine=self.engine,
+            margins=margins, stats=stats,
+        )
         heights = blend_fields(wm.weights, fields)
         return Surface(
             heights=heights,
@@ -441,12 +504,9 @@ class InhomogeneousGenerator:
                 "window": [x0, y0, nx, ny],
                 "noise_seed": noise.seed,
                 "engine": self.engine,
+                "regions": wm.n_regions,
+                "regions_active": stats.kernels_active,
+                "regions_skipped": stats.kernels_skipped,
+                "batch_fft": stats.as_dict(),
             },
         )
-
-    def _kernel_for(self, spectrum: Spectrum) -> Kernel:
-        try:
-            idx = self.weight_map.spectra.index(spectrum)
-        except ValueError:
-            return resolve_kernel(spectrum, self.grid, self.truncation)
-        return self.kernels[idx]

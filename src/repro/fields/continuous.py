@@ -29,11 +29,12 @@ import numpy as np
 from ..core.convolution import (
     TruncationSpec,
     _check_engine,
-    apply_kernel_valid,
-    convolve_spatial,
-    noise_window_for,
+    _pad_mode,
+    apply_kernels_valid,
+    batched_noise_window_for,
     resolve_kernel,
 )
+from ..core.engine import BatchStats, common_margins
 from ..core.grid import Grid2D
 from ..core.rng import BlockNoise, SeedLike, standard_normal_field
 from ..core.spectra import Spectrum
@@ -120,6 +121,7 @@ class ContinuousGenerator:
         levels: int | Sequence[float] = 5,
         truncation: TruncationSpec = 0.999,
         engine: str = "auto",
+        prune: bool = True,
     ) -> None:
         self.family = family
         self.h_field = h_field
@@ -127,6 +129,7 @@ class ContinuousGenerator:
         self.grid = grid
         self.truncation = truncation
         self.engine = _check_engine(engine)
+        self.prune = bool(prune)
 
         if isinstance(levels, (int, np.integer)):
             if levels < 1:
@@ -160,15 +163,44 @@ class ContinuousGenerator:
         ]
 
     # ------------------------------------------------------------------
-    def _blend(self, fields: List[np.ndarray], gx: np.ndarray,
-               gy: np.ndarray) -> np.ndarray:
+    def _level_mix(self, gx: np.ndarray, gy: np.ndarray):
+        """Per-sample level interpolation data for an output window.
+
+        Returns ``(lower, upper, w_lo, w_hi, h_vals, used)`` where
+        ``used`` flags the levels referenced with non-zero weight
+        anywhere in the window — the level-ladder analogue of the
+        region active set: unused levels need no convolution.
+        """
         cl_vals = np.asarray(self.cl_field(gx, gy), dtype=float)
         h_vals = np.asarray(self.h_field(gx, gy), dtype=float)
         if np.any(h_vals < 0):
             raise ValueError("h_field must be >= 0")
         lower, w_lo, w_hi = level_weights(cl_vals, self.levels)
-        stack = np.stack(fields)  # (L, nx, ny)
         upper = np.minimum(lower + 1, len(self.levels) - 1)
+        used = np.zeros(len(self.levels), dtype=bool)
+        used[lower[w_lo > 0.0]] = True
+        used[upper[w_hi > 0.0]] = True
+        return lower, upper, w_lo, w_hi, h_vals, used
+
+    def _blend_levels(self, fields, lower, upper, w_lo, w_hi,
+                      h_vals) -> np.ndarray:
+        """Cross-fade the bracketing level fields, then apply ``h``.
+
+        Pruned levels arrive as ``None``; they are only ever gathered
+        where their interpolation weight is zero, so a shared zero
+        placeholder keeps ``take_along_axis`` well-defined without
+        affecting the blend.
+        """
+        zeros: Optional[np.ndarray] = None
+        full: List[np.ndarray] = []
+        for f in fields:
+            if f is None:
+                if zeros is None:
+                    zeros = np.zeros(h_vals.shape)
+                full.append(zeros)
+            else:
+                full.append(f)
+        stack = np.stack(full)  # (L, nx, ny)
         f_lo = np.take_along_axis(stack, lower[None, ...], axis=0)[0]
         f_hi = np.take_along_axis(stack, upper[None, ...], axis=0)[0]
         return (w_lo * f_lo + w_hi * f_hi) * h_vals
@@ -182,12 +214,18 @@ class ContinuousGenerator:
         noise = np.asarray(noise, dtype=float)
         if noise.shape != self.grid.shape:
             raise ValueError("noise shape does not match the grid")
-        fields = [
-            convolve_spatial(k, noise, boundary=boundary, engine=self.engine)
-            for k in self._kernels
-        ]
         gx, gy = self.grid.meshgrid()
-        heights = self._blend(fields, gx, gy)
+        lower, upper, w_lo, w_hi, h_vals, used = self._level_mix(gx, gy)
+        lxm, rxm, lym, rym = common_margins(self._kernels)
+        padded = np.pad(noise, ((lxm, rxm), (lym, rym)),
+                        mode=_pad_mode(boundary))
+        stats = BatchStats()
+        fields = apply_kernels_valid(
+            self._kernels, padded,
+            active=used if self.prune else None,
+            engine=self.engine, stats=stats,
+        )
+        heights = self._blend_levels(fields, lower, upper, w_lo, w_hi, h_vals)
         return Surface(
             heights=heights,
             grid=self.grid,
@@ -196,23 +234,33 @@ class ContinuousGenerator:
                 "levels": self.levels.tolist(),
                 "truncation": repr(self.truncation),
                 "engine": self.engine,
+                "levels_active": stats.kernels_active,
+                "levels_skipped": stats.kernels_skipped,
+                "batch_fft": stats.as_dict(),
             },
         )
 
     def generate_window(self, noise: BlockNoise, x0: int, y0: int,
                         nx: int, ny: int) -> Surface:
         """Window of the unbounded continuous-parameter surface."""
-        fields = []
-        for kern in self._kernels:
-            wx0, wy0, wnx, wny = noise_window_for(kern, x0, y0, nx, ny)
-            window = noise.window(wx0, wy0, wnx, wny)
-            fields.append(
-                apply_kernel_valid(kern, window, engine=self.engine)
-            )
         win_grid = self.grid.with_shape(nx, ny)
         origin = (x0 * self.grid.dx, y0 * self.grid.dy)
         gx, gy = win_grid.meshgrid()
-        heights = self._blend(fields, gx + origin[0], gy + origin[1])
+        lower, upper, w_lo, w_hi, h_vals, used = self._level_mix(
+            gx + origin[0], gy + origin[1]
+        )
+        margins = common_margins(self._kernels)
+        wx0, wy0, wnx, wny = batched_noise_window_for(
+            self._kernels, x0, y0, nx, ny, margins=margins
+        )
+        window = noise.window(wx0, wy0, wnx, wny)
+        stats = BatchStats()
+        fields = apply_kernels_valid(
+            self._kernels, window,
+            active=used if self.prune else None,
+            engine=self.engine, margins=margins, stats=stats,
+        )
+        heights = self._blend_levels(fields, lower, upper, w_lo, w_hi, h_vals)
         return Surface(
             heights=heights,
             grid=win_grid,
@@ -222,5 +270,8 @@ class ContinuousGenerator:
                 "levels": self.levels.tolist(),
                 "noise_seed": noise.seed,
                 "engine": self.engine,
+                "levels_active": stats.kernels_active,
+                "levels_skipped": stats.kernels_skipped,
+                "batch_fft": stats.as_dict(),
             },
         )

@@ -86,6 +86,54 @@ class WeightMap:
         """Index map of the locally heaviest spectrum (for QA/rendering)."""
         return np.argmax(self.weights, axis=0)
 
+    def support(
+        self,
+        bbox: Optional[Tuple[int, int, int, int]] = None,
+        atol: float = 0.0,
+    ) -> np.ndarray:
+        """Boolean active-set mask: which regions touch a sample window.
+
+        ``support()[m]`` is true iff region ``m`` has any blend weight
+        ``> atol`` over the window — the query the batched engine uses
+        to skip convolutions entirely (a tile deep inside one plate pays
+        for exactly one kernel).  With the default ``atol = 0.0``
+        pruning is lossless: a skipped region contributes exactly
+        ``0 * field`` to eqn (37).
+
+        Parameters
+        ----------
+        bbox:
+            Optional sample-index window ``(i0, j0, ni, nj)`` *within
+            this map's own grid*; default is the whole map.  (Windowed
+            generators evaluate the weight map per tile, so they call
+            this with no ``bbox``.)
+        atol:
+            Weights ``<= atol`` count as zero.  Non-zero values trade a
+            bounded blend error for more pruning; the default prunes
+            only exact zeros.
+        """
+        w = self.weights
+        if bbox is not None:
+            i0, j0, ni, nj = bbox
+            if ni <= 0 or nj <= 0:
+                raise ValueError(f"empty support bbox {bbox}")
+            w = w[:, i0 : i0 + ni, j0 : j0 + nj]
+            if w.shape[1] != ni or w.shape[2] != nj:
+                raise ValueError(
+                    f"support bbox {bbox} outside weight map {self.shape}"
+                )
+        if atol == 0.0:
+            return np.any(w != 0.0, axis=(1, 2))
+        return np.any(w > atol, axis=(1, 2))
+
+    def active_set(
+        self,
+        bbox: Optional[Tuple[int, int, int, int]] = None,
+        atol: float = 0.0,
+    ) -> np.ndarray:
+        """Indices of the regions whose :meth:`support` is true."""
+        return np.flatnonzero(self.support(bbox=bbox, atol=atol))
+
 
 @dataclass(frozen=True)
 class RegionSpec:

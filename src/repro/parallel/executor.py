@@ -10,11 +10,17 @@ array.  Three backends:
 ``thread``
     ``ThreadPoolExecutor``.  NumPy's FFT and BLAS release the GIL for
     large arrays, so threads give genuine speedups with zero pickling
-    cost and shared output memory.
+    cost and shared output memory.  The best default on one machine.
 ``process``
-    ``ProcessPoolExecutor``.  Full CPU parallelism regardless of GIL;
-    the generator and noise spec are pickled to workers and tiles are
-    shipped back.  Worth it for large tiles / heavy kernels.
+    ``ProcessPoolExecutor`` with persistent workers: the generator and
+    noise spec are broadcast **once** per worker through the pool
+    initializer (not pickled per tile), and each worker writes its
+    tiles directly into a ``multiprocessing.shared_memory`` output
+    buffer — zero-copy assembly, nothing but a slim provenance record
+    crosses the result pipe.  Full CPU parallelism regardless of the
+    GIL; worth it when per-tile Python overhead (weight maps, blend
+    fields) rivals the FFT work, at the cost of one kernel-plan warmup
+    per worker.
 
 For a fixed tile plan, all three backends produce *bit-identical* output
 because tile values are pure functions of ``(generator, noise seed, tile
@@ -23,6 +29,10 @@ coordinates)`` — the counter-based noise plane
 do for GPU/MPI stochastic codes.  *Different* tile plans agree to
 floating-point rounding (~1e-15 relative): the FFT used inside the
 windowed convolution rounds differently for different window shapes.
+
+Run-level provenance aggregates what the windowed generators report per
+tile: plan-cache hit/miss deltas (summed across process workers' own
+caches), region/level active-set totals, and batched-FFT counters.
 
 This module is the library's MPI substitute (DESIGN.md S10): the tile
 decomposition, halo arithmetic, and determinism contract are exactly
@@ -33,7 +43,8 @@ from __future__ import annotations
 
 import concurrent.futures as cf
 import os
-from typing import Iterable, List, Optional, Protocol, Tuple
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -43,6 +54,17 @@ from ..core.surface import Surface
 from .tiles import Tile, TilePlan
 
 __all__ = ["WindowedGenerator", "generate_tiled", "default_workers"]
+
+#: Per-tile generator-provenance keys worth aggregating at run level
+#: (and the only ones process workers ship back to the parent).
+_TILE_PROV_KEYS = (
+    "regions",
+    "regions_active",
+    "regions_skipped",
+    "levels_active",
+    "levels_skipped",
+    "batch_fft",
+)
 
 
 class WindowedGenerator(Protocol):
@@ -60,19 +82,131 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def _tile_heights(generator: WindowedGenerator, noise: BlockNoise, tile: Tile
-                  ) -> np.ndarray:
+def _tile_result(
+    generator: WindowedGenerator, noise: BlockNoise, tile: Tile
+) -> Tuple[np.ndarray, Optional[dict]]:
+    """One tile's heights plus the generator's per-window provenance."""
     out = generator.generate_window(noise, tile.x0, tile.y0, tile.nx, tile.ny)
     # InhomogeneousGenerator returns Surface; ConvolutionGenerator ndarray.
     if isinstance(out, Surface):
-        return out.heights
-    return np.asarray(out)
+        return out.heights, out.provenance
+    return np.asarray(out), None
 
 
-def _worker(args: Tuple[WindowedGenerator, BlockNoise, Tile]
-            ) -> Tuple[Tile, np.ndarray]:
-    generator, noise, tile = args
-    return tile, _tile_heights(generator, noise, tile)
+def _tile_heights(generator: WindowedGenerator, noise: BlockNoise, tile: Tile
+                  ) -> np.ndarray:
+    out, _prov = _tile_result(generator, noise, tile)
+    return out
+
+
+def _slim_provenance(prov: Optional[dict]) -> Optional[dict]:
+    """The aggregatable subset of a tile's provenance."""
+    if not prov:
+        return None
+    slim = {k: prov[k] for k in _TILE_PROV_KEYS if k in prov}
+    return slim or None
+
+
+def _merge_tile_provenance(agg: dict, prov: Optional[dict]) -> None:
+    """Fold one tile's provenance into the run-level summary ``agg``."""
+    if not prov:
+        return
+    for akey, pkey in (("regions", "regions_active"),
+                       ("levels", "levels_active")):
+        if pkey not in prov:
+            continue
+        active = int(prov[pkey])
+        skipped = int(prov.get(pkey.replace("_active", "_skipped"), 0))
+        row = agg.setdefault(akey, {
+            "active_total": 0,
+            "skipped_total": 0,
+            "min_active": active,
+            "max_active": active,
+            "single_kernel_tiles": 0,
+        })
+        row["active_total"] += active
+        row["skipped_total"] += skipped
+        row["min_active"] = min(row["min_active"], active)
+        row["max_active"] = max(row["max_active"], active)
+        if active == 1 and skipped > 0:
+            row["single_kernel_tiles"] += 1
+    batch = prov.get("batch_fft")
+    if batch:
+        row = agg.setdefault("batch_fft", {})
+        for key, val in batch.items():
+            row[key] = row.get(key, 0) + int(val)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory process backend
+# ---------------------------------------------------------------------------
+#: Worker-side run state installed once by the pool initializer.
+_POOL_STATE: dict = {}
+
+
+def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without claiming ownership.
+
+    The parent creates and unlinks the segment; workers must only map
+    it.  ``track=False`` (Python >= 3.13) expresses that directly.  On
+    older interpreters attaching re-registers the name with the shared
+    resource tracker, which is harmless here: the tracker's cache is a
+    set, so the workers' registrations collapse into the parent's and
+    the parent's ``unlink`` balances them — no leak warning, and no
+    explicit unregister (which would double-remove and make the
+    parent's ``unlink`` trip the tracker).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13 signature
+        return shared_memory.SharedMemory(name=name)
+
+
+def _pool_init(
+    generator: WindowedGenerator,
+    noise: BlockNoise,
+    shm_name: str,
+    shape: Tuple[int, int],
+    origin: Tuple[int, int],
+) -> None:
+    """Pool initializer: receive the run state once per worker.
+
+    Everything tile-independent — the generator (with its kernels), the
+    noise spec, and the mapped output buffer — lives in module state for
+    the worker's lifetime, so per-tile tasks carry only a ``Tile``.
+    """
+    shm = _attach_shared_memory(shm_name)
+    view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    _POOL_STATE.update(
+        generator=generator,
+        noise=noise,
+        shm=shm,  # keep the mapping alive for the worker's lifetime
+        view=view,
+        origin=origin,
+    )
+
+
+def _pool_tile(tile: Tile) -> Tuple[Optional[dict], Dict[str, int]]:
+    """Worker task: write one tile straight into the shared output.
+
+    Returns the tile's slim provenance and this tile's plan-cache delta
+    (each worker process holds its own cache) — no height data crosses
+    the result pipe.
+    """
+    state = _POOL_STATE
+    before = plan_cache.stats()
+    heights, prov = _tile_result(state["generator"], state["noise"], tile)
+    after = plan_cache.stats()
+    ox, oy = state["origin"]
+    state["view"][
+        tile.x0 - ox : tile.x0 - ox + tile.nx,
+        tile.y0 - oy : tile.y0 - oy + tile.ny,
+    ] = heights
+    delta = {
+        "hits": after.hits - before.hits,
+        "misses": after.misses - before.misses,
+    }
+    return _slim_provenance(prov), delta
 
 
 def generate_tiled(
@@ -93,7 +227,8 @@ def generate_tiled(
     plan:
         Tile decomposition covering the desired output.
     backend:
-        ``"serial"``, ``"thread"`` or ``"process"``.
+        ``"serial"``, ``"thread"`` or ``"process"`` (see module
+        docstring for the trade-offs).
     workers:
         Pool size for the parallel backends (default
         :func:`default_workers`).
@@ -108,6 +243,8 @@ def generate_tiled(
     out = np.empty((plan.total_nx, plan.total_ny), dtype=float)
     tiles = plan.tiles()
     stats_before = plan_cache.stats()
+    agg: dict = {}
+    cache_delta: Optional[Dict[str, int]] = None
 
     def place(tile: Tile, values: np.ndarray) -> None:
         ix = tile.x0 - plan.origin_x
@@ -116,24 +253,40 @@ def generate_tiled(
 
     if backend == "serial":
         for t in tiles:
-            place(t, _tile_heights(generator, noise, t))
-    elif backend in ("thread", "process"):
+            heights, prov = _tile_result(generator, noise, t)
+            place(t, heights)
+            _merge_tile_provenance(agg, _slim_provenance(prov))
+    elif backend == "thread":
         n = workers or default_workers()
-        pool_cls = (
-            cf.ThreadPoolExecutor if backend == "thread" else cf.ProcessPoolExecutor
-        )
-        with pool_cls(max_workers=n) as pool:
-            if backend == "thread":
-                futures = [
-                    pool.submit(_tile_heights, generator, noise, t) for t in tiles
-                ]
-                for t, fut in zip(tiles, futures):
-                    place(t, fut.result())
-            else:
-                for t, values in pool.map(
-                    _worker, [(generator, noise, t) for t in tiles]
-                ):
-                    place(t, values)
+        with cf.ThreadPoolExecutor(max_workers=n) as pool:
+            futures = [
+                pool.submit(_tile_result, generator, noise, t) for t in tiles
+            ]
+            for t, fut in zip(tiles, futures):
+                heights, prov = fut.result()
+                place(t, heights)
+                _merge_tile_provenance(agg, _slim_provenance(prov))
+    elif backend == "process":
+        n = workers or default_workers()
+        shm = shared_memory.SharedMemory(create=True, size=out.nbytes)
+        try:
+            view = np.ndarray(out.shape, dtype=np.float64, buffer=shm.buf)
+            with cf.ProcessPoolExecutor(
+                max_workers=n,
+                initializer=_pool_init,
+                initargs=(generator, noise, shm.name, out.shape,
+                          (plan.origin_x, plan.origin_y)),
+            ) as pool:
+                cache_delta = {"hits": 0, "misses": 0}
+                for slim, delta in pool.map(_pool_tile, tiles):
+                    _merge_tile_provenance(agg, slim)
+                    cache_delta["hits"] += delta["hits"]
+                    cache_delta["misses"] += delta["misses"]
+            out[:] = view
+            del view  # release the buffer before closing the mapping
+        finally:
+            shm.close()
+            shm.unlink()
     else:
         raise ValueError(
             f"unknown backend {backend!r}; expected serial|thread|process"
@@ -155,13 +308,16 @@ def generate_tiled(
         read, output = plan.halo_samples(tuple(footprint))
         provenance["halo_overhead"] = read / output - 1.0
     if backend in ("serial", "thread"):
-        # Process workers hold their own plan caches; a delta against the
-        # parent's cache would be meaningless there.
         stats_after = plan_cache.stats()
         provenance["plan_cache"] = {
             "hits": stats_after.hits - stats_before.hits,
             "misses": stats_after.misses - stats_before.misses,
         }
+    elif cache_delta is not None:
+        # Sum of the workers' own cache deltas: misses count each
+        # worker's warmup, hits the cross-tile reuse inside workers.
+        provenance["plan_cache"] = cache_delta
+    provenance.update(agg)
     return Surface(
         heights=out,
         grid=big_grid,

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..core.rng import BlockNoise
 from ..core.surface import Surface
-from .executor import WindowedGenerator, _tile_heights
+from .executor import WindowedGenerator, _slim_provenance, _tile_result
 from .tiles import Tile
 
 __all__ = ["StripStream", "stream_strips", "assemble_strips"]
@@ -92,7 +92,7 @@ class StripStream:
             raise StopIteration
         gx = self.x0 + self._emitted * self.strip_nx
         tile = Tile(x0=gx, y0=self.y0, nx=self.strip_nx, ny=self.width_ny)
-        heights = _tile_heights(self.generator, self.noise, tile)
+        heights, tile_prov = _tile_result(self.generator, self.noise, tile)
         self._emitted += 1
         grid = self.generator.grid.with_shape(tile.nx, tile.ny)  # type: ignore[attr-defined]
         provenance = {
@@ -103,6 +103,10 @@ class StripStream:
         engine = getattr(self.generator, "engine", None)
         if engine is not None:
             provenance["engine"] = engine
+        slim = _slim_provenance(tile_prov)
+        if slim:
+            # active-set / batched-FFT record of this strip's window
+            provenance.update(slim)
         return Surface(
             heights=heights,
             grid=grid,
@@ -132,11 +136,14 @@ def stream_strips(
     while emitted < total_nx:
         nx = min(strip_nx, total_nx - emitted)
         tile = Tile(x0=x0 + emitted, y0=y0, nx=nx, ny=width_ny)
-        heights = _tile_heights(generator, noise, tile)
+        heights, tile_prov = _tile_result(generator, noise, tile)
         grid = generator.grid.with_shape(tile.nx, tile.ny)  # type: ignore[attr-defined]
         provenance = {"method": "strip-stream", "noise_seed": noise.seed}
         if engine is not None:
             provenance["engine"] = engine
+        slim = _slim_provenance(tile_prov)
+        if slim:
+            provenance.update(slim)
         yield Surface(
             heights=heights,
             grid=grid,

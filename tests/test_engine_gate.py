@@ -37,6 +37,32 @@ def _results(fft=1.0, legacy=1.0, spatial_est=100.0, speedup=None,
     }
 
 
+def _inhomo_results(batched=1.0, per_region=4.0, speedup=None,
+                    dev_spatial=1e-15, homog_ratio=1.0):
+    return {
+        "timings_s": {
+            "batched_tiled": batched,
+            "per_region_tiled": per_region,
+        },
+        "speedup_batched_vs_per_region": (
+            per_region / batched if speedup is None else speedup
+        ),
+        "max_abs_dev_batched_vs_spatial_sample": dev_spatial,
+        "homogeneous_ratio": homog_ratio,
+    }
+
+
+def _write_pair(tmp_path, results=None, inhomo=None):
+    """Write both gate inputs; return CLI argv selecting them."""
+    engine_path = tmp_path / "engine_fft.json"
+    engine_path.write_text(json.dumps(_results() if results is None
+                                      else results))
+    inhomo_path = tmp_path / "inhomo_batch.json"
+    inhomo_path.write_text(json.dumps(_inhomo_results() if inhomo is None
+                                      else inhomo))
+    return [str(engine_path), "--inhomo-results", str(inhomo_path)]
+
+
 class TestCheck:
     def test_clean_results_pass(self):
         assert gate.check(_results(), 1.10, 3.0, 1e-10) == []
@@ -73,32 +99,84 @@ class TestCheck:
         assert len(failures) == 3
 
 
+class TestCheckInhomo:
+    def test_clean_results_pass(self):
+        assert gate.check_inhomo(_inhomo_results(), 2.0, 1e-10, 1.10) == []
+
+    def test_insufficient_batch_speedup_fails(self):
+        failures = gate.check_inhomo(_inhomo_results(speedup=1.7), 2.0,
+                                     1e-10, 1.10)
+        assert len(failures) == 1
+        assert "batched multi-region speedup" in failures[0]
+
+    def test_nan_batch_speedup_fails(self):
+        failures = gate.check_inhomo(_inhomo_results(speedup=math.nan),
+                                     2.0, 1e-10, 1.10)
+        assert any("speedup" in f for f in failures)
+
+    def test_deviation_fails(self):
+        failures = gate.check_inhomo(_inhomo_results(dev_spatial=1e-8),
+                                     2.0, 1e-10, 1.10)
+        assert any("max_abs_dev_batched_vs_spatial_sample" in f
+                   for f in failures)
+
+    def test_homogeneous_regression_fails(self):
+        failures = gate.check_inhomo(_inhomo_results(homog_ratio=1.25),
+                                     2.0, 1e-10, 1.10)
+        assert any("homogeneous default path regressed" in f
+                   for f in failures)
+
+    def test_multiple_failures_reported_together(self):
+        failures = gate.check_inhomo(
+            _inhomo_results(speedup=1.0, dev_spatial=1.0, homog_ratio=2.0),
+            2.0, 1e-10, 1.10,
+        )
+        assert len(failures) == 3
+
+
 class TestMain:
     def test_pass_exit_zero(self, tmp_path, capsys):
-        path = tmp_path / "engine_fft.json"
-        path.write_text(json.dumps(_results()))
-        assert gate.main([str(path)]) == 0
+        assert gate.main(_write_pair(tmp_path)) == 0
         assert "PASS" in capsys.readouterr().out
 
     def test_fail_exit_one(self, tmp_path, capsys):
-        path = tmp_path / "engine_fft.json"
-        path.write_text(json.dumps(_results(fft=5.0, legacy=1.0)))
-        assert gate.main([str(path)]) == 1
+        argv = _write_pair(tmp_path, results=_results(fft=5.0, legacy=1.0))
+        assert gate.main(argv) == 1
         assert "FAIL" in capsys.readouterr().err
 
+    def test_inhomo_fail_exit_one(self, tmp_path, capsys):
+        argv = _write_pair(tmp_path, inhomo=_inhomo_results(speedup=1.2))
+        assert gate.main(argv) == 1
+        assert "batched multi-region speedup" in capsys.readouterr().err
+
     def test_missing_file_exit_two(self, tmp_path, capsys):
-        assert gate.main([str(tmp_path / "missing.json")]) == 2
+        argv = _write_pair(tmp_path)
+        argv[0] = str(tmp_path / "missing.json")
+        assert gate.main(argv) == 2
         assert "cannot read" in capsys.readouterr().err
 
+    def test_missing_inhomo_file_exit_two(self, tmp_path, capsys):
+        argv = _write_pair(tmp_path)
+        argv[2] = str(tmp_path / "missing_inhomo.json")
+        assert gate.main(argv) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "test_bench_inhomo_batch" in err
+
     def test_threshold_flags(self, tmp_path):
-        path = tmp_path / "engine_fft.json"
-        path.write_text(json.dumps(_results(fft=1.5, legacy=1.0)))
-        assert gate.main([str(path)]) == 1
-        assert gate.main([str(path), "--max-slowdown", "2.0"]) == 0
+        argv = _write_pair(tmp_path, results=_results(fft=1.5, legacy=1.0))
+        assert gate.main(argv) == 1
+        assert gate.main(argv + ["--max-slowdown", "2.0"]) == 0
+
+    def test_batch_threshold_flag(self, tmp_path):
+        argv = _write_pair(tmp_path, inhomo=_inhomo_results(speedup=1.5))
+        assert gate.main(argv) == 1
+        assert gate.main(argv + ["--min-batch-speedup", "1.2"]) == 0
 
     def test_real_bench_output_passes_if_present(self):
-        # keep the gate and the bench schema in lockstep: if the bench
-        # has been run in this checkout, its real row must gate clean
-        if not gate.DEFAULT_RESULTS.exists():
+        # keep the gate and the bench schema in lockstep: if the benches
+        # have been run in this checkout, their real rows must gate clean
+        if not (gate.DEFAULT_RESULTS.exists()
+                and gate.DEFAULT_INHOMO_RESULTS.exists()):
             pytest.skip("bench output not present")
         assert gate.main([]) == 0

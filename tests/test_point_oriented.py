@@ -161,3 +161,61 @@ class TestGeneration:
         )
         wm = layout.weight_map(grid)
         assert set(np.unique(wm.weights)) <= {0.0, 1.0}
+
+
+class TestDegenerateGeometry:
+    """Edge cases of eqns (42)-(45): ties, zero distances, zero widths."""
+
+    def test_equidistant_query_splits_evenly(self):
+        # query on the bisector: tau = 0, so the competitor gets the full
+        # fade 1/(2*1) = 1/2 and the nearest keeps the remainder 1/2
+        w = point_oriented_weights(
+            np.array([0.0, 2.0]), np.array([0.0, 0.0]),
+            np.array([1.0]), np.array([0.0]), half_width=0.5,
+        )
+        assert np.allclose(w[:, 0], [0.5, 0.5])
+
+    def test_equidistant_three_way_tie(self):
+        # centroid of an equilateral triangle: two competitors at tau = 0
+        # each take 1/(2*2); the (arbitrarily chosen) nearest keeps 1/2
+        ang = 2.0 * np.pi * np.arange(3) / 3.0
+        w = point_oriented_weights(
+            np.cos(ang), np.sin(ang), np.array([0.0]), np.array([0.0]),
+            half_width=0.3,
+        )
+        assert np.isclose(w.sum(), 1.0)
+        assert np.isclose(w.max(), 0.5)
+        assert np.allclose(np.sort(w[:, 0]), [0.25, 0.25, 0.5])
+
+    def test_equidistant_query_zero_half_width(self):
+        # hard-Voronoi limit with a tie: tau = 0 is not < T, so the
+        # nearest (lowest index by argmin) takes everything — weights
+        # stay a partition of unity, no NaN from the tie
+        w = point_oriented_weights(
+            np.array([0.0, 2.0]), np.array([0.0, 0.0]),
+            np.array([1.0]), np.array([0.0]), half_width=0.0,
+        )
+        assert w[:, 0].tolist() == [1.0, 0.0]
+
+    def test_query_coincident_with_representative(self):
+        # d2_min = 0 exactly; tau for the rival is half its separation
+        w = point_oriented_weights(
+            np.array([0.0, 1.0]), np.array([0.0, 0.0]),
+            np.array([0.0]), np.array([0.0]), half_width=0.2,
+        )
+        # rival's tau = 0.5 > T: the coincident point is pure
+        assert w[:, 0].tolist() == [1.0, 0.0]
+        w2 = point_oriented_weights(
+            np.array([0.0, 1.0]), np.array([0.0, 0.0]),
+            np.array([0.0]), np.array([0.0]), half_width=1.0,
+        )
+        # rival participates: fade = 1 - 0.5, share = 0.5 / 2 = 0.25
+        assert np.allclose(w2[:, 0], [0.75, 0.25])
+        assert w2[0, 0] >= 0.5  # eqn (45): own cell always dominates
+
+    def test_coincident_query_zero_half_width(self):
+        w = point_oriented_weights(
+            np.array([0.0, 3.0, 0.0]), np.array([0.0, 0.0, 4.0]),
+            np.array([0.0, 3.0]), np.array([0.0, 0.0]), half_width=0.0,
+        )
+        assert np.array_equal(w, [[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
