@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+from repro.core.engine import plan_cache
 from repro.core.spectra import Spectrum
 from repro.stats.acf import acf2d_unbiased
 from repro.stats.correlation_length import (
@@ -13,7 +15,32 @@ from repro.stats.correlation_length import (
     one_over_e_from_profile,
 )
 
-__all__ = ["measure_slab", "quadrant_interior", "reference_cl"]
+__all__ = [
+    "measure_slab",
+    "metrics_snapshot",
+    "quadrant_interior",
+    "reference_cl",
+]
+
+
+def metrics_snapshot() -> Dict[str, Any]:
+    """Process-level metrics for stamping into bench result rows.
+
+    Always carries the kernel-plan cache counters (with the derived
+    hit-rate); when a recorder is installed, the live ``repro.obs``
+    counters ride along too, so bench JSON rows double as metric
+    provenance for EXPERIMENTS.md.
+    """
+    cache = plan_cache.stats().as_dict()
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    snap: Dict[str, Any] = {
+        "plan_cache": dict(
+            cache, hit_rate=cache.get("hits", 0) / lookups if lookups else 0.0
+        ),
+    }
+    if obs.enabled():
+        snap["counters"] = obs.get_recorder().metrics.counters()
+    return snap
 
 
 def measure_slab(

@@ -24,11 +24,19 @@ Also reads ``benchmarks/out/inhomo_batch.json`` (written by
   relative to the seed ``fftconvolve`` baseline measured in the same
   run.
 
+Additionally measures — live, in this process — the overhead of the
+``repro.obs`` tracing layer on a homogeneous 2048^2 tiled FFT run
+(129^2 kernel, warm plan cache) and fails when recording costs more
+than ``--max-obs-overhead`` (default 3%) over the disabled no-op path.
+The figure is recorded in ``benchmarks/out/obs_overhead.json``;
+``--skip-obs-overhead`` skips the measurement (e.g. on loaded CI
+machines).
+
 Usage (CI tier-2, after running the benches)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_fft.py \\
         benchmarks/test_bench_inhomo_batch.py
-    python benchmarks/check_engine_gate.py
+    PYTHONPATH=src python benchmarks/check_engine_gate.py
 
 Exit code 0 on pass, 1 on any gate failure, 2 when a results file is
 missing or unreadable.
@@ -39,12 +47,105 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 DEFAULT_RESULTS = Path(__file__).resolve().parent / "out" / "engine_fft.json"
 DEFAULT_INHOMO_RESULTS = (
     Path(__file__).resolve().parent / "out" / "inhomo_batch.json"
 )
+DEFAULT_OBS_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "obs_overhead.json"
+)
+
+# Overhead-measurement scenario: the engine bench's homogeneous FFT
+# configuration (dx=1 grid, cl=24 Gaussian -> 129^2 kernel) tiled over a
+# 2048^2 output — large enough that per-span cost, not startup jitter,
+# dominates the delta.
+OBS_SURFACE = 2048
+OBS_TILE = 512
+OBS_TRUNC = (64, 64)
+OBS_REPEATS = 3
+
+
+def _import_repro():
+    """Import ``repro``, falling back to the sibling ``src`` tree."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    import repro  # noqa: F401
+    return repro
+
+
+def measure_obs_overhead() -> dict:
+    """Time a tiled homogeneous FFT run with tracing off vs on.
+
+    Returns the recorded row: best-of-``OBS_REPEATS`` wall time per mode
+    (interleaved so drift hits both equally), the relative overhead, and
+    the span/counter volume of one traced pass.
+    """
+    _import_repro()
+    from repro import obs
+    from repro.core.convolution import ConvolutionGenerator
+    from repro.core.grid import Grid2D
+    from repro.core.rng import BlockNoise
+    from repro.core.spectra import GaussianSpectrum
+    from repro.parallel.executor import generate_tiled
+    from repro.parallel.tiles import TilePlan
+
+    grid = Grid2D(nx=256, ny=256, lx=256.0, ly=256.0)  # dx = 1
+    spec = GaussianSpectrum(h=1.0, clx=24.0, cly=24.0)
+    gen = ConvolutionGenerator(spec, grid, truncation=OBS_TRUNC,
+                               engine="fft")
+    noise = BlockNoise(seed=41)
+    plan = TilePlan(total_nx=OBS_SURFACE, total_ny=OBS_SURFACE,
+                    tile_nx=OBS_TILE, tile_ny=OBS_TILE)
+
+    def run_off() -> float:
+        t0 = time.perf_counter()
+        generate_tiled(gen, noise, plan, backend="serial")
+        return time.perf_counter() - t0
+
+    span_count = counter_total = 0
+
+    def run_on() -> float:
+        nonlocal span_count, counter_total
+        with obs.recording() as rec:
+            t0 = time.perf_counter()
+            generate_tiled(gen, noise, plan, backend="serial")
+            elapsed = time.perf_counter() - t0
+            span_count = len(rec.spans())
+            counter_total = sum(rec.metrics.counters().values())
+        return elapsed
+
+    # Warm the plan cache and scipy FFT workspaces so both modes time
+    # the steady state the overhead budget is defined against.
+    gen.generate_window(noise, 0, 0, OBS_TILE, OBS_TILE)
+
+    times_off, times_on = [], []
+    for _ in range(OBS_REPEATS):
+        times_off.append(run_off())
+        times_on.append(run_on())
+    t_off = min(times_off)
+    t_on = min(times_on)
+    overhead = t_on / t_off - 1.0
+    return {
+        "claim": "repro.obs tracing costs <=3% on the homogeneous "
+                 "2048^2 tiled FFT path",
+        "surface": [OBS_SURFACE, OBS_SURFACE],
+        "tile": [OBS_TILE, OBS_TILE],
+        "repeats": OBS_REPEATS,
+        "timings_s": {
+            "tracing_off_best": t_off,
+            "tracing_on_best": t_on,
+            "tracing_off_all": times_off,
+            "tracing_on_all": times_on,
+        },
+        "overhead": overhead,
+        "spans_per_traced_run": span_count,
+        "counter_increments_per_traced_run": counter_total,
+    }
 
 
 def check(results: dict, max_slowdown: float, min_speedup: float,
@@ -125,7 +226,35 @@ def main(argv=None) -> int:
                              "of the seed baseline (default 1.10)")
     parser.add_argument("--max-deviation", type=float, default=1e-10,
                         help="allowed max abs deviation between engines")
+    parser.add_argument("--max-obs-overhead", type=float, default=0.03,
+                        help="allowed relative tracing overhead on the "
+                             "homogeneous FFT path (default 0.03 = 3%%)")
+    parser.add_argument("--obs-results", type=Path,
+                        default=DEFAULT_OBS_RESULTS,
+                        help="where to record the obs-overhead row "
+                             "(default: benchmarks/out/obs_overhead.json)")
+    parser.add_argument("--skip-obs-overhead", action="store_true",
+                        help="skip the live tracing-overhead measurement")
     args = parser.parse_args(argv)
+
+    failures = []
+    if not args.skip_obs_overhead:
+        # Live measurement first: the obs row is recorded even when the
+        # bench JSONs are missing (that still exits 2 below).
+        obs_row = measure_obs_overhead()
+        args.obs_results.parent.mkdir(exist_ok=True)
+        args.obs_results.write_text(json.dumps(obs_row, indent=2))
+        print(
+            f"obs gate: tracing off {obs_row['timings_s']['tracing_off_best']:.3f}s, "
+            f"on {obs_row['timings_s']['tracing_on_best']:.3f}s, overhead "
+            f"{obs_row['overhead'] * 100:.2f}% "
+            f"({obs_row['spans_per_traced_run']} spans)"
+        )
+        if not obs_row["overhead"] <= args.max_obs_overhead:  # catches NaN
+            failures.append(
+                f"tracing overhead {obs_row['overhead'] * 100:.2f}% exceeds "
+                f"the {args.max_obs_overhead * 100:.1f}% budget"
+            )
 
     try:
         results = json.loads(args.results.read_text())
@@ -144,8 +273,8 @@ def main(argv=None) -> int:
               "benchmarks/test_bench_inhomo_batch.py", file=sys.stderr)
         return 2
 
-    failures = check(results, args.max_slowdown, args.min_speedup,
-                     args.max_deviation)
+    failures += check(results, args.max_slowdown, args.min_speedup,
+                      args.max_deviation)
     failures += check_inhomo(inhomo, args.min_batch_speedup,
                              args.max_deviation, args.max_homog_slowdown)
     timings = results["timings_s"]

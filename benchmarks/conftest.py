@@ -52,6 +52,11 @@ def record(out_dir):
     """Write a named JSON result row for EXPERIMENTS.md."""
 
     def _record(name: str, payload: Dict[str, Any]) -> None:
+        from _helpers import metrics_snapshot
+
+        # Every row carries the process metrics state (plan-cache hit
+        # rate, live obs counters when tracing) as measurement context.
+        payload.setdefault("obs_metrics", metrics_snapshot())
         path = out_dir / f"{name}.json"
 
         def default(o):

@@ -21,6 +21,7 @@ See ``examples/`` for inhomogeneous terrains (the paper's Figures 1-4)
 and ``DESIGN.md`` / ``EXPERIMENTS.md`` for the reproduction inventory.
 """
 
+from . import obs
 from ._version import __version__
 from .core import (
     BlockNoise,
@@ -63,6 +64,8 @@ from .fields import (
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # grids & spectra
     "Grid2D", "Spectrum", "GaussianSpectrum", "PowerLawSpectrum",
     "ExponentialSpectrum", "spectrum_from_dict",

@@ -41,6 +41,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from . import obs
 from ._version import __version__
 from .core.convolution import ENGINES, ConvolutionGenerator
 from .core.grid import Grid2D
@@ -98,6 +99,12 @@ def _add_grid_args(p: argparse.ArgumentParser) -> None:
 
 
 def _emit_surface(surface: Surface, args: argparse.Namespace) -> None:
+    if obs.enabled():
+        # Saved alongside the surface so ``inspect --timings`` can render
+        # the run's counters long after the process is gone.
+        surface.provenance["obs_metrics"] = (
+            obs.get_recorder().metrics.as_dict()
+        )
     print(json.dumps(surface.summary(), indent=2))
     if args.npz:
         save_surface(args.npz, surface)
@@ -153,6 +160,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.tile is not None:
+        # Tiled multi-region generation: the figure layout drives the
+        # inhomogeneous generator window-by-window over the unbounded
+        # noise plane (non-periodic, unlike the one-shot path below).
+        from .core.inhomogeneous import InhomogeneousGenerator
+        from .figures import default_grid, figure_layout
+        from .parallel.executor import generate_tiled
+        from .parallel.tiles import TilePlan
+
+        if args.tile <= 0:
+            raise SystemExit("--tile must be positive")
+        grid = default_grid(args.n, args.domain)
+        layout = figure_layout(args.name, args.domain)
+        gen = InhomogeneousGenerator(layout, grid, truncation=0.999)
+        plan = TilePlan(total_nx=args.n, total_ny=args.n,
+                        tile_nx=args.tile, tile_ny=args.tile)
+        surface = generate_tiled(
+            gen, BlockNoise(seed=args.seed), plan,
+            backend=args.backend, workers=args.workers,
+        )
+        surface.provenance["figure"] = args.name
+        surface.provenance["seed"] = args.seed
+        _emit_surface(surface, args)
+        return 0
     surface = figure_surface(
         args.name, n=args.n, domain=args.domain, seed=args.seed
     )
@@ -171,6 +202,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         "summary": surface.summary(),
     }
     print(json.dumps(info, indent=2))
+    if args.timings:
+        from .obs import provenance_timings
+
+        print(provenance_timings(surface.provenance))
     if args.preview:
         print(ascii_preview(surface))
     return 0
@@ -274,6 +309,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(Uchida, Honda & Yoon convolution method)",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write run counters/gauges/histograms as JSON "
+             "(enables tracing for this run)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write spans in Chrome trace-event JSON, loadable in "
+             "chrome://tracing or Perfetto (enables tracing)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="homogeneous surface")
@@ -313,6 +358,20 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("name", choices=FIGURES)
     _add_grid_args(f)
     f.add_argument("--seed", type=int, default=2009)
+    f.add_argument(
+        "--tile", type=int, default=None,
+        help="generate tile-by-tile over the unbounded noise plane "
+             "(tile edge in samples; non-periodic windowed surface)",
+    )
+    f.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="serial",
+        help="tiled execution backend (with --tile)",
+    )
+    f.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for the parallel backends (default: cores - 1)",
+    )
     f.add_argument("--npz", default=None)
     f.add_argument("--pgm", default=None)
     f.add_argument("--ppm", default=None)
@@ -322,6 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("inspect", help="inspect a saved surface")
     i.add_argument("path")
     i.add_argument("--preview", action="store_true")
+    i.add_argument(
+        "--timings", action="store_true",
+        help="render the saved provenance/metrics as a timing summary",
+    )
     i.set_defaults(func=_cmd_inspect)
 
     v = sub.add_parser("validate", help="DFT(w) ~ rho accuracy check")
@@ -363,10 +426,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    ``--metrics-out`` / ``--trace-out`` turn on tracing for the whole
+    command; without them the observability layer stays a no-op and the
+    outputs are bit-identical.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if not (args.metrics_out or args.trace_out):
+        return args.func(args)
+    with obs.recording() as rec:
+        with obs.trace("cli." + args.command):
+            code = args.func(args)
+        if args.metrics_out:
+            obs.write_metrics_json(args.metrics_out, rec)
+            print(f"wrote {args.metrics_out}", file=sys.stderr)
+        if args.trace_out:
+            obs.write_chrome_trace(
+                args.trace_out, rec,
+                metadata={"command": args.command},
+            )
+            print(f"wrote {args.trace_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -58,6 +58,7 @@ import numpy as np
 from scipy import fft as sfft
 from scipy import signal
 
+from .. import obs
 from .engine import (
     BatchStats,
     KernelPlanCache,
@@ -242,8 +243,10 @@ def apply_kernel_valid(
     engine = _check_engine(engine)
     if engine == "auto":
         engine = select_engine(kernel.shape)
+    obs.add("conv.dispatch." + engine)
     if engine == "spatial":
-        return apply_kernel_valid_spatial(kernel, noise)
+        with obs.trace("conv.spatial"):
+            return apply_kernel_valid_spatial(kernel, noise)
     return apply_kernel_valid_fft(kernel, noise, cache=cache)
 
 
@@ -331,9 +334,14 @@ def apply_kernel_valid_fft(
         for y0 in range(0, ony, step_y):
             ny_blk = min(step_y, ony - y0)
             seg = noise[x0 : x0 + bx, y0 : y0 + by]
-            spec = sfft.rfft2(seg, s=(bx, by))
+            with obs.trace("engine.fft.forward"):
+                spec = sfft.rfft2(seg, s=(bx, by))
             spec *= plan.kfft
-            conv = sfft.irfft2(spec, s=(bx, by))
+            with obs.trace("engine.fft.inverse"):
+                conv = sfft.irfft2(spec, s=(bx, by))
+            obs.add("engine.fft.forward_ffts")
+            obs.add("engine.fft.inverse_ffts")
+            obs.add("engine.fft.blocks")
             # circular wrap contaminates only the first kernel-1 rows /
             # columns of each block; the rest equals the linear result
             out[x0 : x0 + nx_blk, y0 : y0 + ny_blk] = conv[
@@ -505,13 +513,17 @@ def apply_kernels_valid(
         # Dispatch on the common footprint so every tile of a run makes
         # the same choice regardless of which regions are active there.
         engine = select_engine((kx_eff, ky_eff))
+    n_active = n if mask is None else int(mask.sum())
     if stats is not None:
-        n_active = n if mask is None else int(mask.sum())
         stats.kernels_active += n_active
         stats.kernels_skipped += n - n_active
+    obs.add("conv.dispatch." + engine)
+    obs.add("batch.kernels_active", n_active)
+    obs.add("batch.kernels_skipped", n - n_active)
     if engine == "spatial":
-        return _apply_kernels_valid_spatial(kernels, noise, mask,
-                                            (lx, rx, ly, ry))
+        with obs.trace("conv.spatial"):
+            return _apply_kernels_valid_spatial(kernels, noise, mask,
+                                                (lx, rx, ly, ry))
     return _apply_kernels_valid_fft(kernels, noise, mask, (lx, rx, ly, ry),
                                     cache=cache, block_shape=block_shape,
                                     stats=stats)
@@ -597,12 +609,17 @@ def _apply_kernels_valid_fft(
             for y0 in range(0, ony, step_y):
                 ny_blk = min(step_y, ony - y0)
                 seg = noise[x0 : x0 + bx, y0 : y0 + by]
-                spec = sfft.rfft2(seg, s=(bx, by))
+                with obs.trace("engine.fft.forward"):
+                    spec = sfft.rfft2(seg, s=(bx, by))
+                obs.add("engine.fft.forward_ffts")
+                obs.add("engine.fft.blocks")
                 if stats is not None:
                     stats.forward_ffts += 1
                     stats.blocks += 1
                 for m, plan, px, py in plans:
-                    conv = sfft.irfft2(spec * plan.kfft, s=(bx, by))
+                    with obs.trace("engine.fft.inverse"):
+                        conv = sfft.irfft2(spec * plan.kfft, s=(bx, by))
+                    obs.add("engine.fft.inverse_ffts")
                     if stats is not None:
                         stats.inverse_ffts += 1
                     outs[m][x0 : x0 + nx_blk, y0 : y0 + ny_blk] = conv[

@@ -57,6 +57,8 @@ from typing import TYPE_CHECKING, Dict, Hashable, Sequence, Tuple
 import numpy as np
 from scipy import fft as sfft
 
+from .. import obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (weights -> engine)
     from .weights import Kernel
 
@@ -301,14 +303,18 @@ class KernelPlanCache:
             plan = self._plans.get(key)
             if plan is not None:
                 self._hits += 1
+                obs.add("engine.plan_cache.hits")
                 self._plans.move_to_end(key)
                 return plan
             self._misses += 1
-            plan = _build_plan(kernel, (bx, by), key)
+            obs.add("engine.plan_cache.misses")
+            with obs.trace("engine.plan.build"):
+                plan = _build_plan(kernel, (bx, by), key)
             self._plans[key] = plan
             while len(self._plans) > self._maxsize:
                 self._plans.popitem(last=False)
                 self._evictions += 1
+                obs.add("engine.plan_cache.evictions")
             return plan
 
     # ------------------------------------------------------------------
@@ -338,6 +344,7 @@ class KernelPlanCache:
             while len(self._plans) > self._maxsize:
                 self._plans.popitem(last=False)
                 self._evictions += 1
+                obs.add("engine.plan_cache.evictions")
 
     def __len__(self) -> int:
         with self._lock:

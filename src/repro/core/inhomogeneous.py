@@ -39,6 +39,7 @@ from typing import List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..fields.parameter_map import WeightMap
 from ..fields.transition import get_profile
 from .convolution import (
@@ -376,7 +377,8 @@ class InhomogeneousGenerator:
     def weight_map(self) -> WeightMap:
         """Blend fields on the construction grid (computed once)."""
         if self._weight_map is None:
-            self._weight_map = self.layout.weight_map(self.grid)
+            with obs.trace("fields.weight_map"):
+                self._weight_map = self.layout.weight_map(self.grid)
         return self._weight_map
 
     @property
@@ -473,7 +475,8 @@ class InhomogeneousGenerator:
         """
         win_grid = self.grid.with_shape(nx, ny)
         origin = (x0 * self.grid.dx, y0 * self.grid.dy)
-        wm = self.layout.weight_map(win_grid, origin=origin)
+        with obs.trace("fields.weight_map"):
+            wm = self.layout.weight_map(win_grid, origin=origin)
         # Kernels match the distinct spectra of this window's weight map;
         # every layout lists all regions in every window (with possibly
         # all-zero weights), so the kernel batch — and hence the common

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.convolution import (
     TruncationSpec,
     _check_engine,
@@ -171,8 +172,9 @@ class ContinuousGenerator:
         anywhere in the window — the level-ladder analogue of the
         region active set: unused levels need no convolution.
         """
-        cl_vals = np.asarray(self.cl_field(gx, gy), dtype=float)
-        h_vals = np.asarray(self.h_field(gx, gy), dtype=float)
+        with obs.trace("fields.weight_map"):
+            cl_vals = np.asarray(self.cl_field(gx, gy), dtype=float)
+            h_vals = np.asarray(self.h_field(gx, gy), dtype=float)
         if np.any(h_vals < 0):
             raise ValueError("h_field must be >= 0")
         lower, w_lo, w_hi = level_weights(cl_vals, self.levels)

@@ -1,0 +1,257 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One schema for every number the library previously scattered across
+ad-hoc provenance dicts: ``KernelPlanCache.stats()`` counters, the
+batched engine's FFT-work counters (``BatchStats``), and the
+``regions_active``/``regions_skipped`` active-set provenance all land
+here under dotted metric names (see ``docs/OBSERVABILITY.md`` for the
+naming scheme).
+
+Design constraints, in order:
+
+* **stdlib only** — importable from worker processes with nothing but
+  the interpreter;
+* **thread-safe** — one registry is shared by the thread executor's
+  workers;
+* **deterministic merge** — per-worker registries serialise to plain
+  dicts and fold into a run-level registry such that the merged counter
+  totals are independent of worker scheduling (counters and histograms
+  are commutative sums; gauges merge by ``max``, the only associative
+  and commutative choice that never invents a value).
+
+Histograms use *fixed* bucket boundaries so that merging never re-bins:
+two histograms with the same boundaries merge by adding their bucket
+counts, and quantile estimates (upper bound of the covering bucket) are
+identical whether observations were recorded in one process or many.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = ["Histogram", "Metrics", "DEFAULT_TIME_BUCKETS"]
+
+#: Default bucket upper bounds (seconds) for duration histograms:
+#: 100 us .. 30 s in a 1-2.5-5 ladder, plus the implicit +inf overflow.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/count/min/max side-cars.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket (``+inf``) is always appended.  Quantiles are
+    bucket-resolution estimates: :meth:`quantile` returns the upper
+    bound of the first bucket whose cumulative count covers the rank
+    (``inf`` collapses to the observed max), which is merge-stable.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count", "vmin", "vmax")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        b = tuple(float(x) for x in bounds)
+        if not b or any(b[i] >= b[i + 1] for i in range(len(b) - 1)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = b
+        self.counts = [0] * (len(b) + 1)  # +1: overflow bucket
+        self.total = 0.0
+        self.count = 0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.total += v
+        self.count += 1
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate, ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= rank and c:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.vmax  # overflow bucket: best bound we have
+        return self.vmax
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.count += other.count
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    def as_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+        if self.count:
+            d.update(
+                min=self.vmin,
+                max=self.vmax,
+                mean=self.mean,
+                p50=self.quantile(0.50),
+                p95=self.quantile(0.95),
+            )
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Histogram":
+        h = cls(d["bounds"])
+        counts = [int(c) for c in d["counts"]]
+        if len(counts) != len(h.counts):
+            raise ValueError("bucket count mismatch")
+        h.counts = counts
+        h.count = int(d["count"])
+        h.total = float(d["sum"])
+        h.vmin = float(d.get("min", float("inf")))
+        h.vmax = float(d.get("max", float("-inf")))
+        return h
+
+
+class Metrics:
+    """Thread-safe registry of counters, gauges, and histograms.
+
+    Names are dotted strings (``engine.plan_cache.hits``); each name
+    lives in exactly one of the three kinds — re-using a counter name as
+    a gauge is an error caught at merge/serialisation time by the
+    per-kind namespaces.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- write side ----------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Sequence[float]] = None) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = Histogram(bounds if bounds is not None
+                              else DEFAULT_TIME_BUCKETS)
+                self._histograms[name] = h
+            h.observe(value)
+
+    # -- read side -----------------------------------------------------
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """Snapshot of counters whose name starts with ``prefix``."""
+        with self._lock:
+            return {k: v for k, v in self._counters.items()
+                    if k.startswith(prefix)}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (len(self._counters) + len(self._gauges)
+                    + len(self._histograms))
+
+    # -- lifecycle -----------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def merge(self, other: "Metrics | Dict[str, Any]") -> None:
+        """Fold another registry (or its ``as_dict`` payload) into this one.
+
+        Counters and histogram bucket counts add; gauges keep the
+        maximum.  Merging is commutative and associative, so run-level
+        totals do not depend on worker completion order.
+        """
+        payload = other.as_dict() if isinstance(other, Metrics) else other
+        with self._lock:
+            for k, v in payload.get("counters", {}).items():
+                self._counters[k] = self._counters.get(k, 0) + int(v)
+            for k, v in payload.get("gauges", {}).items():
+                cur = self._gauges.get(k)
+                self._gauges[k] = float(v) if cur is None else max(cur, float(v))
+            for k, hd in payload.get("histograms", {}).items():
+                incoming = Histogram.from_dict(hd)
+                mine = self._histograms.get(k)
+                if mine is None:
+                    self._histograms[k] = incoming
+                else:
+                    mine.merge(incoming)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (the merge/sink interchange form)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: h.as_dict()
+                               for k, h in self._histograms.items()},
+            }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Metrics":
+        m = cls()
+        m.merge(payload)
+        return m
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"Metrics(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})"
+            )
+
+
+def iter_counter_items(payload: Dict[str, Any]) -> Iterable[Tuple[str, int]]:
+    """Counters of an ``as_dict`` payload, sorted by name (stable output)."""
+    return sorted(payload.get("counters", {}).items())

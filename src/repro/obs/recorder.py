@@ -1,0 +1,336 @@
+"""Spans, the run recorder, and the module-level tracing switchboard.
+
+The library's hot paths call four free functions — :func:`trace`,
+:func:`add`, :func:`observe`, :func:`set_gauge` — which dispatch to the
+*installed* recorder.  By default that is the :class:`NullRecorder`
+singleton, whose methods do nothing and whose :meth:`~NullRecorder.span`
+returns one shared no-op context manager, so **disabled tracing costs a
+function call and allocates nothing**.  Installing a real
+:class:`Recorder` (usually via the :func:`recording` context manager)
+turns the same call sites into monotonic-clock span records and metric
+updates.
+
+Tracing never touches the numerics: spans only read clocks, so surfaces
+generated with tracing on are bit-identical to tracing off (tested).
+
+Cross-process collection
+------------------------
+Worker processes install their own recorder and ship
+:meth:`Recorder.drain` payloads (spans + metrics deltas) back over the
+result pipe; the parent folds them in with :meth:`Recorder.merge`.
+Span timestamps use ``time.perf_counter_ns`` — on the platforms this
+library targets that is ``CLOCK_MONOTONIC``, which is system-wide, so
+worker spans land on the same timeline as the parent's in the Chrome
+trace.  Every span carries its ``(pid, tid)`` so per-worker rows
+separate cleanly in the viewer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import Metrics
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "NullRecorder",
+    "Recorder",
+    "trace",
+    "add",
+    "observe",
+    "set_gauge",
+    "enabled",
+    "get_recorder",
+    "install",
+    "uninstall",
+    "recording",
+    "NULL_RECORDER",
+]
+
+#: One finished span: (name, start perf_counter_ns, duration_ns, pid,
+#: tid, attrs-or-None).  Kept a plain tuple so payloads pickle slim.
+SpanRecord = Tuple[str, int, int, int, int, Optional[Dict[str, Any]]]
+
+#: Spans retained per recorder before new ones are dropped (counted in
+#: the ``obs.spans_dropped`` counter) — bounds memory on huge runs.
+DEFAULT_MAX_SPANS = 200_000
+
+
+class Span:
+    """A timed section: ``with trace("engine.plan.build"): ...``.
+
+    Start/stop use the monotonic ``perf_counter_ns``; on exit the span
+    is appended to its recorder and its duration is folded into the
+    recorder's per-name aggregates.  ``duration_s`` is readable after
+    exit (0.0 until then), which lets callers reuse the span's own
+    measurement instead of timing twice.
+    """
+
+    __slots__ = ("name", "attrs", "_recorder", "_t0", "duration_s")
+
+    def __init__(self, recorder: "Recorder", name: str,
+                 attrs: Optional[Dict[str, Any]]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._recorder = recorder
+        self._t0 = 0
+        self.duration_s = 0.0
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dur = time.perf_counter_ns() - self._t0
+        self.duration_s = dur / 1e9
+        self._recorder._finish(self.name, self._t0, dur, self.attrs)
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach (or extend) the span's attribute dict."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Shared do-nothing span (the disabled path allocates nothing)."""
+
+    __slots__ = ()
+    duration_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: every operation is a no-op.
+
+    ``metrics`` is a real (always-empty-by-construction... never
+    written) registry so read-side code can treat the two recorders
+    uniformly.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = Metrics()
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        return _NULL_SPAN
+
+    def add(self, name: str, n: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder:
+    """Thread-safe in-process collector of spans and metrics.
+
+    Parameters
+    ----------
+    max_spans:
+        Retention bound; past it spans are dropped (never blocked on)
+        and counted in the ``obs.spans_dropped`` counter so truncation
+        is visible rather than silent.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.metrics = Metrics()
+        self.max_spans = int(max_spans)
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        # name -> [count, total_ns, min_ns, max_ns]; the human-summary
+        # aggregate, kept live so sinks need not re-scan every span.
+        self._span_stats: Dict[str, List[int]] = {}
+        self.t0_ns = time.perf_counter_ns()
+
+    # -- write side ----------------------------------------------------
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        return Span(self, name, attrs)
+
+    def _finish(self, name: str, t0: int, dur: int,
+                attrs: Optional[Dict[str, Any]]) -> None:
+        tid = threading.get_ident()
+        pid = os.getpid()
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append((name, t0, dur, pid, tid, attrs))
+            else:
+                self.metrics.inc("obs.spans_dropped")
+            agg = self._span_stats.get(name)
+            if agg is None:
+                self._span_stats[name] = [1, dur, dur, dur]
+            else:
+                agg[0] += 1
+                agg[1] += dur
+                if dur < agg[2]:
+                    agg[2] = dur
+                if dur > agg[3]:
+                    agg[3] = dur
+
+    def add(self, name: str, n: int = 1) -> None:
+        self.metrics.inc(name, n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    # -- read side -----------------------------------------------------
+    def spans(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._spans)
+
+    def span_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregate: count, total/mean/min/max seconds."""
+        with self._lock:
+            return {
+                name: {
+                    "count": agg[0],
+                    "total_s": agg[1] / 1e9,
+                    "mean_s": agg[1] / agg[0] / 1e9,
+                    "min_s": agg[2] / 1e9,
+                    "max_s": agg[3] / 1e9,
+                }
+                for name, agg in sorted(self._span_stats.items())
+            }
+
+    # -- cross-process plumbing ----------------------------------------
+    def drain(self) -> Dict[str, Any]:
+        """Detach and return everything recorded so far (then reset).
+
+        The worker-side half of per-worker collection: the returned
+        payload is plain picklable data (the same slim shape as the
+        plan-cache deltas riding the result pipe).
+        """
+        with self._lock:
+            spans, self._spans = self._spans, []
+            stats, self._span_stats = self._span_stats, {}
+        metrics = self.metrics.as_dict()
+        self.metrics.clear()
+        return {"spans": spans, "span_stats": stats, "metrics": metrics}
+
+    def merge(self, payload: Dict[str, Any]) -> None:
+        """Fold a :meth:`drain` payload (e.g. from a worker) into this one.
+
+        Metric merging is commutative (see :meth:`Metrics.merge`), and
+        span aggregates add, so the merged totals are deterministic for
+        a fixed tile plan regardless of scheduling.
+        """
+        self.metrics.merge(payload.get("metrics", {}))
+        spans = payload.get("spans", ())
+        stats = payload.get("span_stats", {})
+        with self._lock:
+            room = self.max_spans - len(self._spans)
+            take = [tuple(s) for s in spans[:max(room, 0)]]
+            self._spans.extend(take)  # type: ignore[arg-type]
+            dropped = len(spans) - len(take)
+            for name, agg in stats.items():
+                mine = self._span_stats.get(name)
+                if mine is None:
+                    self._span_stats[name] = list(agg)
+                else:
+                    mine[0] += agg[0]
+                    mine[1] += agg[1]
+                    mine[2] = min(mine[2], agg[2])
+                    mine[3] = max(mine[3], agg[3])
+        if dropped:
+            self.metrics.inc("obs.spans_dropped", dropped)
+
+
+# ---------------------------------------------------------------------------
+# Module-level switchboard
+# ---------------------------------------------------------------------------
+_current: "NullRecorder | Recorder" = NULL_RECORDER
+_install_lock = threading.Lock()
+
+
+def get_recorder() -> "NullRecorder | Recorder":
+    """The currently installed recorder (the null recorder by default)."""
+    return _current
+
+
+def enabled() -> bool:
+    """Whether a real recorder is installed."""
+    return _current.enabled
+
+
+def install(recorder: "Recorder | NullRecorder") -> None:
+    """Make ``recorder`` the process-wide collection target."""
+    global _current
+    with _install_lock:
+        _current = recorder
+
+
+def uninstall() -> None:
+    """Restore the no-op null recorder."""
+    install(NULL_RECORDER)
+
+
+class recording:
+    """Install a fresh :class:`Recorder` for a ``with`` block.
+
+    >>> from repro import obs
+    >>> with obs.recording() as rec:          # doctest: +SKIP
+    ...     surface = generate(...)
+    >>> rec.metrics.counter("engine.fft.forward_ffts")  # doctest: +SKIP
+    """
+
+    def __init__(self, recorder: Optional[Recorder] = None) -> None:
+        self.recorder = recorder if recorder is not None else Recorder()
+        self._previous: "Recorder | NullRecorder" = NULL_RECORDER
+
+    def __enter__(self) -> Recorder:
+        self._previous = get_recorder()
+        install(self.recorder)
+        return self.recorder
+
+    def __exit__(self, *exc) -> bool:
+        install(self._previous)
+        return False
+
+
+# -- hot-path free functions (dispatch to the installed recorder) ------
+def trace(name: str, attrs: Optional[Dict[str, Any]] = None):
+    """Span context manager on the installed recorder (no-op when off)."""
+    return _current.span(name, attrs)
+
+
+def add(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` (no-op when tracing is off)."""
+    _current.add(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record into histogram ``name`` (no-op when tracing is off)."""
+    _current.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op when tracing is off)."""
+    _current.set_gauge(name, value)

@@ -43,11 +43,13 @@ from __future__ import annotations
 
 import concurrent.futures as cf
 import os
+import time
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Protocol, Tuple
+from typing import Any, Dict, Optional, Protocol, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.engine import plan_cache
 from ..core.rng import BlockNoise
 from ..core.surface import Surface
@@ -97,6 +99,33 @@ def _tile_heights(generator: WindowedGenerator, noise: BlockNoise, tile: Tile
                   ) -> np.ndarray:
     out, _prov = _tile_result(generator, noise, tile)
     return out
+
+
+def _traced_tile(
+    generator: WindowedGenerator,
+    noise: BlockNoise,
+    tile: Tile,
+    submit_ns: Optional[int] = None,
+) -> Tuple[np.ndarray, Optional[dict], float]:
+    """One tile's result wrapped in an ``executor.tile`` span.
+
+    Returns ``(heights, provenance, tile_seconds)``.  ``submit_ns``
+    (thread backend) dates the pool submission so the span's start gap
+    is recorded as queue wait.  All of this is a no-op when tracing is
+    off — the null span allocates nothing and ``tile_seconds`` is 0.
+    """
+    if submit_ns is not None and obs.enabled():
+        obs.observe("executor.queue_wait_seconds",
+                    (time.perf_counter_ns() - submit_ns) / 1e9)
+    with obs.trace("executor.tile",
+                   {"x0": tile.x0, "y0": tile.y0,
+                    "nx": tile.nx, "ny": tile.ny}
+                   if obs.enabled() else None) as span:
+        heights, prov = _tile_result(generator, noise, tile)
+    if obs.enabled():
+        obs.observe("executor.tile_seconds", span.duration_s)
+        obs.add("executor.tiles")
+    return heights, prov, span.duration_s
 
 
 def _slim_provenance(prov: Optional[dict]) -> Optional[dict]:
@@ -168,15 +197,21 @@ def _pool_init(
     shm_name: str,
     shape: Tuple[int, int],
     origin: Tuple[int, int],
+    obs_enabled: bool = False,
 ) -> None:
     """Pool initializer: receive the run state once per worker.
 
     Everything tile-independent — the generator (with its kernels), the
     noise spec, and the mapped output buffer — lives in module state for
     the worker's lifetime, so per-tile tasks carry only a ``Tile``.
+    When the parent is recording, each worker installs its own
+    :class:`repro.obs.Recorder`; per-tile drains ride the result pipe
+    next to the plan-cache deltas.
     """
     shm = _attach_shared_memory(shm_name)
     view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    if obs_enabled:
+        obs.install(obs.Recorder())
     _POOL_STATE.update(
         generator=generator,
         noise=noise,
@@ -186,16 +221,19 @@ def _pool_init(
     )
 
 
-def _pool_tile(tile: Tile) -> Tuple[Optional[dict], Dict[str, int]]:
+def _pool_tile(
+    tile: Tile,
+) -> Tuple[Optional[dict], Dict[str, int], Optional[Dict[str, Any]]]:
     """Worker task: write one tile straight into the shared output.
 
-    Returns the tile's slim provenance and this tile's plan-cache delta
-    (each worker process holds its own cache) — no height data crosses
-    the result pipe.
+    Returns the tile's slim provenance, this tile's plan-cache delta
+    (each worker process holds its own cache), and — when the run is
+    being recorded — the worker recorder's drained span/metric payload.
+    No height data crosses the result pipe.
     """
     state = _POOL_STATE
     before = plan_cache.stats()
-    heights, prov = _tile_result(state["generator"], state["noise"], tile)
+    heights, prov, _dt = _traced_tile(state["generator"], state["noise"], tile)
     after = plan_cache.stats()
     ox, oy = state["origin"]
     state["view"][
@@ -206,7 +244,9 @@ def _pool_tile(tile: Tile) -> Tuple[Optional[dict], Dict[str, int]]:
         "hits": after.hits - before.hits,
         "misses": after.misses - before.misses,
     }
-    return _slim_provenance(prov), delta
+    rec = obs.get_recorder()
+    payload = rec.drain() if rec.enabled else None
+    return _slim_provenance(prov), delta, payload
 
 
 def generate_tiled(
@@ -245,52 +285,72 @@ def generate_tiled(
     stats_before = plan_cache.stats()
     agg: dict = {}
     cache_delta: Optional[Dict[str, int]] = None
+    n = workers or default_workers()
+    pool_size = 1 if backend == "serial" else n
+    busy_s = 0.0  # summed per-tile wall time (worker-utilization input)
 
     def place(tile: Tile, values: np.ndarray) -> None:
         ix = tile.x0 - plan.origin_x
         iy = tile.y0 - plan.origin_y
         out[ix : ix + tile.nx, iy : iy + tile.ny] = values
 
-    if backend == "serial":
-        for t in tiles:
-            heights, prov = _tile_result(generator, noise, t)
-            place(t, heights)
-            _merge_tile_provenance(agg, _slim_provenance(prov))
-    elif backend == "thread":
-        n = workers or default_workers()
-        with cf.ThreadPoolExecutor(max_workers=n) as pool:
-            futures = [
-                pool.submit(_tile_result, generator, noise, t) for t in tiles
-            ]
-            for t, fut in zip(tiles, futures):
-                heights, prov = fut.result()
+    run_span = obs.trace("executor.run", {
+        "backend": backend, "tiles": len(tiles), "workers": pool_size,
+    } if obs.enabled() else None)
+    with run_span:
+        if backend == "serial":
+            for t in tiles:
+                heights, prov, dt = _traced_tile(generator, noise, t)
+                busy_s += dt
                 place(t, heights)
                 _merge_tile_provenance(agg, _slim_provenance(prov))
-    elif backend == "process":
-        n = workers or default_workers()
-        shm = shared_memory.SharedMemory(create=True, size=out.nbytes)
-        try:
-            view = np.ndarray(out.shape, dtype=np.float64, buffer=shm.buf)
-            with cf.ProcessPoolExecutor(
-                max_workers=n,
-                initializer=_pool_init,
-                initargs=(generator, noise, shm.name, out.shape,
-                          (plan.origin_x, plan.origin_y)),
-            ) as pool:
-                cache_delta = {"hits": 0, "misses": 0}
-                for slim, delta in pool.map(_pool_tile, tiles):
-                    _merge_tile_provenance(agg, slim)
-                    cache_delta["hits"] += delta["hits"]
-                    cache_delta["misses"] += delta["misses"]
-            out[:] = view
-            del view  # release the buffer before closing the mapping
-        finally:
-            shm.close()
-            shm.unlink()
-    else:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected serial|thread|process"
-        )
+        elif backend == "thread":
+            with cf.ThreadPoolExecutor(max_workers=n) as pool:
+                tracing = obs.enabled()
+                futures = [
+                    pool.submit(_traced_tile, generator, noise, t,
+                                time.perf_counter_ns() if tracing else None)
+                    for t in tiles
+                ]
+                for t, fut in zip(tiles, futures):
+                    heights, prov, dt = fut.result()
+                    busy_s += dt
+                    place(t, heights)
+                    _merge_tile_provenance(agg, _slim_provenance(prov))
+        elif backend == "process":
+            shm = shared_memory.SharedMemory(create=True, size=out.nbytes)
+            try:
+                view = np.ndarray(out.shape, dtype=np.float64, buffer=shm.buf)
+                with cf.ProcessPoolExecutor(
+                    max_workers=n,
+                    initializer=_pool_init,
+                    initargs=(generator, noise, shm.name, out.shape,
+                              (plan.origin_x, plan.origin_y),
+                              obs.enabled()),
+                ) as pool:
+                    cache_delta = {"hits": 0, "misses": 0}
+                    recorder = obs.get_recorder()
+                    for slim, delta, payload in pool.map(_pool_tile, tiles):
+                        _merge_tile_provenance(agg, slim)
+                        cache_delta["hits"] += delta["hits"]
+                        cache_delta["misses"] += delta["misses"]
+                        if payload is not None and recorder.enabled:
+                            # tile order is fixed by the plan, so the
+                            # merged totals are deterministic
+                            stats = payload.get("span_stats", {})
+                            tile_row = stats.get("executor.tile")
+                            if tile_row:
+                                busy_s += tile_row[1] / 1e9
+                            recorder.merge(payload)
+                out[:] = view
+                del view  # release the buffer before closing the mapping
+            finally:
+                shm.close()
+                shm.unlink()
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected serial|thread|process"
+            )
 
     big_grid = grid.with_shape(plan.total_nx, plan.total_ny)
     origin = (plan.origin_x * grid.dx, plan.origin_y * grid.dy)
@@ -306,7 +366,16 @@ def generate_tiled(
     footprint = getattr(generator, "footprint", None)
     if footprint is not None:
         read, output = plan.halo_samples(tuple(footprint))
-        provenance["halo_overhead"] = read / output - 1.0
+        # a degenerate plan (or stub) may report zero output samples;
+        # overhead is then undefined, not infinite
+        provenance["halo_overhead"] = (
+            read / output - 1.0 if output > 0 else 0.0
+        )
+        if obs.enabled():
+            obs.add("executor.halo_read_samples", read)
+            obs.add("executor.output_samples", output)
+            obs.set_gauge("executor.halo_overhead",
+                          provenance["halo_overhead"])
     if backend in ("serial", "thread"):
         stats_after = plan_cache.stats()
         provenance["plan_cache"] = {
@@ -318,6 +387,11 @@ def generate_tiled(
         # worker's warmup, hits the cross-tile reuse inside workers.
         provenance["plan_cache"] = cache_delta
     provenance.update(agg)
+    if obs.enabled() and run_span.duration_s > 0.0:
+        obs.set_gauge(
+            "executor.worker_utilization",
+            busy_s / (pool_size * run_span.duration_s),
+        )
     return Surface(
         heights=out,
         grid=big_grid,

@@ -21,6 +21,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.rng import BlockNoise
 from ..core.surface import Surface
 from .executor import WindowedGenerator, _slim_provenance, _tile_result
@@ -92,7 +93,14 @@ class StripStream:
             raise StopIteration
         gx = self.x0 + self._emitted * self.strip_nx
         tile = Tile(x0=gx, y0=self.y0, nx=self.strip_nx, ny=self.width_ny)
-        heights, tile_prov = _tile_result(self.generator, self.noise, tile)
+        with obs.trace("stream.strip",
+                       {"index": self._emitted}
+                       if obs.enabled() else None) as span:
+            heights, tile_prov = _tile_result(self.generator, self.noise,
+                                              tile)
+        if obs.enabled():
+            obs.add("stream.strips")
+            obs.observe("stream.strip_seconds", span.duration_s)
         self._emitted += 1
         grid = self.generator.grid.with_shape(tile.nx, tile.ny)  # type: ignore[attr-defined]
         provenance = {
@@ -136,7 +144,11 @@ def stream_strips(
     while emitted < total_nx:
         nx = min(strip_nx, total_nx - emitted)
         tile = Tile(x0=x0 + emitted, y0=y0, nx=nx, ny=width_ny)
-        heights, tile_prov = _tile_result(generator, noise, tile)
+        with obs.trace("stream.strip") as span:
+            heights, tile_prov = _tile_result(generator, noise, tile)
+        if obs.enabled():
+            obs.add("stream.strips")
+            obs.observe("stream.strip_seconds", span.duration_s)
         grid = generator.grid.with_shape(tile.nx, tile.ny)  # type: ignore[attr-defined]
         provenance = {"method": "strip-stream", "noise_seed": noise.seed}
         if engine is not None:
