@@ -26,6 +26,8 @@ from ._version import __version__
 from .core import (
     BlockNoise,
     ConvolutionGenerator,
+    HeightField,
+    SurfaceGenerator,
     ExponentialSpectrum,
     GaussianSpectrum,
     Grid2D,
@@ -49,6 +51,7 @@ from .core import (
     weight_array,
     weight_autocorrelation,
 )
+from . import jobs
 from .fields import (
     Circle,
     Ellipse,
@@ -66,6 +69,10 @@ __all__ = [
     "__version__",
     # observability
     "obs",
+    # fault-tolerant jobs
+    "jobs",
+    # unified generator API
+    "SurfaceGenerator", "HeightField",
     # grids & spectra
     "Grid2D", "Spectrum", "GaussianSpectrum", "PowerLawSpectrum",
     "ExponentialSpectrum", "spectrum_from_dict",

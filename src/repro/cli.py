@@ -7,6 +7,11 @@ Subcommands
     PGM/PPM renders and prints summary statistics.
 ``figure``
     Regenerate one of the paper's Figures 1-4 at a chosen resolution.
+``job``
+    Fault-tolerant checkpointed generation: ``job run`` starts a
+    tiled/strip job that records progress durably, ``job resume``
+    finishes an interrupted one with bit-identical heights, and
+    ``job status`` summarises a checkpoint as JSON.
 ``inspect``
     Print statistics (and optionally an ASCII preview) of a saved
     surface.
@@ -21,6 +26,10 @@ Subcommands
 ``profile1d``
     Generate a 1D rough profile (direct 1D convolution method).
 
+The ``generate``, ``figure`` and ``job run`` subcommands share one
+execution-options flag group (``--engine/--tile/--backend/--workers/
+--inject-fault``), documented once in ``docs/API.md``.
+
 Examples
 --------
 ::
@@ -28,6 +37,9 @@ Examples
     repro-rrs generate --spectrum gaussian --h 1.0 --cl 40 \\
         --n 512 --domain 1024 --seed 7 --npz out.npz --ppm out.ppm
     repro-rrs figure fig3 --n 512 --ppm fig3.ppm
+    repro-rrs job run --checkpoint ck --n 512 --tile 128 \\
+        --backend process --cl 40
+    repro-rrs job resume ck
     repro-rrs inspect out.npz --preview
     repro-rrs validate --spectrum exponential --h 2 --cl 80 --n 256
 """
@@ -59,6 +71,8 @@ from .io.pgm import ascii_preview, render_gray, render_terrain
 from .validation.checks import variance_closure, weight_acf_error
 
 __all__ = ["main", "build_parser"]
+
+BACKENDS = ("serial", "thread", "process")
 
 
 def _spectrum_from_args(args: argparse.Namespace) -> Spectrum:
@@ -98,6 +112,74 @@ def _add_grid_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _execution_parent() -> argparse.ArgumentParser:
+    """Shared ``--engine/--tile/--backend/--workers/--inject-fault``
+    flag group used by ``generate``, ``figure`` and ``job run``
+    (see the Execution options section of ``docs/API.md``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    x = parent.add_argument_group("execution options")
+    x.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="auto",
+        help="convolution engine: auto picks spatial for small kernels "
+        "and the plan-cached overlap-save FFT otherwise",
+    )
+    x.add_argument(
+        "--tile", type=int, default=None,
+        help="generate tile-by-tile over the unbounded noise plane "
+             "(tile edge in samples; non-periodic windowed surface)",
+    )
+    x.add_argument(
+        "--backend", choices=BACKENDS,
+        default="serial",
+        help="tiled execution backend (with --tile): thread shares "
+             "memory, process uses persistent shared-memory workers",
+    )
+    x.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for the parallel backends (default: cores - 1)",
+    )
+    x.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        help="deterministic fault injection for resilience testing: "
+             '"tile=K[,attempt=N][,kind=raise|kill|delay][,delay=S]" '
+             "(repeatable; requires --tile)",
+    )
+    return parent
+
+
+def _add_output_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--npz", default=None, help="write surface NPZ")
+    p.add_argument("--pgm", default=None, help="write grayscale PGM")
+    p.add_argument("--ppm", default=None, help="write terrain PPM")
+    p.add_argument("--preview", action="store_true", help="ASCII preview")
+
+
+def _fault_plan_from_args(args: argparse.Namespace):
+    specs = getattr(args, "inject_fault", None)
+    if not specs:
+        return None
+    from .jobs import FaultPlan
+
+    try:
+        return FaultPlan.parse(specs)
+    except ValueError as exc:
+        raise SystemExit(f"--inject-fault: {exc}")
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """Executor retry/fault kwargs for the generate/figure tiled paths."""
+    fault_plan = _fault_plan_from_args(args)
+    if fault_plan is None:
+        return {}
+    if args.tile is None:
+        raise SystemExit("--inject-fault requires --tile")
+    from .jobs import RetryPolicy
+
+    return {"retry": RetryPolicy(), "fault_plan": fault_plan}
+
+
 def _emit_surface(surface: Surface, args: argparse.Namespace) -> None:
     if obs.enabled():
         # Saved alongside the surface so ``inspect --timings`` can render
@@ -125,6 +207,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     gen = ConvolutionGenerator(
         spectrum, grid, truncation=args.truncation, engine=args.engine
     )
+    resilience = _resilience_kwargs(args)
     if args.tile is not None:
         # Tiled windowed generation over the unbounded noise plane
         # (non-periodic, unlike the one-shot path below); backends are
@@ -139,6 +222,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         surface = generate_tiled(
             gen, BlockNoise(seed=args.seed), plan,
             backend=args.backend, workers=args.workers,
+            **resilience,
         )
         surface.provenance["spectrum"] = spectrum.to_dict()
         surface.provenance["seed"] = args.seed
@@ -146,7 +230,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         return 0
     heights = gen.generate(seed=args.seed)
     surface = Surface(
-        heights=heights,
+        heights=np.asarray(heights),
         grid=grid,
         provenance={
             "method": "convolution",
@@ -160,6 +244,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    resilience = _resilience_kwargs(args)
     if args.tile is not None:
         # Tiled multi-region generation: the figure layout drives the
         # inhomogeneous generator window-by-window over the unbounded
@@ -173,21 +258,147 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             raise SystemExit("--tile must be positive")
         grid = default_grid(args.n, args.domain)
         layout = figure_layout(args.name, args.domain)
-        gen = InhomogeneousGenerator(layout, grid, truncation=0.999)
+        gen = InhomogeneousGenerator(layout, grid, truncation=0.999,
+                                     engine=args.engine)
         plan = TilePlan(total_nx=args.n, total_ny=args.n,
                         tile_nx=args.tile, tile_ny=args.tile)
         surface = generate_tiled(
             gen, BlockNoise(seed=args.seed), plan,
             backend=args.backend, workers=args.workers,
+            **resilience,
         )
         surface.provenance["figure"] = args.name
         surface.provenance["seed"] = args.seed
         _emit_surface(surface, args)
         return 0
     surface = figure_surface(
-        args.name, n=args.n, domain=args.domain, seed=args.seed
+        args.name, n=args.n, domain=args.domain, seed=args.seed,
+        engine=args.engine,
     )
     _emit_surface(surface, args)
+    return 0
+
+
+def _job_generator_and_rebuild(args: argparse.Namespace):
+    """Build ``job run``'s generator plus the manifest ``rebuild`` recipe
+    from which ``job resume`` can reconstruct it without re-specifying
+    spectrum/figure parameters."""
+    if args.figure is not None:
+        from .core.inhomogeneous import InhomogeneousGenerator
+        from .figures import default_grid, figure_layout
+
+        grid = default_grid(args.n, args.domain)
+        layout = figure_layout(args.figure, args.domain)
+        gen = InhomogeneousGenerator(layout, grid, truncation=0.999,
+                                     engine=args.engine)
+        rebuild = {"kind": "figure", "name": args.figure, "n": args.n,
+                   "domain": args.domain, "truncation": 0.999,
+                   "engine": args.engine}
+        return gen, rebuild
+    grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
+    spectrum = _spectrum_from_args(args)
+    gen = ConvolutionGenerator(
+        spectrum, grid, truncation=args.truncation, engine=args.engine
+    )
+    rebuild = {
+        "kind": "convolution",
+        "spectrum": spectrum.to_dict(),
+        "grid": {"nx": args.n, "ny": args.n,
+                 "lx": args.domain, "ly": args.domain},
+        "truncation": args.truncation,
+        "engine": args.engine,
+    }
+    return gen, rebuild
+
+
+def _retry_policy_from_args(args: argparse.Namespace):
+    from .jobs import RetryPolicy
+
+    try:
+        return RetryPolicy(
+            max_attempts=args.max_attempts,
+            backoff_base=args.backoff_base,
+            failure_budget=args.failure_budget,
+            max_respawns=args.max_respawns,
+            degrade=not args.no_degrade,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _job_failed(exc: Exception, checkpoint: str) -> "SystemExit":
+    return SystemExit(
+        f"job failed: {exc}\ncheckpoint preserved at {checkpoint}; "
+        f"finish it with: repro-rrs job resume {checkpoint}"
+    )
+
+
+def _cmd_job_run(args: argparse.Namespace) -> int:
+    from .jobs import (FailureBudgetExceeded, PoolRespawnLimit,
+                       TileFailedError, run_strips, run_tiled)
+
+    if args.tile is None or args.tile <= 0:
+        raise SystemExit(
+            "job run requires a positive --tile (tile edge for tiled "
+            "mode, strip width for strips mode)"
+        )
+    gen, rebuild = _job_generator_and_rebuild(args)
+    noise = BlockNoise(seed=args.seed)
+    common = dict(
+        checkpoint=args.checkpoint,
+        backend=args.backend,
+        workers=args.workers,
+        retry=_retry_policy_from_args(args),
+        fault_plan=_fault_plan_from_args(args),
+        checkpoint_every=args.checkpoint_every,
+        rebuild=rebuild,
+    )
+    try:
+        if args.mode == "strips":
+            surface = run_strips(gen, noise, args.n, args.n, args.tile,
+                                 **common)
+        else:
+            from .parallel.tiles import TilePlan
+
+            plan = TilePlan(total_nx=args.n, total_ny=args.n,
+                            tile_nx=args.tile, tile_ny=args.tile)
+            surface = run_tiled(gen, noise, plan, **common)
+    except FileExistsError as exc:
+        raise SystemExit(str(exc))
+    except (TileFailedError, FailureBudgetExceeded, PoolRespawnLimit) as exc:
+        raise _job_failed(exc, args.checkpoint)
+    surface.provenance["seed"] = args.seed
+    _emit_surface(surface, args)
+    return 0
+
+
+def _cmd_job_resume(args: argparse.Namespace) -> int:
+    from .jobs import (FailureBudgetExceeded, PoolRespawnLimit,
+                       TileFailedError, resume)
+
+    try:
+        surface = resume(
+            args.checkpoint,
+            backend=args.backend,
+            workers=args.workers,
+            fault_plan=_fault_plan_from_args(args),
+            checkpoint_every=args.checkpoint_every,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    except (TileFailedError, FailureBudgetExceeded, PoolRespawnLimit) as exc:
+        raise _job_failed(exc, args.checkpoint)
+    _emit_surface(surface, args)
+    return 0
+
+
+def _cmd_job_status(args: argparse.Namespace) -> int:
+    from .jobs import status
+
+    try:
+        print(json.dumps(status(args.checkpoint), indent=2))
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
     return 0
 
 
@@ -295,7 +506,8 @@ def _cmd_profile1d(args: argparse.Namespace) -> int:
     print(json.dumps(summary, indent=2))
     if args.out:
         np.savetxt(args.out, np.column_stack(
-            [np.arange(args.n) * (args.domain / args.n), profile]
+            [np.arange(args.n) * (args.domain / args.n),
+             np.asarray(profile)]
         ), header="x height")
         print(f"wrote {args.out}")
     return 0
@@ -320,63 +532,91 @@ def build_parser() -> argparse.ArgumentParser:
              "chrome://tracing or Perfetto (enables tracing)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_parent()
 
-    g = sub.add_parser("generate", help="homogeneous surface")
+    g = sub.add_parser("generate", parents=[execution],
+                       help="homogeneous surface")
     _add_spectrum_args(g)
     _add_grid_args(g)
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--truncation", type=float, default=0.9999)
-    g.add_argument(
-        "--engine",
-        choices=ENGINES,
-        default="auto",
-        help="convolution engine: auto picks spatial for small kernels "
-        "and the plan-cached overlap-save FFT otherwise",
-    )
-    g.add_argument(
-        "--tile", type=int, default=None,
-        help="generate tile-by-tile over the unbounded noise plane "
-             "(tile edge in samples; non-periodic windowed surface)",
-    )
-    g.add_argument(
-        "--backend", choices=("serial", "thread", "process"),
-        default="serial",
-        help="tiled execution backend (with --tile): thread shares "
-             "memory, process uses persistent shared-memory workers",
-    )
-    g.add_argument(
-        "--workers", type=int, default=None,
-        help="pool size for the parallel backends (default: cores - 1)",
-    )
-    g.add_argument("--npz", default=None, help="write surface NPZ")
-    g.add_argument("--pgm", default=None, help="write grayscale PGM")
-    g.add_argument("--ppm", default=None, help="write terrain PPM")
-    g.add_argument("--preview", action="store_true", help="ASCII preview")
+    _add_output_args(g)
     g.set_defaults(func=_cmd_generate)
 
-    f = sub.add_parser("figure", help="regenerate a paper figure")
+    f = sub.add_parser("figure", parents=[execution],
+                       help="regenerate a paper figure")
     f.add_argument("name", choices=FIGURES)
     _add_grid_args(f)
     f.add_argument("--seed", type=int, default=2009)
-    f.add_argument(
-        "--tile", type=int, default=None,
-        help="generate tile-by-tile over the unbounded noise plane "
-             "(tile edge in samples; non-periodic windowed surface)",
-    )
-    f.add_argument(
-        "--backend", choices=("serial", "thread", "process"),
-        default="serial",
-        help="tiled execution backend (with --tile)",
-    )
-    f.add_argument(
-        "--workers", type=int, default=None,
-        help="pool size for the parallel backends (default: cores - 1)",
-    )
-    f.add_argument("--npz", default=None)
-    f.add_argument("--pgm", default=None)
-    f.add_argument("--ppm", default=None)
-    f.add_argument("--preview", action="store_true")
+    _add_output_args(f)
     f.set_defaults(func=_cmd_figure)
+
+    j = sub.add_parser(
+        "job", help="fault-tolerant checkpointed generation jobs"
+    )
+    jsub = j.add_subparsers(dest="job_command", required=True)
+
+    jr = jsub.add_parser(
+        "run", parents=[execution],
+        help="start a checkpointed tiled/strip job",
+    )
+    _add_spectrum_args(jr)
+    _add_grid_args(jr)
+    jr.add_argument("--seed", type=int, default=0)
+    jr.add_argument("--truncation", type=float, default=0.9999)
+    jr.add_argument(
+        "--figure", choices=FIGURES, default=None,
+        help="run a paper-figure layout instead of a homogeneous spectrum",
+    )
+    jr.add_argument(
+        "--checkpoint", required=True, metavar="DIR",
+        help="checkpoint directory (created; must not already hold a job)",
+    )
+    jr.add_argument(
+        "--mode", choices=("tiled", "strips"), default="tiled",
+        help="tiled: square tiles; strips: full-height strips covering "
+             "the same windows as stream_strips",
+    )
+    jr.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="K",
+        help="flush durable state every K completed tiles",
+    )
+    jr.add_argument("--max-attempts", type=int, default=3,
+                    help="per-tile attempt limit")
+    jr.add_argument("--backoff-base", type=float, default=0.05,
+                    help="first retry delay in seconds (doubles per retry)")
+    jr.add_argument("--failure-budget", type=int, default=None,
+                    help="abort after this many tile failures overall")
+    jr.add_argument("--max-respawns", type=int, default=2,
+                    help="process-pool respawns before degrading")
+    jr.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail instead of degrading process->thread->serial when "
+             "the worker pool keeps breaking",
+    )
+    _add_output_args(jr)
+    jr.set_defaults(func=_cmd_job_run)
+
+    jz = jsub.add_parser(
+        "resume",
+        help="finish a checkpointed job (heights are bit-identical to "
+             "an uninterrupted run)",
+    )
+    jz.add_argument("checkpoint", metavar="CKPT")
+    jz.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="override the recorded backend (cannot change the values)",
+    )
+    jz.add_argument("--workers", type=int, default=None)
+    jz.add_argument("--checkpoint-every", type=int, default=1, metavar="K")
+    jz.add_argument("--inject-fault", action="append", default=None,
+                    metavar="SPEC")
+    _add_output_args(jz)
+    jz.set_defaults(func=_cmd_job_resume)
+
+    js = jsub.add_parser("status", help="summarise a checkpoint as JSON")
+    js.add_argument("checkpoint", metavar="CKPT")
+    js.set_defaults(func=_cmd_job_status)
 
     i = sub.add_parser("inspect", help="inspect a saved surface")
     i.add_argument("path")

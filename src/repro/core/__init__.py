@@ -1,6 +1,7 @@
 """Core algorithms: spectra, weighting arrays, DFT & convolution methods,
 and inhomogeneous generation (the paper's primary contribution)."""
 
+from .api import HeightField, SurfaceGenerator, split_result
 from .convolution import (
     ENGINES,
     ConvolutionGenerator,
@@ -90,6 +91,8 @@ from .weights import (
 )
 
 __all__ = [
+    # unified generator API
+    "SurfaceGenerator", "HeightField", "split_result",
     # grid
     "Grid2D", "fold_index", "folded_frequency_index",
     # spectra

@@ -59,6 +59,7 @@ from scipy import fft as sfft
 from scipy import signal
 
 from .. import obs
+from .api import HeightField, absorb_legacy_positionals, merge_provenance, traced
 from .engine import (
     BatchStats,
     KernelPlanCache,
@@ -751,11 +752,20 @@ class ConvolutionGenerator:
     def generate(
         self,
         seed: SeedLike = None,
+        *args,
         noise: Optional[np.ndarray] = None,
         boundary: str = "wrap",
         exact: bool = False,
-    ) -> np.ndarray:
+        trace: bool = False,
+        provenance: Optional[dict] = None,
+    ) -> HeightField:
         """One realisation on the construction grid.
+
+        Unified signature (:mod:`repro.core.api`): everything after
+        ``seed`` is keyword-only; legacy positional calls still work
+        but emit a :class:`DeprecationWarning`.  Returns a
+        :class:`~repro.core.api.HeightField` — a drop-in ``ndarray``
+        carrying the run's provenance.
 
         Parameters
         ----------
@@ -764,21 +774,58 @@ class ConvolutionGenerator:
             — exactly the direct-DFT surface for matched noise.  The
             default uses the (possibly truncated) spatial kernel, which
             is what the windowed/streamed paths use.
+        trace:
+            Wrap the call in a ``generator.generate`` span of
+            :mod:`repro.obs` (no-op unless a recorder is installed).
+        provenance:
+            Extra entries merged into the result's provenance.
         """
-        if noise is None:
-            noise = standard_normal_field(self.grid.shape, seed)
-        if exact:
-            return convolve_full(self.spectrum, self.grid, noise=noise)
-        return convolve_spatial(
-            self.kernel, noise, boundary=boundary, engine=self.engine
+        if args:
+            legacy = absorb_legacy_positionals(
+                "ConvolutionGenerator.generate", args,
+                ("noise", "boundary", "exact"),
+            )
+            noise = legacy.get("noise", noise)
+            boundary = legacy.get("boundary", boundary)
+            exact = legacy.get("exact", exact)
+        with traced(self, trace):
+            if noise is None:
+                noise = standard_normal_field(self.grid.shape, seed)
+            if exact:
+                heights = convolve_full(self.spectrum, self.grid, noise=noise)
+            else:
+                heights = convolve_spatial(
+                    self.kernel, noise, boundary=boundary, engine=self.engine
+                )
+        record = {
+            "method": "convolution",
+            "engine": self.engine,
+            "boundary": boundary,
+            "exact": exact,
+        }
+        if hasattr(self.spectrum, "to_dict"):
+            record["spectrum"] = self.spectrum.to_dict()
+        return HeightField.wrap(
+            heights, merge_provenance(record, provenance)
         )
 
     def generate_window(
-        self, noise: BlockNoise, x0: int, y0: int, nx: int, ny: int
-    ) -> np.ndarray:
+        self, noise: BlockNoise, x0: int, y0: int, nx: int, ny: int,
+        *, trace: bool = False, provenance: Optional[dict] = None,
+    ) -> HeightField:
         """Window ``[x0, x0+nx) x [y0, y0+ny)`` of the infinite surface."""
-        return generate_window(
-            self.kernel, noise, x0, y0, nx, ny, engine=self.engine
+        with traced(self, trace, "generate_window"):
+            heights = generate_window(
+                self.kernel, noise, x0, y0, nx, ny, engine=self.engine
+            )
+        record = {
+            "method": "convolution-window",
+            "window": [x0, y0, nx, ny],
+            "noise_seed": noise.seed,
+            "engine": self.engine,
+        }
+        return HeightField.wrap(
+            heights, merge_provenance(record, provenance)
         )
 
     @property

@@ -42,6 +42,7 @@ import numpy as np
 from .. import obs
 from ..fields.parameter_map import WeightMap
 from ..fields.transition import get_profile
+from .api import absorb_legacy_positionals, merge_provenance, traced
 from .convolution import (
     TruncationSpec,
     _check_engine,
@@ -416,15 +417,33 @@ class InhomogeneousGenerator:
     def generate(
         self,
         seed: SeedLike = None,
+        *args,
         noise: Optional[np.ndarray] = None,
         boundary: str = "wrap",
+        trace: bool = False,
+        provenance: Optional[dict] = None,
     ) -> Surface:
         """One realisation on the construction grid.
 
         All regions share the single noise field ``X`` (continuity across
         transitions); ``boundary`` is handed to each homogeneous
         convolution (see :func:`repro.core.convolution.convolve_spatial`).
+        Unified signature (:mod:`repro.core.api`): parameters after
+        ``seed`` are keyword-only, with a deprecation shim for legacy
+        positional calls; ``trace`` opens a ``generator.generate`` span;
+        ``provenance`` adds entries to the surface's record.
         """
+        if args:
+            legacy = absorb_legacy_positionals(
+                "InhomogeneousGenerator.generate", args,
+                ("noise", "boundary"),
+            )
+            noise = legacy.get("noise", noise)
+            boundary = legacy.get("boundary", boundary)
+        with traced(self, trace):
+            return self._generate(seed, noise, boundary, provenance)
+
+    def _generate(self, seed, noise, boundary, provenance):
         if noise is None:
             noise = standard_normal_field(self.grid.shape, seed)
         noise = np.asarray(noise, dtype=float)
@@ -450,7 +469,7 @@ class InhomogeneousGenerator:
         return Surface(
             heights=heights,
             grid=self.grid,
-            provenance={
+            provenance=merge_provenance({
                 "method": "inhomogeneous-convolution",
                 "layout": type(self.layout).__name__,
                 "spectra": [s.to_dict() for s in wm.spectra],
@@ -460,11 +479,12 @@ class InhomogeneousGenerator:
                 "regions_active": stats.kernels_active,
                 "regions_skipped": stats.kernels_skipped,
                 "batch_fft": stats.as_dict(),
-            },
+            }, provenance),
         )
 
     def generate_window(
-        self, noise: BlockNoise, x0: int, y0: int, nx: int, ny: int
+        self, noise: BlockNoise, x0: int, y0: int, nx: int, ny: int,
+        *, trace: bool = False, provenance: Optional[dict] = None,
     ) -> Surface:
         """Window ``[x0, x0+nx) x [y0, y0+ny)`` of the unbounded surface.
 
@@ -473,6 +493,10 @@ class InhomogeneousGenerator:
         separately agree on overlaps (to FFT rounding), enabling streamed
         and tiled inhomogeneous surfaces.
         """
+        with traced(self, trace, "generate_window"):
+            return self._generate_window(noise, x0, y0, nx, ny, provenance)
+
+    def _generate_window(self, noise, x0, y0, nx, ny, provenance):
         win_grid = self.grid.with_shape(nx, ny)
         origin = (x0 * self.grid.dx, y0 * self.grid.dy)
         with obs.trace("fields.weight_map"):
@@ -501,7 +525,7 @@ class InhomogeneousGenerator:
             heights=heights,
             grid=win_grid,
             origin=origin,
-            provenance={
+            provenance=merge_provenance({
                 "method": "inhomogeneous-convolution-window",
                 "layout": type(self.layout).__name__,
                 "window": [x0, y0, nx, ny],
@@ -511,5 +535,5 @@ class InhomogeneousGenerator:
                 "regions_active": stats.kernels_active,
                 "regions_skipped": stats.kernels_skipped,
                 "batch_fft": stats.as_dict(),
-            },
+            }, provenance),
         )

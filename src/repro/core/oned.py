@@ -37,6 +37,7 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 from scipy import integrate, signal, special
 
+from .api import HeightField, absorb_legacy_positionals, merge_provenance, traced
 from .rng import SeedLike, as_generator, standard_normal_field
 from .spectra import Spectrum
 
@@ -324,35 +325,83 @@ class ProfileGenerator:
         2D, the *spacing* ``length/n`` is what windows inherit.
     truncation:
         Optional kernel energy fraction (variance-preserving).
+    engine:
+        Correlation engine, mirroring the 2D generators' keyword:
+        ``"fft"`` (and ``"auto"``, the historical behaviour) use
+        ``scipy.signal.fftconvolve``; ``"spatial"`` uses the direct
+        ``np.convolve`` — equal to rounding, and cheaper for very small
+        kernels.
     """
 
     def __init__(self, spectrum: Spectrum1D, n: int, length: float,
-                 truncation: Optional[float] = 0.9999):
+                 truncation: Optional[float] = 0.9999,
+                 engine: str = "auto"):
+        from .convolution import _check_engine  # shared ENGINE vocabulary
+
         self.spectrum = spectrum
         self.n = n
         self.length = length
+        self.engine = _check_engine(engine)
         self.kernel = build_kernel_1d(spectrum, n, length, truncation)
 
     @property
     def dx(self) -> float:
         return self.length / self.n
 
-    def generate(self, seed: SeedLike = None,
-                 noise: Optional[np.ndarray] = None) -> np.ndarray:
-        """One periodic realisation of length ``n``."""
-        if noise is None:
-            noise = standard_normal_field((self.n,), seed)
-        noise = np.asarray(noise, dtype=float)
-        if noise.shape != (self.n,):
-            raise ValueError(f"noise must have shape ({self.n},)")
-        k = self.kernel
-        pad_lo, pad_hi = k.centre, k.size - 1 - k.centre
-        padded = np.pad(noise, (pad_lo, pad_hi), mode="wrap")
-        return signal.fftconvolve(padded, k.values[::-1], mode="valid")
+    def _correlate(self, padded: np.ndarray) -> np.ndarray:
+        if self.engine == "spatial":
+            return np.convolve(padded, self.kernel.values[::-1],
+                               mode="valid")
+        return signal.fftconvolve(padded, self.kernel.values[::-1],
+                                  mode="valid")
 
-    def generate_window(self, noise: BlockNoise1D, x0: int, n: int
-                        ) -> np.ndarray:
+    def generate(self, seed: SeedLike = None, *args,
+                 noise: Optional[np.ndarray] = None,
+                 trace: bool = False,
+                 provenance: Optional[dict] = None) -> HeightField:
+        """One periodic realisation of length ``n``.
+
+        Unified signature (:mod:`repro.core.api`): parameters after
+        ``seed`` are keyword-only (positional ``noise`` still works with
+        a :class:`DeprecationWarning`); returns a
+        :class:`~repro.core.api.HeightField` (an ``ndarray`` carrying
+        provenance).
+        """
+        if args:
+            legacy = absorb_legacy_positionals(
+                "ProfileGenerator.generate", args, ("noise",)
+            )
+            noise = legacy.get("noise", noise)
+        with traced(self, trace):
+            if noise is None:
+                noise = standard_normal_field((self.n,), seed)
+            noise = np.asarray(noise, dtype=float)
+            if noise.shape != (self.n,):
+                raise ValueError(f"noise must have shape ({self.n},)")
+            k = self.kernel
+            pad_lo, pad_hi = k.centre, k.size - 1 - k.centre
+            padded = np.pad(noise, (pad_lo, pad_hi), mode="wrap")
+            heights = self._correlate(padded)
+        record = {
+            "method": "convolution-1d",
+            "engine": self.engine,
+            "n": self.n,
+            "dx": self.dx,
+        }
+        return HeightField.wrap(heights, merge_provenance(record, provenance))
+
+    def generate_window(self, noise: BlockNoise1D, x0: int, n: int,
+                        *, trace: bool = False,
+                        provenance: Optional[dict] = None) -> HeightField:
         """Window ``[x0, x0+n)`` of the unbounded profile."""
-        k = self.kernel
-        w = noise.window(x0 - k.centre, n + k.size - 1)
-        return signal.fftconvolve(w, k.values[::-1], mode="valid")
+        with traced(self, trace, "generate_window"):
+            k = self.kernel
+            w = noise.window(x0 - k.centre, n + k.size - 1)
+            heights = self._correlate(w)
+        record = {
+            "method": "convolution-1d-window",
+            "window": [x0, n],
+            "noise_seed": noise.seed,
+            "engine": self.engine,
+        }
+        return HeightField.wrap(heights, merge_provenance(record, provenance))

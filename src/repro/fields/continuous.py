@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import obs
+from ..core.api import absorb_legacy_positionals, merge_provenance, traced
 from ..core.convolution import (
     TruncationSpec,
     _check_engine,
@@ -207,10 +208,29 @@ class ContinuousGenerator:
         f_hi = np.take_along_axis(stack, upper[None, ...], axis=0)[0]
         return (w_lo * f_lo + w_hi * f_hi) * h_vals
 
-    def generate(self, seed: SeedLike = None,
+    def generate(self, seed: SeedLike = None, *args,
                  noise: Optional[np.ndarray] = None,
-                 boundary: str = "wrap") -> Surface:
-        """One realisation on the construction grid."""
+                 boundary: str = "wrap",
+                 trace: bool = False,
+                 provenance: Optional[dict] = None) -> Surface:
+        """One realisation on the construction grid.
+
+        Unified signature (:mod:`repro.core.api`): parameters after
+        ``seed`` are keyword-only (legacy positional calls emit a
+        :class:`DeprecationWarning`); ``trace`` opens a
+        ``generator.generate`` span, ``provenance`` adds entries to the
+        surface's record.
+        """
+        if args:
+            legacy = absorb_legacy_positionals(
+                "ContinuousGenerator.generate", args, ("noise", "boundary")
+            )
+            noise = legacy.get("noise", noise)
+            boundary = legacy.get("boundary", boundary)
+        with traced(self, trace):
+            return self._generate(seed, noise, boundary, provenance)
+
+    def _generate(self, seed, noise, boundary, provenance):
         if noise is None:
             noise = standard_normal_field(self.grid.shape, seed)
         noise = np.asarray(noise, dtype=float)
@@ -231,7 +251,7 @@ class ContinuousGenerator:
         return Surface(
             heights=heights,
             grid=self.grid,
-            provenance={
+            provenance=merge_provenance({
                 "method": "continuous-parameters",
                 "levels": self.levels.tolist(),
                 "truncation": repr(self.truncation),
@@ -239,12 +259,17 @@ class ContinuousGenerator:
                 "levels_active": stats.kernels_active,
                 "levels_skipped": stats.kernels_skipped,
                 "batch_fft": stats.as_dict(),
-            },
+            }, provenance),
         )
 
     def generate_window(self, noise: BlockNoise, x0: int, y0: int,
-                        nx: int, ny: int) -> Surface:
+                        nx: int, ny: int, *, trace: bool = False,
+                        provenance: Optional[dict] = None) -> Surface:
         """Window of the unbounded continuous-parameter surface."""
+        with traced(self, trace, "generate_window"):
+            return self._generate_window(noise, x0, y0, nx, ny, provenance)
+
+    def _generate_window(self, noise, x0, y0, nx, ny, provenance):
         win_grid = self.grid.with_shape(nx, ny)
         origin = (x0 * self.grid.dx, y0 * self.grid.dy)
         gx, gy = win_grid.meshgrid()
@@ -267,13 +292,14 @@ class ContinuousGenerator:
             heights=heights,
             grid=win_grid,
             origin=origin,
-            provenance={
+            provenance=merge_provenance({
                 "method": "continuous-parameters-window",
+                "window": [x0, y0, nx, ny],
                 "levels": self.levels.tolist(),
                 "noise_seed": noise.seed,
                 "engine": self.engine,
                 "levels_active": stats.kernels_active,
                 "levels_skipped": stats.kernels_skipped,
                 "batch_fft": stats.as_dict(),
-            },
+            }, provenance),
         )

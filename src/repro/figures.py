@@ -181,6 +181,7 @@ def figure_surface(
     domain: float = REFERENCE_DOMAIN,
     seed: int = 2009,
     truncation=0.999,
+    engine: str = "auto",
 ) -> Surface:
     """Generate one realisation of a paper figure.
 
@@ -198,10 +199,13 @@ def figure_surface(
         Noise seed (2009 — the paper's year — for the reference images).
     truncation:
         Kernel truncation spec (energy fraction by default).
+    engine:
+        Convolution engine forwarded to the generator.
     """
     grid = default_grid(n, domain)
     layout = figure_layout(name, domain)
-    gen = InhomogeneousGenerator(layout, grid, truncation=truncation)
+    gen = InhomogeneousGenerator(layout, grid, truncation=truncation,
+                                 engine=engine)
     surface = gen.generate(seed=seed)
     surface.provenance["figure"] = name
     surface.provenance["seed"] = seed

@@ -1,0 +1,58 @@
+"""Atomic file writes for durable on-disk state.
+
+Checkpoints must never be half-written: a crash *during* a checkpoint
+write would otherwise destroy the very state the checkpoint exists to
+protect.  Both helpers write to a temporary sibling in the destination
+directory and ``os.replace`` it over the target — atomic on POSIX and
+Windows — so readers only ever observe the old or the new complete file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+__all__ = ["atomic_write_json", "atomic_write_npz", "atomic_write_bytes"]
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp sibling + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_json(path: PathLike, obj: object) -> None:
+    """Serialise ``obj`` as indented JSON and write it atomically."""
+    atomic_write_bytes(
+        path, (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode()
+    )
+
+
+def atomic_write_npz(path: PathLike, **arrays: np.ndarray) -> None:
+    """Write an uncompressed ``.npz`` of ``arrays`` atomically.
+
+    ``np.savez`` appends ``.npz`` to suffix-less names, so the temporary
+    file keeps the suffix to make the rename exact.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp.npz")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # only on failure before the rename
+            tmp.unlink()

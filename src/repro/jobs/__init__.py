@@ -1,0 +1,61 @@
+"""Fault-tolerant, checkpoint/resumable surface-generation jobs.
+
+The robustness layer the ROADMAP's production north-star sits on:
+long-running tiled and strip jobs that survive tile failures, crashed
+process-pool workers and whole-process restarts, while keeping the
+library's determinism contract — a resumed job produces heights
+**bit-identical** to an uninterrupted run.
+
+Pieces
+------
+:class:`RetryPolicy`
+    Per-tile retry with deterministic exponential backoff, a run-wide
+    failure budget, pool-respawn limits and process → thread → serial
+    degradation.
+:class:`FaultPlan` / :class:`FaultSpec`
+    Deterministic fault injection ("fail tile k on attempt n", kill the
+    worker, add latency) for tests and the ``--inject-fault`` CLI flag.
+:class:`JobCheckpoint`
+    The durable ``repro.jobs/v1`` directory format: a JSON manifest
+    plus an NPZ of partial heights and the done-tile mask, both written
+    atomically.
+:func:`run_tiled` / :func:`run_strips` / :func:`resume` / :func:`status`
+    The job API, also exposed as ``repro job run/resume/status`` on the
+    command line.
+
+Example
+-------
+>>> from repro import jobs                              # doctest: +SKIP
+>>> surface = jobs.run_tiled(gen, noise, plan,
+...                          checkpoint="out/job1")     # doctest: +SKIP
+>>> # ... the process dies mid-run; later:
+>>> surface = jobs.resume("out/job1", gen)              # doctest: +SKIP
+"""
+
+from ..parallel.executor import (
+    FailureBudgetExceeded,
+    PoolRespawnLimit,
+    TileFailedError,
+)
+from .checkpoint import FORMAT_VERSION, JobCheckpoint, generator_fingerprint
+from .faults import FaultPlan, FaultSpec, InjectedFault
+from .retry import RetryPolicy
+from .runner import resume, run_strips, run_tiled, status, strip_plan
+
+__all__ = [
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "JobCheckpoint",
+    "generator_fingerprint",
+    "FORMAT_VERSION",
+    "run_tiled",
+    "run_strips",
+    "resume",
+    "status",
+    "strip_plan",
+    "TileFailedError",
+    "FailureBudgetExceeded",
+    "PoolRespawnLimit",
+]

@@ -1,0 +1,259 @@
+"""Durable on-disk job state: the ``repro.jobs/v1`` checkpoint format.
+
+A checkpoint is a directory holding two atomically-written files:
+
+``manifest.json``
+    Everything needed to *re-derive* the run: the tile plan (or strip
+    geometry), the noise plane's seed and block size, backend/workers,
+    the retry policy, a fingerprint of the generator's stable
+    configuration, an optional ``rebuild`` recipe (how the CLI can
+    reconstruct the generator from spectrum/figure parameters),
+    retry/respawn accounting, an observability counter snapshot, and
+    the job status (``running`` / ``failed`` / ``complete``).
+``state.npz``
+    The partial ``heights`` array plus the boolean ``done`` mask over
+    the plan's row-major tile order.
+
+Because tile values are pure functions of ``(generator, noise seed,
+tile)``, a checkpoint plus the same generator configuration is
+sufficient for :func:`repro.jobs.resume` to finish the run with heights
+bit-identical to an uninterrupted one — the manifest's fingerprint
+guards against resuming under a *different* configuration, which would
+silently weld two different surfaces together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from .. import obs
+from ..core.rng import BlockNoise
+from ..io.atomic import atomic_write_json, atomic_write_npz
+from ..parallel.tiles import TilePlan
+from .retry import RetryPolicy
+
+__all__ = ["JobCheckpoint", "generator_fingerprint", "FORMAT_VERSION"]
+
+FORMAT_VERSION = "repro.jobs/v1"
+MANIFEST_NAME = "manifest.json"
+STATE_NAME = "state.npz"
+
+PathLike = Union[str, Path]
+
+
+def generator_fingerprint(generator: Any) -> str:
+    """Stable digest of a generator's run-relevant configuration.
+
+    Hashes the type name, engine, grid geometry, truncation spec and —
+    when available — the spectrum parameters; deliberately excludes
+    memory addresses and caches so the same configuration always
+    fingerprints identically across processes.
+    """
+    desc: Dict[str, Any] = {"type": type(generator).__name__}
+    engine = getattr(generator, "engine", None)
+    if engine is not None:
+        desc["engine"] = engine
+    grid = getattr(generator, "grid", None)
+    if grid is not None:
+        desc["grid"] = [grid.nx, grid.ny, grid.lx, grid.ly]
+    truncation = getattr(generator, "truncation", None)
+    if truncation is not None:
+        desc["truncation"] = repr(truncation)
+    spectrum = getattr(generator, "spectrum", None)
+    if spectrum is not None and hasattr(spectrum, "to_dict"):
+        desc["spectrum"] = spectrum.to_dict()
+    layout = getattr(generator, "layout", None)
+    if layout is not None:
+        desc["layout"] = type(layout).__name__
+    text = json.dumps(desc, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass
+class JobCheckpoint:
+    """In-memory handle on one checkpoint directory.
+
+    ``heights`` is the live output array — :func:`repro.jobs.run_tiled`
+    hands it to the executor as ``out=``, so marking a tile done and
+    calling :meth:`write` persists exactly what has been computed.
+    """
+
+    path: Path
+    manifest: Dict[str, Any]
+    heights: np.ndarray
+    done: np.ndarray
+
+    # -- lifecycle ---------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: PathLike,
+        *,
+        kind: str,
+        plan: TilePlan,
+        noise: BlockNoise,
+        backend: str,
+        workers: Optional[int],
+        retry: Optional[RetryPolicy],
+        generator: Any,
+        rebuild: Optional[dict] = None,
+        strips: Optional[dict] = None,
+    ) -> "JobCheckpoint":
+        path = Path(path)
+        if (path / MANIFEST_NAME).exists():
+            raise FileExistsError(
+                f"checkpoint already exists at {path}; use "
+                f"repro.jobs.resume() (or delete it) instead of "
+                f"starting a new job there"
+            )
+        path.mkdir(parents=True, exist_ok=True)
+        manifest: Dict[str, Any] = {
+            "format": FORMAT_VERSION,
+            "kind": kind,
+            "status": "running",
+            "plan": {
+                "total_nx": plan.total_nx, "total_ny": plan.total_ny,
+                "tile_nx": plan.tile_nx, "tile_ny": plan.tile_ny,
+                "origin_x": plan.origin_x, "origin_y": plan.origin_y,
+            },
+            "noise": {"seed": noise.seed,
+                      "block": getattr(noise, "block", None)},
+            "backend": backend,
+            "workers": workers,
+            "retry": retry.to_dict() if retry is not None else None,
+            "generator": {
+                "type": type(generator).__name__,
+                "fingerprint": generator_fingerprint(generator),
+            },
+            "rebuild": rebuild,
+            "progress": {"tiles_total": len(plan), "tiles_done": 0},
+            "resilience": None,
+            "obs_counters": None,
+            "error": None,
+        }
+        if strips is not None:
+            manifest["strips"] = strips
+        ckpt = cls(
+            path=path,
+            manifest=manifest,
+            heights=np.zeros((plan.total_nx, plan.total_ny), dtype=float),
+            done=np.zeros(len(plan), dtype=bool),
+        )
+        ckpt.write()
+        return ckpt
+
+    @classmethod
+    def load(cls, path: PathLike) -> "JobCheckpoint":
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"no checkpoint manifest at {manifest_path}"
+            ) from None
+        fmt = manifest.get("format")
+        if fmt != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {fmt!r} at {path} "
+                f"(this build reads {FORMAT_VERSION!r})"
+            )
+        with np.load(path / STATE_NAME) as state:
+            heights = np.array(state["heights"], dtype=float)
+            done = np.array(state["done"], dtype=bool)
+        plan = _plan_from_manifest(manifest)
+        if heights.shape != (plan.total_nx, plan.total_ny):
+            raise ValueError(
+                f"checkpoint state shape {heights.shape} does not match "
+                f"the manifest plan {(plan.total_nx, plan.total_ny)}"
+            )
+        if done.shape != (len(plan),):
+            raise ValueError(
+                "checkpoint done mask does not match the plan's tile count"
+            )
+        return cls(path=path, manifest=manifest, heights=heights, done=done)
+
+    # -- derived pieces ----------------------------------------------------
+    @property
+    def plan(self) -> TilePlan:
+        return _plan_from_manifest(self.manifest)
+
+    @property
+    def noise(self) -> BlockNoise:
+        spec = self.manifest["noise"]
+        kwargs = {"seed": spec["seed"]}
+        if spec.get("block") is not None:
+            kwargs["block"] = spec["block"]
+        return BlockNoise(**kwargs)
+
+    @property
+    def retry(self) -> Optional[RetryPolicy]:
+        data = self.manifest.get("retry")
+        return RetryPolicy.from_dict(data) if data else None
+
+    @property
+    def status(self) -> str:
+        return self.manifest.get("status", "unknown")
+
+    def done_indices(self) -> List[int]:
+        return [int(i) for i in np.flatnonzero(self.done)]
+
+    def mark_done(self, index: int) -> None:
+        self.done[index] = True
+
+    # -- persistence -------------------------------------------------------
+    def write(self, status: Optional[str] = None) -> None:
+        """Persist manifest + state atomically (a ``jobs.checkpoint.write``
+        span; state first so a crash between the two files leaves a
+        manifest that undercounts, never overcounts, progress)."""
+        if status is not None:
+            self.manifest["status"] = status
+        self.manifest["progress"]["tiles_done"] = int(self.done.sum())
+        if obs.enabled():
+            self.manifest["obs_counters"] = (
+                obs.get_recorder().metrics.as_dict()
+            )
+        with obs.trace("jobs.checkpoint.write",
+                       {"tiles_done":
+                        self.manifest["progress"]["tiles_done"]}
+                       if obs.enabled() else None):
+            atomic_write_npz(self.path / STATE_NAME,
+                             heights=self.heights, done=self.done)
+            atomic_write_json(self.path / MANIFEST_NAME, self.manifest)
+        if obs.enabled():
+            obs.add("jobs.checkpoint_writes")
+
+    def summary(self) -> Dict[str, Any]:
+        """The ``repro job status`` view of this checkpoint."""
+        progress = self.manifest["progress"]
+        total = progress["tiles_total"]
+        done = int(self.done.sum())
+        return {
+            "path": str(self.path),
+            "format": self.manifest["format"],
+            "kind": self.manifest["kind"],
+            "status": self.manifest["status"],
+            "tiles_total": total,
+            "tiles_done": done,
+            "fraction_done": done / total if total else 0.0,
+            "backend": self.manifest.get("backend"),
+            "noise": self.manifest.get("noise"),
+            "generator": self.manifest.get("generator"),
+            "resilience": self.manifest.get("resilience"),
+            "error": self.manifest.get("error"),
+        }
+
+
+def _plan_from_manifest(manifest: Dict[str, Any]) -> TilePlan:
+    spec = manifest["plan"]
+    return TilePlan(
+        total_nx=spec["total_nx"], total_ny=spec["total_ny"],
+        tile_nx=spec["tile_nx"], tile_ny=spec["tile_ny"],
+        origin_x=spec.get("origin_x", 0), origin_y=spec.get("origin_y", 0),
+    )

@@ -1,0 +1,157 @@
+"""Deterministic fault injection for the resilient executor.
+
+A :class:`FaultPlan` is a picklable schedule of failures keyed on
+``(tile index, attempt number)``: *fail tile k on attempt n*.  The
+executor calls :meth:`FaultPlan.fire` right before computing each tile —
+in the parent for the serial/thread backends, inside the worker process
+for the process backend — so tests and the ``--inject-fault`` debug CLI
+flag can reproduce crashes exactly.
+
+Three kinds:
+
+``raise``
+    Raise :class:`InjectedFault` — an ordinary tile failure the retry
+    logic must absorb.
+``kill``
+    Hard-exit the worker process (``os._exit``), breaking the process
+    pool mid-run exactly like an OOM-killed or segfaulted worker.  Only
+    fires inside pool worker processes; in the parent (serial/thread
+    backends) it is inert, because killing the parent would be killing
+    the job itself rather than simulating a lost worker.
+``delay``
+    Sleep ``delay_s`` seconds, then compute normally — a latency
+    injector for scheduling/timeout behaviour.
+
+Because every tile attempt is numbered deterministically, a fired plan
+perturbs only *when* tiles are computed, never their values — resumed
+and fault-free runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "InjectedFault"]
+
+FAULT_KINDS = ("raise", "kill", "delay")
+FaultKind = str
+
+
+class InjectedFault(RuntimeError):
+    """A deliberate tile failure raised by a :class:`FaultSpec`."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: tile ``tile`` misbehaves on attempt ``attempt``.
+
+    ``tile`` indexes the plan's row-major tile order (strip index for
+    strip jobs); ``attempt`` is 1-based.  ``delay_s`` applies to the
+    ``delay`` kind.
+    """
+
+    tile: int
+    attempt: int = 1
+    kind: FaultKind = "raise"
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tile < 0:
+            raise ValueError("tile index must be >= 0")
+        if self.attempt < 1:
+            raise ValueError("attempt is 1-based")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec` entries.
+
+    Picklable (it rides the process-pool initializer next to the
+    generator), and addressed purely by ``(tile, attempt)`` so identical
+    runs fail identically.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def parse(cls, texts: Iterable[str]) -> "FaultPlan":
+        """Build a plan from CLI ``--inject-fault`` spec strings.
+
+        Each spec is comma-separated ``key=value`` pairs, e.g.
+        ``"tile=3,attempt=1,kind=kill"`` or
+        ``"tile=0,kind=delay,delay=0.5"``.  Keys: ``tile`` (required),
+        ``attempt`` (default 1), ``kind`` (default ``raise``), ``delay``
+        (seconds, ``delay`` kind only).
+        """
+        specs = []
+        for text in texts:
+            fields: Dict[str, str] = {}
+            for part in text.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                if "=" not in part:
+                    raise ValueError(
+                        f"bad fault spec {text!r}: expected key=value "
+                        f"pairs, got {part!r}"
+                    )
+                key, value = part.split("=", 1)
+                fields[key.strip()] = value.strip()
+            unknown = set(fields) - {"tile", "attempt", "kind", "delay"}
+            if unknown:
+                raise ValueError(
+                    f"bad fault spec {text!r}: unknown key(s) "
+                    f"{sorted(unknown)}"
+                )
+            if "tile" not in fields:
+                raise ValueError(f"bad fault spec {text!r}: missing tile=")
+            specs.append(FaultSpec(
+                tile=int(fields["tile"]),
+                attempt=int(fields.get("attempt", 1)),
+                kind=fields.get("kind", "raise"),
+                delay_s=float(fields.get("delay", 0.0)),
+            ))
+        return cls(specs=tuple(specs))
+
+    def lookup(self, tile: int, attempt: int) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.tile == tile and spec.attempt == attempt:
+                return spec
+        return None
+
+    def fire(self, tile: int, attempt: int) -> None:
+        """Trigger the fault scheduled for this ``(tile, attempt)``, if any.
+
+        Called by the executor immediately before computing the tile.
+        ``raise`` kinds raise :class:`InjectedFault`; ``kill`` hard-exits
+        the current process *only* when it is a pool worker; ``delay``
+        sleeps and returns.
+        """
+        spec = self.lookup(tile, attempt)
+        if spec is None:
+            return
+        if spec.kind == "delay":
+            time.sleep(spec.delay_s)
+            return
+        if spec.kind == "kill":
+            if multiprocessing.parent_process() is not None:
+                os._exit(17)  # simulate a hard worker crash
+            return  # inert in the parent: nothing to crash but the job
+        raise InjectedFault(
+            f"injected fault: tile {tile} attempt {attempt}"
+        )

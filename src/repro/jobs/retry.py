@@ -1,0 +1,84 @@
+"""Retry policy for fault-tolerant tiled execution.
+
+One frozen dataclass describes every knob of the resilient executor
+(:func:`repro.parallel.executor.generate_tiled` with ``retry=``): how
+often a tile may fail, how long to back off between attempts, how many
+times a crashed process pool is respawned before the run degrades to the
+next backend, and the run-wide failure budget.
+
+Backoff is deterministic (no jitter) on purpose: the executor's contract
+is bit-identical output for a fixed plan, and the job layer extends that
+to *schedules* — two runs with the same policy and fault plan retry at
+the same times, which is what makes the fault-injection tests exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient executor responds to tile and pool failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Failures tolerated per tile before the run aborts with
+        :class:`~repro.parallel.executor.TileFailedError`.  Requeues
+        caused by *another* tile crashing the pool do not count.
+    backoff_base, backoff_factor, backoff_max:
+        Exponential backoff between a tile's attempts:
+        ``base * factor**(failures-1)`` seconds, capped at ``max``.
+    failure_budget:
+        Total failed attempts tolerated across the whole run (``None``
+        = unlimited); exceeding it raises
+        :class:`~repro.parallel.executor.FailureBudgetExceeded`.
+    max_respawns:
+        Times a broken process pool is recreated before giving up on
+        the process backend.
+    degrade:
+        When the respawn budget is spent: fall back process → thread →
+        serial (output values are backend-independent, so degradation
+        preserves bit-identity) instead of raising.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    failure_budget: Optional[int] = None
+    max_respawns: int = 2
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.failure_budget is not None and self.failure_budget < 0:
+            raise ValueError("failure_budget must be >= 0 or None")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+
+    def delay(self, failures: int) -> float:
+        """Deterministic backoff before retrying after ``failures`` fails."""
+        if failures < 1:
+            return 0.0
+        return min(
+            self.backoff_base * self.backoff_factor ** (failures - 1),
+            self.backoff_max,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (stored in checkpoint manifests)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(**data)

@@ -1,0 +1,285 @@
+"""Fault-tolerant job runner: checkpointed tiled/strip generation.
+
+The paper's headline claim — successive computation of arbitrarily long
+surfaces (Section 2.4, eqn 36) — at production scale means runs that
+outlive worker crashes and process restarts.  This module ties the
+resilient executor (:func:`repro.parallel.executor.generate_tiled` with
+``retry=``) to the durable :class:`~repro.jobs.checkpoint.JobCheckpoint`
+state:
+
+* :func:`run_tiled` / :func:`run_strips` execute a plan while recording
+  completed tiles; any failure (injected or real) leaves a resumable
+  checkpoint behind.
+* :func:`resume` finishes a checkpointed job — skipping completed tiles
+  and recomputing the rest — with heights **bit-identical** to an
+  uninterrupted run, because tile values are pure functions of
+  ``(generator, noise seed, tile)``.
+* :func:`status` summarises a checkpoint without touching the noise
+  plane.
+
+Strip jobs are scheduled as a degenerate tile plan (one tile per strip:
+``tile_nx = strip_nx``, ``tile_ny = width_ny``), whose row-major tile
+order equals the strip order of
+:func:`repro.parallel.streaming.stream_strips` — so strip jobs inherit
+every backend and the whole retry machinery, and their assembled output
+equals ``assemble_strips(stream_strips(...))`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .. import obs
+from ..core.rng import BlockNoise
+from ..core.surface import Surface
+from ..parallel.executor import generate_tiled
+from ..parallel.tiles import TilePlan
+from .checkpoint import JobCheckpoint, generator_fingerprint
+from .faults import FaultPlan
+from .retry import RetryPolicy
+
+__all__ = ["run_tiled", "run_strips", "resume", "status"]
+
+PathLike = Union[str, Path]
+
+
+def _execute(
+    ckpt: JobCheckpoint,
+    generator: Any,
+    noise: BlockNoise,
+    plan: TilePlan,
+    *,
+    backend: str,
+    workers: Optional[int],
+    retry: Optional[RetryPolicy],
+    fault_plan: Optional[FaultPlan],
+    checkpoint_every: int,
+    resumed: bool,
+) -> Surface:
+    """Run ``plan`` against the checkpoint, persisting progress.
+
+    Completed tiles are marked immediately and the checkpoint is
+    rewritten every ``checkpoint_every`` completions; on *any* failure
+    (including ``KeyboardInterrupt``) the final state is flushed with
+    ``status="failed"`` before the exception propagates, so the run is
+    always resumable.
+    """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    policy = retry if retry is not None else (ckpt.retry or RetryPolicy())
+    skip = ckpt.done_indices()
+    since_write = 0
+
+    def on_tile(index: int, _tile) -> None:
+        nonlocal since_write
+        ckpt.mark_done(index)
+        since_write += 1
+        if since_write >= checkpoint_every:
+            ckpt.write()
+            since_write = 0
+
+    if obs.enabled():
+        obs.add("jobs.resumes" if resumed else "jobs.runs")
+    span = obs.trace("jobs.run", {
+        "kind": ckpt.manifest["kind"], "backend": backend,
+        "resumed": resumed, "tiles_skipped": len(skip),
+    } if obs.enabled() else None)
+    try:
+        with span:
+            surface = generate_tiled(
+                generator, noise, plan,
+                backend=backend, workers=workers,
+                retry=policy, fault_plan=fault_plan,
+                out=ckpt.heights, skip=skip, on_tile=on_tile,
+            )
+    except BaseException as exc:
+        ckpt.manifest["error"] = repr(exc)
+        ckpt.write(status="failed")
+        raise
+    ckpt.manifest["error"] = None
+    ckpt.manifest["resilience"] = surface.provenance.get("resilience")
+    ckpt.write(status="complete")
+    surface.provenance["job"] = {
+        "checkpoint": str(ckpt.path),
+        "resumed": resumed,
+        "tiles_resumed": len(skip),
+        "retry": policy.to_dict(),
+    }
+    return surface
+
+
+def run_tiled(
+    generator: Any,
+    noise: BlockNoise,
+    plan: TilePlan,
+    *,
+    checkpoint: PathLike,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_every: int = 1,
+    rebuild: Optional[dict] = None,
+) -> Surface:
+    """Checkpointed tiled generation (resilient ``generate_tiled``).
+
+    Parameters mirror :func:`repro.parallel.executor.generate_tiled`;
+    additionally ``checkpoint`` names a fresh directory for the durable
+    state, ``checkpoint_every`` sets how many completed tiles trigger a
+    state flush, and ``rebuild`` optionally records a recipe (spectrum
+    or figure parameters) from which :func:`resume` can reconstruct the
+    generator when the caller cannot pass one.
+    """
+    policy = retry if retry is not None else RetryPolicy()
+    ckpt = JobCheckpoint.create(
+        checkpoint, kind="tiled", plan=plan, noise=noise,
+        backend=backend, workers=workers, retry=policy,
+        generator=generator, rebuild=rebuild,
+    )
+    return _execute(
+        ckpt, generator, noise, plan,
+        backend=backend, workers=workers, retry=policy,
+        fault_plan=fault_plan, checkpoint_every=checkpoint_every,
+        resumed=False,
+    )
+
+
+def strip_plan(total_nx: int, width_ny: int, strip_nx: int,
+               x0: int = 0, y0: int = 0) -> TilePlan:
+    """The tile plan whose row-major tiles are exactly the strips of
+    ``stream_strips(generator, noise, total_nx, width_ny, strip_nx)``."""
+    return TilePlan(
+        total_nx=total_nx, total_ny=width_ny,
+        tile_nx=strip_nx, tile_ny=width_ny,
+        origin_x=x0, origin_y=y0,
+    )
+
+
+def run_strips(
+    generator: Any,
+    noise: BlockNoise,
+    total_nx: int,
+    width_ny: int,
+    strip_nx: int,
+    x0: int = 0,
+    y0: int = 0,
+    *,
+    checkpoint: PathLike,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_every: int = 1,
+    rebuild: Optional[dict] = None,
+) -> Surface:
+    """Checkpointed strip-stream generation.
+
+    Covers the same strips as :func:`~repro.parallel.streaming.
+    stream_strips` (including the clipped final strip) and returns the
+    assembled surface — bit-identical to
+    ``assemble_strips(stream_strips(...))`` — while gaining every
+    resilience feature of the tiled path: retries, worker-crash
+    recovery, degradation, and resumable checkpoints.
+    """
+    policy = retry if retry is not None else RetryPolicy()
+    plan = strip_plan(total_nx, width_ny, strip_nx, x0, y0)
+    ckpt = JobCheckpoint.create(
+        checkpoint, kind="strips", plan=plan, noise=noise,
+        backend=backend, workers=workers, retry=policy,
+        generator=generator, rebuild=rebuild,
+        strips={"total_nx": total_nx, "width_ny": width_ny,
+                "strip_nx": strip_nx, "x0": x0, "y0": y0},
+    )
+    surface = _execute(
+        ckpt, generator, noise, plan,
+        backend=backend, workers=workers, retry=policy,
+        fault_plan=fault_plan, checkpoint_every=checkpoint_every,
+        resumed=False,
+    )
+    surface.provenance["strips"] = len(plan)
+    return surface
+
+
+def _generator_from_rebuild(rebuild: Optional[dict]) -> Any:
+    """Reconstruct a generator from a manifest's ``rebuild`` recipe."""
+    if not rebuild:
+        raise ValueError(
+            "checkpoint records no rebuild recipe; pass generator= to "
+            "resume()"
+        )
+    kind = rebuild.get("kind")
+    if kind == "convolution":
+        from ..core.convolution import ConvolutionGenerator
+        from ..core.grid import Grid2D
+        from ..core.spectra import spectrum_from_dict
+
+        g = rebuild["grid"]
+        return ConvolutionGenerator(
+            spectrum_from_dict(rebuild["spectrum"]),
+            Grid2D(nx=g["nx"], ny=g["ny"], lx=g["lx"], ly=g["ly"]),
+            truncation=rebuild.get("truncation", 0.9999),
+            engine=rebuild.get("engine", "auto"),
+        )
+    if kind == "figure":
+        from ..core.inhomogeneous import InhomogeneousGenerator
+        from ..figures import default_grid, figure_layout
+
+        grid = default_grid(rebuild["n"], rebuild["domain"])
+        layout = figure_layout(rebuild["name"], rebuild["domain"])
+        return InhomogeneousGenerator(
+            layout, grid, truncation=rebuild.get("truncation", 0.999),
+            engine=rebuild.get("engine", "auto"),
+        )
+    raise ValueError(f"unknown rebuild kind {kind!r}")
+
+
+def resume(
+    path: PathLike,
+    generator: Any = None,
+    *,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_every: int = 1,
+    check_generator: bool = True,
+) -> Surface:
+    """Finish a checkpointed job; bit-identical to an uninterrupted run.
+
+    Loads the checkpoint, skips completed tiles, recomputes the rest
+    (on ``backend`` if given, else the recorded one — the choice cannot
+    change the values) and returns the completed surface.  When
+    ``generator`` is omitted the manifest's ``rebuild`` recipe is used;
+    when it is given and ``check_generator`` is true, its fingerprint
+    must match the recorded one — resuming under a different
+    configuration would silently weld two different surfaces together.
+    """
+    ckpt = JobCheckpoint.load(path)
+    if ckpt.status == "complete" and not ckpt.done.all():
+        # never trust a manifest over the mask
+        ckpt.manifest["status"] = "running"
+    if generator is None:
+        generator = _generator_from_rebuild(ckpt.manifest.get("rebuild"))
+    elif check_generator:
+        recorded = (ckpt.manifest.get("generator") or {}).get("fingerprint")
+        actual = generator_fingerprint(generator)
+        if recorded is not None and recorded != actual:
+            raise ValueError(
+                f"generator fingerprint {actual} does not match the "
+                f"checkpoint's {recorded}; pass check_generator=False "
+                f"only if you are certain the configuration is identical"
+            )
+    return _execute(
+        ckpt, generator, ckpt.noise, ckpt.plan,
+        backend=backend or ckpt.manifest.get("backend", "serial"),
+        workers=workers if workers is not None
+        else ckpt.manifest.get("workers"),
+        retry=retry, fault_plan=fault_plan,
+        checkpoint_every=checkpoint_every, resumed=True,
+    )
+
+
+def status(path: PathLike) -> Dict[str, Any]:
+    """Summarise a checkpoint (status, progress, accounting) as a dict."""
+    return JobCheckpoint.load(path).summary()

@@ -1,7 +1,14 @@
 """Parallel and out-of-core generation: tile decomposition, execution
 backends, and streaming strips over the unbounded noise plane."""
 
-from .executor import WindowedGenerator, default_workers, generate_tiled
+from .executor import (
+    FailureBudgetExceeded,
+    PoolRespawnLimit,
+    TileFailedError,
+    WindowedGenerator,
+    default_workers,
+    generate_tiled,
+)
 from .streaming import StripStream, assemble_strips, stream_strips
 from .tiles import Tile, TilePlan
 
@@ -11,6 +18,9 @@ __all__ = [
     "generate_tiled",
     "default_workers",
     "WindowedGenerator",
+    "TileFailedError",
+    "FailureBudgetExceeded",
+    "PoolRespawnLimit",
     "StripStream",
     "stream_strips",
     "assemble_strips",

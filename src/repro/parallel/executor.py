@@ -1,9 +1,9 @@
 """Execution backends for tiled surface generation.
 
 Maps a :class:`~repro.parallel.tiles.TilePlan` over a generator that
-supports windowed generation (``ConvolutionGenerator`` or
-``InhomogeneousGenerator``) and assembles the tiles into one height
-array.  Three backends:
+supports windowed generation (anything satisfying the
+:class:`~repro.core.api.SurfaceGenerator` protocol with a 2D ``grid``)
+and assembles the tiles into one height array.  Three backends:
 
 ``serial``
     Plain loop; the reference.
@@ -30,9 +30,20 @@ do for GPU/MPI stochastic codes.  *Different* tile plans agree to
 floating-point rounding (~1e-15 relative): the FFT used inside the
 windowed convolution rounds differently for different window shapes.
 
+Fault tolerance (the substrate of :mod:`repro.jobs`): passing any of the
+``retry`` / ``fault_plan`` / ``out`` / ``skip`` / ``on_tile`` keywords
+switches :func:`generate_tiled` to a resilient scheduler that retries
+failed tiles with deterministic exponential backoff, enforces a run-wide
+failure budget, survives crashed process-pool workers
+(``BrokenProcessPool`` → respawn the pool and requeue the in-flight
+tiles), and degrades process → thread → serial when respawning keeps
+failing.  Because tile values are backend-independent, retries and
+degradation never change the output — only when it is computed.
+
 Run-level provenance aggregates what the windowed generators report per
 tile: plan-cache hit/miss deltas (summed across process workers' own
-caches), region/level active-set totals, and batched-FFT counters.
+caches), region/level active-set totals, batched-FFT counters, and — for
+resilient runs — retry/respawn/degradation counts.
 
 This module is the library's MPI substitute (DESIGN.md S10): the tile
 decomposition, halo arithmetic, and determinism contract are exactly
@@ -44,18 +55,36 @@ from __future__ import annotations
 import concurrent.futures as cf
 import os
 import time
+from collections import deque
 from multiprocessing import shared_memory
-from typing import Any, Dict, Optional, Protocol, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Tuple,
+)
 
 import numpy as np
 
 from .. import obs
+from ..core.api import split_result
 from ..core.engine import plan_cache
 from ..core.rng import BlockNoise
 from ..core.surface import Surface
 from .tiles import Tile, TilePlan
 
-__all__ = ["WindowedGenerator", "generate_tiled", "default_workers"]
+__all__ = [
+    "WindowedGenerator",
+    "generate_tiled",
+    "default_workers",
+    "TileFailedError",
+    "FailureBudgetExceeded",
+    "PoolRespawnLimit",
+]
 
 #: Per-tile generator-provenance keys worth aggregating at run level
 #: (and the only ones process workers ship back to the parent).
@@ -79,6 +108,30 @@ class WindowedGenerator(Protocol):
     ): ...
 
 
+class TileFailedError(RuntimeError):
+    """A tile kept failing past ``RetryPolicy.max_attempts``."""
+
+    def __init__(self, index: int, tile: Tile, failures: int,
+                 last: BaseException) -> None:
+        super().__init__(
+            f"tile {index} {tile} failed {failures} time(s); "
+            f"last error: {last!r}"
+        )
+        self.index = index
+        self.tile = tile
+        self.failures = failures
+        self.last = last
+
+
+class FailureBudgetExceeded(RuntimeError):
+    """The run-wide ``RetryPolicy.failure_budget`` was exhausted."""
+
+
+class PoolRespawnLimit(RuntimeError):
+    """The process pool kept breaking past ``RetryPolicy.max_respawns``
+    and degradation was disabled."""
+
+
 def default_workers() -> int:
     """Default worker count: physical parallelism minus one, at least 1."""
     return max(1, (os.cpu_count() or 2) - 1)
@@ -87,12 +140,14 @@ def default_workers() -> int:
 def _tile_result(
     generator: WindowedGenerator, noise: BlockNoise, tile: Tile
 ) -> Tuple[np.ndarray, Optional[dict]]:
-    """One tile's heights plus the generator's per-window provenance."""
+    """One tile's heights plus the generator's per-window provenance.
+
+    Normalises every protocol-conformant return shape — ``Surface``,
+    ``HeightField`` or bare array — via
+    :func:`repro.core.api.split_result`.
+    """
     out = generator.generate_window(noise, tile.x0, tile.y0, tile.nx, tile.ny)
-    # InhomogeneousGenerator returns Surface; ConvolutionGenerator ndarray.
-    if isinstance(out, Surface):
-        return out.heights, out.provenance
-    return np.asarray(out), None
+    return split_result(out)
 
 
 def _tile_heights(generator: WindowedGenerator, noise: BlockNoise, tile: Tile
@@ -198,12 +253,14 @@ def _pool_init(
     shape: Tuple[int, int],
     origin: Tuple[int, int],
     obs_enabled: bool = False,
+    fault_plan: Optional[Any] = None,
 ) -> None:
     """Pool initializer: receive the run state once per worker.
 
     Everything tile-independent — the generator (with its kernels), the
-    noise spec, and the mapped output buffer — lives in module state for
-    the worker's lifetime, so per-tile tasks carry only a ``Tile``.
+    noise spec, the mapped output buffer, and any fault-injection plan —
+    lives in module state for the worker's lifetime, so per-tile tasks
+    carry only a ``Tile`` (plus index/attempt in resilient mode).
     When the parent is recording, each worker installs its own
     :class:`repro.obs.Recorder`; per-tile drains ride the result pipe
     next to the plan-cache deltas.
@@ -218,6 +275,7 @@ def _pool_init(
         shm=shm,  # keep the mapping alive for the worker's lifetime
         view=view,
         origin=origin,
+        fault_plan=fault_plan,
     )
 
 
@@ -249,19 +307,323 @@ def _pool_tile(
     return _slim_provenance(prov), delta, payload
 
 
+def _pool_resilient_tile(
+    task: Tuple[int, Tile, int],
+) -> Tuple[int, Optional[dict], Dict[str, int], Optional[Dict[str, Any]]]:
+    """Worker task for resilient runs: fire any scheduled fault, then
+    compute the tile.  Echoes the tile index so the parent can match
+    out-of-order completions."""
+    idx, tile, attempt = task
+    fault_plan = _POOL_STATE.get("fault_plan")
+    if fault_plan is not None:
+        fault_plan.fire(idx, attempt)
+    slim, delta, payload = _pool_tile(tile)
+    return idx, slim, delta, payload
+
+
+# ---------------------------------------------------------------------------
+# Resilient scheduler
+# ---------------------------------------------------------------------------
+class _Task(NamedTuple):
+    idx: int
+    tile: Tile
+    attempt: int  # 1-based count of times this tile has been started
+
+
+def _default_retry_policy():
+    from ..jobs.retry import RetryPolicy  # local: jobs depends on us
+
+    return RetryPolicy()
+
+
+class _ResilientRun:
+    """State machine for the fault-tolerant execution of one tile plan.
+
+    Owns the pending queue, per-tile failure counts, the failure
+    budget, process-pool respawn accounting and backend degradation.
+    Tiles land in ``self.out`` (caller-provided or freshly allocated),
+    and ``on_tile(idx, tile)`` fires in the parent after each tile's
+    data is in ``self.out`` — the checkpoint hook of :mod:`repro.jobs`.
+    """
+
+    def __init__(self, generator, noise, plan, backend, workers, policy,
+                 fault_plan, out, skip, on_tile, agg):
+        self.generator = generator
+        self.noise = noise
+        self.plan = plan
+        self.workers = workers
+        self.policy = policy
+        self.fault_plan = fault_plan
+        self.out = out
+        self.on_tile = on_tile
+        self.agg = agg
+        tiles = plan.tiles()
+        self.skipped = frozenset(int(i) for i in (skip or ()))
+        unknown = [i for i in self.skipped if not 0 <= i < len(tiles)]
+        if unknown:
+            raise ValueError(
+                f"skip indices {sorted(unknown)} outside the plan's "
+                f"{len(tiles)} tiles"
+            )
+        self.pending = deque(
+            _Task(idx, tiles[idx], 1)
+            for idx in range(len(tiles))
+            if idx not in self.skipped
+        )
+        self.failures: Dict[int, int] = {}
+        self.retries = 0
+        self.respawns = 0
+        self.degraded_to: Optional[str] = None
+        self.busy_s = 0.0
+        self.cache_delta = {"hits": 0, "misses": 0}
+        self.saw_worker_delta = False
+        self.backend_chain = {
+            "process": ["process", "thread", "serial"],
+            "thread": ["thread", "serial"],
+            "serial": ["serial"],
+        }[backend]
+
+    # -- shared bookkeeping ------------------------------------------------
+    def _fire(self, task: _Task) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.fire(task.idx, task.attempt)
+
+    def _place(self, tile: Tile, values: np.ndarray) -> None:
+        ix = tile.x0 - self.plan.origin_x
+        iy = tile.y0 - self.plan.origin_y
+        self.out[ix : ix + tile.nx, iy : iy + tile.ny] = values
+
+    def _complete(self, task: _Task, prov: Optional[dict]) -> None:
+        _merge_tile_provenance(self.agg, _slim_provenance(prov))
+        if self.on_tile is not None:
+            self.on_tile(task.idx, task.tile)
+
+    def _record_failure(self, task: _Task, exc: BaseException) -> None:
+        """Account one genuine tile failure; raise when budgets run out,
+        otherwise sleep the deterministic backoff before the retry."""
+        count = self.failures.get(task.idx, 0) + 1
+        self.failures[task.idx] = count
+        self.retries += 1
+        if obs.enabled():
+            obs.add("executor.tile_retries")
+        budget = self.policy.failure_budget
+        if budget is not None and self.retries > budget:
+            raise FailureBudgetExceeded(
+                f"{self.retries} failed tile attempts exceed the "
+                f"failure budget of {budget}"
+            ) from exc
+        if count >= self.policy.max_attempts:
+            raise TileFailedError(task.idx, task.tile, count, exc) from exc
+        delay = self.policy.delay(count)
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- backends ----------------------------------------------------------
+    def run(self) -> None:
+        chain = iter(self.backend_chain)
+        current = next(chain)
+        while self.pending:
+            try:
+                if current == "serial":
+                    self._run_serial()
+                elif current == "thread":
+                    self._run_thread()
+                else:
+                    self._run_process()
+            except cf.BrokenExecutor as exc:
+                # A broken pool that may not be respawned: degrade (the
+                # values are backend-independent) or give up.
+                if not self.policy.degrade:
+                    raise PoolRespawnLimit(
+                        f"{current} pool kept breaking after "
+                        f"{self.respawns} respawn(s)"
+                    ) from exc
+            if self.pending:
+                current = next(chain)
+                self.degraded_to = current
+                if obs.enabled():
+                    obs.add("executor.degradations")
+
+    def _run_serial(self) -> None:
+        while self.pending:
+            task = self.pending.popleft()
+            try:
+                self._fire(task)
+                heights, prov, dt = _traced_tile(
+                    self.generator, self.noise, task.tile
+                )
+            except Exception as exc:
+                self._record_failure(task, exc)
+                self.pending.appendleft(task._replace(attempt=task.attempt + 1))
+                continue
+            self.busy_s += dt
+            self._place(task.tile, heights)
+            self._complete(task, prov)
+
+    def _thread_tile(self, task: _Task, submit_ns: Optional[int]):
+        self._fire(task)
+        return _traced_tile(self.generator, self.noise, task.tile, submit_ns)
+
+    def _run_thread(self) -> None:
+        tracing = obs.enabled()
+        with cf.ThreadPoolExecutor(max_workers=self.workers) as pool:
+
+            def submit(task: _Task):
+                ns = time.perf_counter_ns() if tracing else None
+                return pool.submit(self._thread_tile, task, ns)
+
+            inflight = {}
+            while self.pending:
+                task = self.pending.popleft()
+                inflight[submit(task)] = task
+            while inflight:
+                done, _ = cf.wait(
+                    list(inflight), return_when=cf.FIRST_COMPLETED
+                )
+                for fut in done:
+                    task = inflight.pop(fut)
+                    try:
+                        heights, prov, dt = fut.result()
+                    except Exception as exc:
+                        self._record_failure(task, exc)
+                        retry = task._replace(attempt=task.attempt + 1)
+                        inflight[submit(retry)] = retry
+                        continue
+                    self.busy_s += dt
+                    self._place(task.tile, heights)
+                    self._complete(task, prov)
+
+    def _run_process(self) -> None:
+        """Process backend with pool respawn and in-flight requeue.
+
+        A worker death breaks the whole ``ProcessPoolExecutor`` (every
+        pending future raises ``BrokenProcessPool``); the in-flight and
+        unsubmitted tiles are requeued at ``attempt + 1`` — a bumped
+        attempt, not a counted failure, so one crashing tile cannot
+        exhaust its neighbours' retry budgets — and a fresh pool is
+        spawned, up to ``RetryPolicy.max_respawns`` times.  Completed
+        tiles are copied from the shared-memory buffer into ``out``
+        incrementally, so already-done (skipped/resumed) regions of
+        ``out`` are never overwritten with uninitialised memory.
+        """
+        shm = shared_memory.SharedMemory(create=True, size=self.out.nbytes)
+        recorder = obs.get_recorder()
+        try:
+            view = np.ndarray(
+                self.out.shape, dtype=np.float64, buffer=shm.buf
+            )
+            while self.pending:
+                pool = cf.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_init,
+                    initargs=(self.generator, self.noise, shm.name,
+                              self.out.shape,
+                              (self.plan.origin_x, self.plan.origin_y),
+                              obs.enabled(), self.fault_plan),
+                )
+                broken = False
+                inflight: Dict[cf.Future, _Task] = {}
+                try:
+
+                    def submit(task: _Task) -> bool:
+                        try:
+                            fut = pool.submit(
+                                _pool_resilient_tile,
+                                (task.idx, task.tile, task.attempt),
+                            )
+                        except cf.BrokenExecutor:
+                            self.pending.append(task)
+                            return False
+                        inflight[fut] = task
+                        return True
+
+                    while self.pending:
+                        if not submit(self.pending.popleft()):
+                            broken = True
+                            break
+                    while inflight:
+                        done, _ = cf.wait(
+                            list(inflight), return_when=cf.FIRST_COMPLETED
+                        )
+                        for fut in done:
+                            task = inflight.pop(fut)
+                            try:
+                                _idx, slim, delta, payload = fut.result()
+                            except cf.BrokenExecutor:
+                                broken = True
+                                self.pending.append(
+                                    task._replace(attempt=task.attempt + 1)
+                                )
+                                continue
+                            except Exception as exc:
+                                self._record_failure(task, exc)
+                                retry = task._replace(
+                                    attempt=task.attempt + 1
+                                )
+                                if not submit(retry):
+                                    broken = True
+                                continue
+                            tile = task.tile
+                            ix = tile.x0 - self.plan.origin_x
+                            iy = tile.y0 - self.plan.origin_y
+                            self.out[ix:ix + tile.nx, iy:iy + tile.ny] = (
+                                view[ix:ix + tile.nx, iy:iy + tile.ny]
+                            )
+                            self.saw_worker_delta = True
+                            self.cache_delta["hits"] += delta["hits"]
+                            self.cache_delta["misses"] += delta["misses"]
+                            if payload is not None and recorder.enabled:
+                                stats = payload.get("span_stats", {})
+                                tile_row = stats.get("executor.tile")
+                                if tile_row:
+                                    self.busy_s += tile_row[1] / 1e9
+                                recorder.merge(payload)
+                            self._complete(task, slim)
+                        if broken:
+                            # every remaining in-flight future is doomed
+                            # on the same broken pool: requeue them all
+                            for other in inflight.values():
+                                self.pending.append(
+                                    other._replace(attempt=other.attempt + 1)
+                                )
+                            inflight.clear()
+                finally:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                if broken and self.pending:
+                    self.respawns += 1
+                    if obs.enabled():
+                        obs.add("executor.pool_respawns")
+                    if self.respawns > self.policy.max_respawns:
+                        raise cf.BrokenExecutor(
+                            "process pool kept breaking; respawn budget "
+                            f"({self.policy.max_respawns}) spent"
+                        )
+        finally:
+            shm.close()
+            shm.unlink()
+
+
 def generate_tiled(
     generator: WindowedGenerator,
     noise: BlockNoise,
     plan: TilePlan,
     backend: str = "serial",
     workers: Optional[int] = None,
+    *,
+    retry: Optional[Any] = None,
+    fault_plan: Optional[Any] = None,
+    out: Optional[np.ndarray] = None,
+    skip: Optional[Iterable[int]] = None,
+    on_tile: Optional[Callable[[int, Tile], None]] = None,
 ) -> Surface:
     """Generate a large surface tile-by-tile.
 
     Parameters
     ----------
     generator:
-        A windowed generator; its grid supplies the sample spacing.
+        A windowed generator (any :class:`~repro.core.api.
+        SurfaceGenerator` with a 2D ``grid``); its grid supplies the
+        sample spacing.
     noise:
         The shared deterministic noise plane (seed fixes the surface).
     plan:
@@ -272,15 +634,55 @@ def generate_tiled(
     workers:
         Pool size for the parallel backends (default
         :func:`default_workers`).
+    retry:
+        A :class:`repro.jobs.RetryPolicy` enabling the resilient
+        scheduler: per-tile retries with deterministic backoff, a
+        run-wide failure budget, process-pool respawn on worker death,
+        and process → thread → serial degradation.  ``None`` (with all
+        the keywords below unset) keeps the zero-overhead plain paths.
+    fault_plan:
+        A :class:`repro.jobs.FaultPlan` fired before each tile attempt
+        (testing/debugging aid; implies the resilient scheduler with
+        default :class:`~repro.jobs.retry.RetryPolicy` when ``retry``
+        is not given — as do ``out``, ``skip`` and ``on_tile``).
+    out:
+        Preallocated float64 output of shape ``(plan.total_nx,
+        plan.total_ny)`` to fill in place — the checkpoint/resume hook:
+        tiles listed in ``skip`` keep whatever ``out`` already holds.
+    skip:
+        Indices into ``plan.tiles()`` (row-major) already completed.
+    on_tile:
+        ``on_tile(index, tile)`` called in the parent after that tile's
+        data has landed in the output array (any backend) — the
+        incremental-checkpoint hook of :mod:`repro.jobs`.
 
     Returns
     -------
     The assembled :class:`~repro.core.surface.Surface`; bit-identical
     across backends for a fixed plan, and equal up to FFT rounding across
     different tile shapes, for a fixed ``(generator, noise)``.
+
+    Raises
+    ------
+    TileFailedError, FailureBudgetExceeded, PoolRespawnLimit
+        Resilient runs only, when the retry policy's budgets are spent.
     """
+    if backend not in ("serial", "thread", "process"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected serial|thread|process"
+        )
     grid = generator.grid  # type: ignore[attr-defined]
-    out = np.empty((plan.total_nx, plan.total_ny), dtype=float)
+    if out is not None:
+        out = np.asarray(out)
+        if out.shape != (plan.total_nx, plan.total_ny):
+            raise ValueError(
+                f"out has shape {out.shape}; plan needs "
+                f"({plan.total_nx}, {plan.total_ny})"
+            )
+        if out.dtype != np.float64:
+            raise ValueError("out must be float64")
+    else:
+        out = np.empty((plan.total_nx, plan.total_ny), dtype=float)
     tiles = plan.tiles()
     stats_before = plan_cache.stats()
     agg: dict = {}
@@ -288,6 +690,11 @@ def generate_tiled(
     n = workers or default_workers()
     pool_size = 1 if backend == "serial" else n
     busy_s = 0.0  # summed per-tile wall time (worker-utilization input)
+    resilient = (
+        retry is not None or fault_plan is not None
+        or skip is not None or on_tile is not None
+    )
+    run: Optional[_ResilientRun] = None
 
     def place(tile: Tile, values: np.ndarray) -> None:
         ix = tile.x0 - plan.origin_x
@@ -298,7 +705,17 @@ def generate_tiled(
         "backend": backend, "tiles": len(tiles), "workers": pool_size,
     } if obs.enabled() else None)
     with run_span:
-        if backend == "serial":
+        if resilient:
+            run = _ResilientRun(
+                generator, noise, plan, backend, n,
+                retry if retry is not None else _default_retry_policy(),
+                fault_plan, out, skip, on_tile, agg,
+            )
+            run.run()
+            busy_s = run.busy_s
+            if run.saw_worker_delta:
+                cache_delta = run.cache_delta
+        elif backend == "serial":
             for t in tiles:
                 heights, prov, dt = _traced_tile(generator, noise, t)
                 busy_s += dt
@@ -317,7 +734,7 @@ def generate_tiled(
                     busy_s += dt
                     place(t, heights)
                     _merge_tile_provenance(agg, _slim_provenance(prov))
-        elif backend == "process":
+        else:  # process
             shm = shared_memory.SharedMemory(create=True, size=out.nbytes)
             try:
                 view = np.ndarray(out.shape, dtype=np.float64, buffer=shm.buf)
@@ -347,10 +764,6 @@ def generate_tiled(
             finally:
                 shm.close()
                 shm.unlink()
-        else:
-            raise ValueError(
-                f"unknown backend {backend!r}; expected serial|thread|process"
-            )
 
     big_grid = grid.with_shape(plan.total_nx, plan.total_ny)
     origin = (plan.origin_x * grid.dx, plan.origin_y * grid.dy)
@@ -376,12 +789,29 @@ def generate_tiled(
             obs.add("executor.output_samples", output)
             obs.set_gauge("executor.halo_overhead",
                           provenance["halo_overhead"])
-    if backend in ("serial", "thread"):
-        stats_after = plan_cache.stats()
+    stats_after = plan_cache.stats()
+    local_delta = {
+        "hits": stats_after.hits - stats_before.hits,
+        "misses": stats_after.misses - stats_before.misses,
+    }
+    if resilient:
+        # Degradation can mix backends in one run: the global cache
+        # delta covers the serial/thread portion, the summed worker
+        # deltas the process portion.
         provenance["plan_cache"] = {
-            "hits": stats_after.hits - stats_before.hits,
-            "misses": stats_after.misses - stats_before.misses,
+            "hits": local_delta["hits"] + (cache_delta or {}).get("hits", 0),
+            "misses": (local_delta["misses"]
+                       + (cache_delta or {}).get("misses", 0)),
         }
+        assert run is not None
+        provenance["resilience"] = {
+            "retries": run.retries,
+            "respawns": run.respawns,
+            "degraded_to": run.degraded_to,
+            "tiles_skipped": len(run.skipped),
+        }
+    elif backend in ("serial", "thread"):
+        provenance["plan_cache"] = local_delta
     elif cache_delta is not None:
         # Sum of the workers' own cache deltas: misses count each
         # worker's warmup, hits the cross-tile reuse inside workers.

@@ -30,6 +30,33 @@ from .tiles import Tile
 __all__ = ["StripStream", "stream_strips", "assemble_strips"]
 
 
+def _strip_provenance(generator: WindowedGenerator, noise: BlockNoise,
+                      tile: Tile, index: int,
+                      tile_prov: Optional[dict]) -> dict:
+    """One strip's full provenance record.
+
+    Carries everything the checkpoint layer needs to re-derive the
+    strip — its global index, exact window, and the noise plane's seed
+    *and* block size — so callers (and :mod:`repro.jobs`) no longer
+    recompute strip → window arithmetic themselves.
+    """
+    provenance = {
+        "method": "strip-stream",
+        "strip_index": index,
+        "window": [tile.x0, tile.y0, tile.nx, tile.ny],
+        "noise_seed": noise.seed,
+        "noise_block": getattr(noise, "block", None),
+    }
+    engine = getattr(generator, "engine", None)
+    if engine is not None:
+        provenance["engine"] = engine
+    slim = _slim_provenance(tile_prov)
+    if slim:
+        # active-set / batched-FFT record of this strip's window
+        provenance.update(slim)
+    return provenance
+
+
 class StripStream:
     """Iterator of consecutive surface strips along x.
 
@@ -48,6 +75,11 @@ class StripStream:
     n_strips:
         Number of strips to emit, or ``None`` for an endless stream
         (terminate by breaking out of the loop).
+    start_index:
+        Strip index to start at (default 0): the stream behaves as if
+        the first ``start_index`` strips had already been emitted — the
+        resume hook of :mod:`repro.jobs`.  ``emitted`` still counts
+        only this iterator's own emissions.
 
     Examples
     --------
@@ -66,11 +98,14 @@ class StripStream:
         x0: int = 0,
         y0: int = 0,
         n_strips: Optional[int] = None,
+        start_index: int = 0,
     ) -> None:
         if width_ny <= 0 or strip_nx <= 0:
             raise ValueError("strip dimensions must be positive")
         if n_strips is not None and n_strips < 0:
             raise ValueError("n_strips must be >= 0")
+        if start_index < 0:
+            raise ValueError("start_index must be >= 0")
         self.generator = generator
         self.noise = noise
         self.width_ny = width_ny
@@ -78,12 +113,25 @@ class StripStream:
         self.x0 = x0
         self.y0 = y0
         self.n_strips = n_strips
+        self.start_index = start_index
         self._emitted = 0
 
     @property
     def emitted(self) -> int:
-        """Number of strips produced so far."""
+        """Number of strips successfully produced so far.
+
+        Incremented only after a strip's :class:`Surface` has been
+        fully constructed, so a strip that raises mid-iteration is
+        re-attempted by the next ``next()`` call instead of being
+        silently skipped (the accounting previously bumped the counter
+        before validation could fail).
+        """
         return self._emitted
+
+    @property
+    def next_index(self) -> int:
+        """Global index of the strip the next ``next()`` will produce."""
+        return self.start_index + self._emitted
 
     def __iter__(self) -> Iterator[Surface]:
         return self
@@ -91,36 +139,32 @@ class StripStream:
     def __next__(self) -> Surface:
         if self.n_strips is not None and self._emitted >= self.n_strips:
             raise StopIteration
-        gx = self.x0 + self._emitted * self.strip_nx
+        index = self.start_index + self._emitted
+        gx = self.x0 + index * self.strip_nx
         tile = Tile(x0=gx, y0=self.y0, nx=self.strip_nx, ny=self.width_ny)
         with obs.trace("stream.strip",
-                       {"index": self._emitted}
+                       {"index": index}
                        if obs.enabled() else None) as span:
             heights, tile_prov = _tile_result(self.generator, self.noise,
                                               tile)
         if obs.enabled():
             obs.add("stream.strips")
             obs.observe("stream.strip_seconds", span.duration_s)
-        self._emitted += 1
         grid = self.generator.grid.with_shape(tile.nx, tile.ny)  # type: ignore[attr-defined]
-        provenance = {
-            "method": "strip-stream",
-            "strip_index": self._emitted - 1,
-            "noise_seed": self.noise.seed,
-        }
-        engine = getattr(self.generator, "engine", None)
-        if engine is not None:
-            provenance["engine"] = engine
-        slim = _slim_provenance(tile_prov)
-        if slim:
-            # active-set / batched-FFT record of this strip's window
-            provenance.update(slim)
-        return Surface(
+        provenance = _strip_provenance(
+            self.generator, self.noise, tile, index, tile_prov
+        )
+        surface = Surface(
             heights=heights,
             grid=grid,
             origin=(gx * grid.dx, self.y0 * grid.dy),
             provenance=provenance,
         )
+        # Count the emission only once the strip exists: if anything
+        # above raised, this strip has NOT been emitted and the stream
+        # retries the same index on the next call.
+        self._emitted += 1
+        return surface
 
 
 def stream_strips(
@@ -140,7 +184,7 @@ def stream_strips(
     if total_nx <= 0:
         raise ValueError("total_nx must be positive")
     emitted = 0
-    engine = getattr(generator, "engine", None)
+    index = 0
     while emitted < total_nx:
         nx = min(strip_nx, total_nx - emitted)
         tile = Tile(x0=x0 + emitted, y0=y0, nx=nx, ny=width_ny)
@@ -150,12 +194,8 @@ def stream_strips(
             obs.add("stream.strips")
             obs.observe("stream.strip_seconds", span.duration_s)
         grid = generator.grid.with_shape(tile.nx, tile.ny)  # type: ignore[attr-defined]
-        provenance = {"method": "strip-stream", "noise_seed": noise.seed}
-        if engine is not None:
-            provenance["engine"] = engine
-        slim = _slim_provenance(tile_prov)
-        if slim:
-            provenance.update(slim)
+        provenance = _strip_provenance(generator, noise, tile, index,
+                                       tile_prov)
         yield Surface(
             heights=heights,
             grid=grid,
@@ -163,6 +203,7 @@ def stream_strips(
             provenance=provenance,
         )
         emitted += nx
+        index += 1
 
 
 def assemble_strips(strips: Iterator[Surface]) -> Surface:

@@ -13,6 +13,7 @@ import pytest
 MODULES = [
     "repro",
     "repro.core",
+    "repro.core.api",
     "repro.core.grid",
     "repro.core.spectra",
     "repro.core.spectra_ext",
@@ -44,6 +45,11 @@ MODULES = [
     "repro.parallel.tiles",
     "repro.parallel.executor",
     "repro.parallel.streaming",
+    "repro.jobs",
+    "repro.jobs.retry",
+    "repro.jobs.faults",
+    "repro.jobs.checkpoint",
+    "repro.jobs.runner",
     "repro.propagation",
     "repro.propagation.profile",
     "repro.propagation.fresnel",
@@ -58,6 +64,7 @@ MODULES = [
     "repro.scattering.kirchhoff",
     "repro.scattering.monte_carlo",
     "repro.io",
+    "repro.io.atomic",
     "repro.io.npzio",
     "repro.io.asciigrid",
     "repro.io.pgm",
@@ -118,3 +125,150 @@ def test_version_consistency():
     assert repro.__version__ == __version__
     parts = __version__.split(".")
     assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+# ---------------------------------------------------------------------------
+# Unified generator protocol (repro.core.api.SurfaceGenerator)
+# ---------------------------------------------------------------------------
+def _all_generators():
+    """One cheap instance of each of the library's four generators."""
+    import numpy as np
+
+    from repro.core.convolution import ConvolutionGenerator
+    from repro.core.grid import Grid2D
+    from repro.core.inhomogeneous import InhomogeneousGenerator
+    from repro.core.oned import Gaussian1D, ProfileGenerator
+    from repro.core.spectra import ExponentialSpectrum, GaussianSpectrum
+    from repro.fields import Circle, LayeredLayout, RegionSpec
+    from repro.fields.continuous import ContinuousGenerator
+
+    grid = Grid2D(nx=32, ny=32, lx=32.0, ly=32.0)
+    layout = LayeredLayout(
+        background=GaussianSpectrum(h=1.0, clx=4.0, cly=4.0),
+        patches=[RegionSpec(Circle(cx=16.0, cy=16.0, radius=6.0),
+                            ExponentialSpectrum(h=2.0, clx=3.0, cly=3.0),
+                            half_width=2.0)],
+    )
+    return [
+        ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=5.0, cly=5.0), grid,
+            truncation=(6, 6),
+        ),
+        InhomogeneousGenerator(layout, grid, truncation=(6, 6)),
+        ContinuousGenerator(
+            lambda cl: GaussianSpectrum(h=1.0, clx=cl, cly=cl),
+            h_field=lambda x, y: 1.0 + 0 * np.asarray(x),
+            cl_field=lambda x, y: 4.0 + 0 * np.asarray(x),
+            grid=grid, levels=2, truncation=(6, 6),
+        ),
+        ProfileGenerator(Gaussian1D(h=1.0, cl=5.0), 64, 64.0),
+    ]
+
+
+GENERATORS = {type(g).__name__: g for g in _all_generators()}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generator_satisfies_protocol(name):
+    from repro.core.api import SurfaceGenerator, protocol_violations
+
+    gen = GENERATORS[name]
+    assert isinstance(gen, SurfaceGenerator), name
+    assert protocol_violations(gen) == [], name
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generate_accepts_unified_keywords(name):
+    import numpy as np
+
+    from repro.core.api import split_result
+
+    gen = GENERATORS[name]
+    a = gen.generate(seed=5, trace=False, provenance={"run": "a"})
+    b = gen.generate(seed=5, trace=True)
+    assert np.array_equal(split_result(a)[0], split_result(b)[0]), name
+    assert a.provenance.get("run") == "a", name
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generate_window_accepts_unified_keywords(name):
+    import numpy as np
+
+    from repro.core.oned import BlockNoise1D
+    from repro.core.rng import BlockNoise
+
+    gen = GENERATORS[name]
+    if name == "ProfileGenerator":
+        noise = BlockNoise1D(seed=3)
+        a = gen.generate_window(noise, 0, 16, trace=False,
+                                provenance={"run": "a"})
+        b = gen.generate_window(noise, 0, 16, trace=True)
+    else:
+        noise = BlockNoise(seed=3)
+        a = gen.generate_window(noise, 0, 0, 16, 16, trace=False,
+                                provenance={"run": "a"})
+        b = gen.generate_window(noise, 0, 0, 16, 16, trace=True)
+    from repro.core.api import split_result
+
+    assert np.array_equal(split_result(a)[0], split_result(b)[0]), name
+    assert a.provenance.get("run") == "a", name
+
+
+def test_legacy_positional_generate_warns_but_matches():
+    """Old positional call shapes still work, with a DeprecationWarning."""
+    import numpy as np
+
+    from repro.core.api import split_result
+
+    for name, gen in GENERATORS.items():
+        new = gen.generate(seed=4)
+        with pytest.warns(DeprecationWarning):
+            old = gen.generate(4, None)  # noise positionally, legacy shape
+        assert np.array_equal(split_result(old)[0],
+                              split_result(new)[0]), name
+
+
+def test_legacy_positional_overflow_rejected():
+    gen = GENERATORS["ConvolutionGenerator"]
+    with pytest.raises(TypeError):
+        gen.generate(4, None, "wrap", False, "surplus")
+
+
+def test_height_field_behaves_like_ndarray():
+    import pickle
+
+    import numpy as np
+
+    gen = GENERATORS["ConvolutionGenerator"]
+    field = gen.generate(seed=8)
+    # plain-array behaviour legacy callers depend on
+    assert isinstance(field, np.ndarray)
+    assert float(field.std()) > 0
+    assert (field + 1.0).shape == field.shape
+    assert np.asarray(field) is not None
+    assert type(np.asarray(field)) is np.ndarray
+    # unified-consumer extras
+    assert field.provenance["method"] == "convolution"
+    assert np.shares_memory(field.heights, field)
+    clone = pickle.loads(pickle.dumps(field))
+    assert np.array_equal(clone, field)
+    assert clone.provenance == field.provenance
+
+
+def test_split_result_normalises_every_shape():
+    import numpy as np
+
+    from repro.core.api import HeightField, split_result
+    from repro.core.grid import Grid2D
+    from repro.core.surface import Surface
+
+    bare = np.ones((4, 4))
+    h, p = split_result(bare)
+    assert p is None and np.array_equal(h, bare)
+    field = HeightField.wrap(bare, {"method": "x"})
+    h, p = split_result(field)
+    assert p == {"method": "x"} and type(h) is np.ndarray
+    surf = Surface(heights=bare, grid=Grid2D(4, 4, 4.0, 4.0),
+                   provenance={"method": "y"})
+    h, p = split_result(surf)
+    assert p == {"method": "y"} and np.array_equal(h, bare)

@@ -107,6 +107,140 @@ class TestFigureCommand:
         assert s.provenance["figure"] == "fig3"
 
 
+class TestSharedExecutionFlags:
+    def test_figure_accepts_engine(self, tmp_path, capsys):
+        out = tmp_path / "f.npz"
+        rc = main(["figure", "fig1", "--n", "48", "--engine", "fft",
+                   "--npz", str(out)])
+        assert rc == 0
+        assert load_surface(out).provenance["figure"] == "fig1"
+
+    def test_inject_fault_requires_tile(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "--cl", "20", "--n", "32", "--domain", "128",
+                  "--inject-fault", "tile=0"])
+
+    def test_inject_fault_rejects_bad_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "--cl", "20", "--n", "32", "--domain", "128",
+                  "--tile", "16", "--inject-fault", "shape=oval"])
+
+    def test_generate_tiled_with_injected_fault_recovers(self, tmp_path,
+                                                         capsys):
+        plain = tmp_path / "plain.npz"
+        faulted = tmp_path / "faulted.npz"
+        base = ["generate", "--cl", "10", "--n", "48", "--domain", "192",
+                "--seed", "5", "--tile", "24"]
+        assert main(base + ["--npz", str(plain)]) == 0
+        assert main(base + ["--npz", str(faulted),
+                            "--inject-fault", "tile=1,attempt=1"]) == 0
+        a = load_surface(plain)
+        b = load_surface(faulted)
+        assert np.array_equal(a.heights, b.heights)
+        assert b.provenance["resilience"]["retries"] == 1
+
+
+@pytest.mark.faults
+class TestJobCommand:
+    BASE = ["--cl", "10", "--n", "48", "--domain", "192", "--seed", "5",
+            "--tile", "24"]
+
+    def test_run_status_complete(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        rc = main(["job", "run", "--checkpoint", str(ck)] + self.BASE)
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["job", "status", str(ck)]) == 0
+        st = json.loads(capsys.readouterr().out)
+        assert st["status"] == "complete"
+        assert st["tiles_done"] == st["tiles_total"] == 4
+
+    def test_failed_run_resumes_bit_identical(self, tmp_path, capsys):
+        ref = tmp_path / "ref.npz"
+        resumed = tmp_path / "resumed.npz"
+        main(["generate", "--npz", str(ref)] + self.BASE)
+        ck = tmp_path / "ck"
+        with pytest.raises(SystemExit) as exc:
+            main(["job", "run", "--checkpoint", str(ck),
+                  "--max-attempts", "2", "--backoff-base", "0.001",
+                  "--inject-fault", "tile=2,attempt=1",
+                  "--inject-fault", "tile=2,attempt=2"] + self.BASE)
+        assert "resume" in str(exc.value)
+        capsys.readouterr()
+        assert main(["job", "status", str(ck)]) == 0
+        st = json.loads(capsys.readouterr().out)
+        assert st["status"] == "failed"
+        assert 0 < st["tiles_done"] < st["tiles_total"]
+        # resume rebuilds the generator from the manifest recipe
+        assert main(["job", "resume", str(ck),
+                     "--npz", str(resumed)]) == 0
+        assert np.array_equal(load_surface(ref).heights,
+                              load_surface(resumed).heights)
+
+    def test_worker_kill_exits_with_resume_hint(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        with pytest.raises(SystemExit) as exc:
+            main(["job", "run", "--checkpoint", str(ck),
+                  "--backend", "process", "--no-degrade",
+                  "--max-respawns", "0",
+                  "--inject-fault", "tile=2,attempt=1,kind=kill"]
+                 + self.BASE)
+        assert "resume" in str(exc.value)
+        capsys.readouterr()
+        assert main(["job", "status", str(ck)]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "failed"
+
+    def test_strips_mode(self, tmp_path, capsys):
+        ref = tmp_path / "ref.npz"
+        out = tmp_path / "out.npz"
+        main(["generate", "--npz", str(ref)] + self.BASE)
+        ck = tmp_path / "ck"
+        rc = main(["job", "run", "--checkpoint", str(ck),
+                   "--mode", "strips", "--npz", str(out)] + self.BASE)
+        assert rc == 0
+        # strip jobs cover stream_strips' windows, not the square tiles
+        # of the tiled mode, so the oracle is the assembled strip stream
+        import repro
+        from repro.core import BlockNoise
+        from repro.parallel import assemble_strips, stream_strips
+
+        gen = repro.ConvolutionGenerator(
+            repro.GaussianSpectrum(h=1.0, clx=10.0, cly=10.0),
+            repro.Grid2D(nx=48, ny=48, lx=192.0, ly=192.0),
+        )
+        oracle = assemble_strips(
+            stream_strips(gen, BlockNoise(seed=5), 48, 48, 24)
+        )
+        assert np.array_equal(load_surface(out).heights, oracle.heights)
+
+    def test_run_refuses_existing_checkpoint(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        assert main(["job", "run", "--checkpoint", str(ck)] + self.BASE) == 0
+        with pytest.raises(SystemExit):
+            main(["job", "run", "--checkpoint", str(ck)] + self.BASE)
+
+    def test_status_missing_checkpoint(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["job", "status", str(tmp_path / "nope")])
+
+    def test_run_requires_tile(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["job", "run", "--checkpoint", str(tmp_path / "ck"),
+                  "--cl", "10", "--n", "48"])
+
+    def test_figure_job(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        rc = main(["job", "run", "--checkpoint", str(ck),
+                   "--figure", "fig1", "--n", "48", "--domain", "192",
+                   "--tile", "24"])
+        assert rc == 0
+        capsys.readouterr()
+        main(["job", "status", str(ck)])
+        st = json.loads(capsys.readouterr().out)
+        assert st["status"] == "complete"
+        assert st["generator"]["type"] == "InhomogeneousGenerator"
+
+
 class TestInspect:
     def test_inspect_round_trip(self, tmp_path, capsys):
         out = tmp_path / "s.npz"
