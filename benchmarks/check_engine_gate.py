@@ -40,6 +40,13 @@ serial tiled run and fails when it costs more than
 ``benchmarks/out/jobs_overhead.json``; ``--skip-jobs-overhead`` skips
 it.
 
+Also measures the overhead of the out-of-core store sink
+(``generate_tiled(..., out=SurfaceStore)``: async double-buffered
+writeback of every tile to disk) against the in-memory tiled run at
+4096^2 and fails when it costs more than ``--max-store-overhead``
+(default 5%).  Recorded in ``benchmarks/out/store_overhead.json``;
+``--skip-store-overhead`` skips it.
+
 Usage (CI tier-2, after running the benches)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_fft.py \\
@@ -67,6 +74,9 @@ DEFAULT_OBS_RESULTS = (
 )
 DEFAULT_JOBS_RESULTS = (
     Path(__file__).resolve().parent / "out" / "jobs_overhead.json"
+)
+DEFAULT_STORE_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "store_overhead.json"
 )
 
 # Overhead-measurement scenario: the engine bench's homogeneous FFT
@@ -246,6 +256,90 @@ def measure_jobs_overhead() -> dict:
     }
 
 
+def measure_store_overhead() -> dict:
+    """Time the 4096^2 serial tiled run in-memory vs store-backed.
+
+    The store path adds the async writeback pipeline: every 512^2 tile
+    crosses a bounded queue and is ``pwrite``-written to the heights
+    file by a background thread while the next tile computes.  The gate
+    holds that full-surface disk writeback to a small fraction of the
+    in-memory run.  Same pairing/median methodology as
+    ``measure_jobs_overhead`` (the budget sits near machine noise).
+    """
+    import shutil
+    import tempfile
+
+    _import_repro()
+    from repro.core.convolution import ConvolutionGenerator
+    from repro.core.grid import Grid2D
+    from repro.core.rng import BlockNoise
+    from repro.core.spectra import GaussianSpectrum
+    from repro.io.store import SurfaceStore
+    from repro.parallel.executor import generate_tiled
+    from repro.parallel.tiles import TilePlan
+
+    surface_n = 4096
+    grid = Grid2D(nx=256, ny=256, lx=256.0, ly=256.0)  # dx = 1
+    spec = GaussianSpectrum(h=1.0, clx=24.0, cly=24.0)
+    gen = ConvolutionGenerator(spec, grid, truncation=OBS_TRUNC,
+                               engine="fft")
+    noise = BlockNoise(seed=47)
+    plan = TilePlan(total_nx=surface_n, total_ny=surface_n,
+                    tile_nx=OBS_TILE, tile_ny=OBS_TILE)
+
+    def run_memory() -> float:
+        t0 = time.perf_counter()
+        generate_tiled(gen, noise, plan, backend="serial")
+        return time.perf_counter() - t0
+
+    def run_store() -> float:
+        scratch = tempfile.mkdtemp(prefix="store-gate-")
+        try:
+            store = SurfaceStore.create(
+                Path(scratch) / "s", shape=(surface_n, surface_n),
+                chunk=(OBS_TILE, OBS_TILE),
+            )
+            t0 = time.perf_counter()
+            generate_tiled(gen, noise, plan, backend="serial", out=store)
+            elapsed = time.perf_counter() - t0
+            store.close()
+            return elapsed
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    # warm plan cache, FFT workspaces and both schedulers
+    gen.generate_window(noise, 0, 0, OBS_TILE, OBS_TILE)
+    run_memory()
+    run_store()
+
+    times_memory, times_store, ratios = [], [], []
+    for k in range(OVERHEAD_REPEATS):
+        if k % 2 == 0:
+            tm, ts = run_memory(), run_store()
+        else:
+            ts, tm = run_store(), run_memory()
+        times_memory.append(tm)
+        times_store.append(ts)
+        ratios.append(ts / tm)
+    overhead = sorted(ratios)[len(ratios) // 2] - 1.0
+    return {
+        "claim": "store-backed writeback costs <=5% over the in-memory "
+                 "tiled run at 4096^2",
+        "surface": [surface_n, surface_n],
+        "tile": [OBS_TILE, OBS_TILE],
+        "chunk": [OBS_TILE, OBS_TILE],
+        "bytes_written_per_run": surface_n * surface_n * 8,
+        "repeats": OVERHEAD_REPEATS,
+        "timings_s": {
+            "memory_best": min(times_memory),
+            "store_best": min(times_store),
+            "memory_all": times_memory,
+            "store_all": times_store,
+        },
+        "overhead": overhead,
+    }
+
+
 def check(results: dict, max_slowdown: float, min_speedup: float,
           max_deviation: float) -> list:
     """Return the list of human-readable gate failures (empty = pass)."""
@@ -344,6 +438,17 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-jobs-overhead", action="store_true",
                         help="skip the live resilient-executor overhead "
                              "measurement")
+    parser.add_argument("--max-store-overhead", type=float, default=0.05,
+                        help="allowed relative overhead of the store-backed "
+                             "writeback path vs the in-memory tiled run "
+                             "(default 0.05 = 5%%)")
+    parser.add_argument("--store-results", type=Path,
+                        default=DEFAULT_STORE_RESULTS,
+                        help="where to record the store-overhead row "
+                             "(default: benchmarks/out/store_overhead.json)")
+    parser.add_argument("--skip-store-overhead", action="store_true",
+                        help="skip the live store-writeback overhead "
+                             "measurement")
     args = parser.parse_args(argv)
 
     failures = []
@@ -379,6 +484,23 @@ def main(argv=None) -> int:
                 f"resilient executor overhead "
                 f"{jobs_row['overhead'] * 100:.2f}% exceeds the "
                 f"{args.max_jobs_overhead * 100:.1f}% budget"
+            )
+
+    if not args.skip_store_overhead:
+        store_row = measure_store_overhead()
+        args.store_results.parent.mkdir(exist_ok=True)
+        args.store_results.write_text(json.dumps(store_row, indent=2))
+        print(
+            f"store gate: memory "
+            f"{store_row['timings_s']['memory_best']:.3f}s, store "
+            f"{store_row['timings_s']['store_best']:.3f}s, overhead "
+            f"{store_row['overhead'] * 100:.2f}%"
+        )
+        if not store_row["overhead"] <= args.max_store_overhead:  # NaN too
+            failures.append(
+                f"store writeback overhead "
+                f"{store_row['overhead'] * 100:.2f}% exceeds the "
+                f"{args.max_store_overhead * 100:.1f}% budget"
             )
 
     try:

@@ -180,6 +180,22 @@ def _resilience_kwargs(args: argparse.Namespace) -> dict:
     return {"retry": RetryPolicy(), "fault_plan": fault_plan}
 
 
+def _store_from_args(args: argparse.Namespace, grid,
+                     chunk: tuple, meta: dict):
+    """Create the ``--store`` target, or ``None`` when the flag is unset."""
+    if not getattr(args, "store", None):
+        return None
+    from .io.store import SurfaceStore
+
+    try:
+        return SurfaceStore.create(
+            args.store, shape=grid.shape, chunk=chunk,
+            dx=grid.dx, dy=grid.dy, meta=meta,
+        )
+    except (FileExistsError, ValueError) as exc:
+        raise SystemExit(f"--store: {exc}")
+
+
 def _emit_surface(surface: Surface, args: argparse.Namespace) -> None:
     if obs.enabled():
         # Saved alongside the surface so ``inspect --timings`` can render
@@ -187,7 +203,15 @@ def _emit_surface(surface: Surface, args: argparse.Namespace) -> None:
         surface.provenance["obs_metrics"] = (
             obs.get_recorder().metrics.as_dict()
         )
-    print(json.dumps(surface.summary(), indent=2))
+    store_info = surface.provenance.get("store")
+    if store_info:
+        # Out-of-core result: computing the usual summary statistics
+        # would page the entire file through RAM, so report the store
+        # record instead (npz/pgm/preview below remain opt-in scans).
+        print(json.dumps({"shape": list(surface.shape), **store_info},
+                         indent=2))
+    else:
+        print(json.dumps(surface.summary(), indent=2))
     if args.npz:
         save_surface(args.npz, surface)
         print(f"wrote {args.npz}")
@@ -219,15 +243,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             raise SystemExit("--tile must be positive")
         plan = TilePlan(total_nx=args.n, total_ny=args.n,
                         tile_nx=args.tile, tile_ny=args.tile)
+        store = _store_from_args(args, grid,
+                                 chunk=(args.tile, args.tile),
+                                 meta={"spectrum": spectrum.to_dict(),
+                                       "seed": args.seed})
         surface = generate_tiled(
             gen, BlockNoise(seed=args.seed), plan,
             backend=args.backend, workers=args.workers,
+            out=store,
             **resilience,
         )
         surface.provenance["spectrum"] = spectrum.to_dict()
         surface.provenance["seed"] = args.seed
         _emit_surface(surface, args)
+        if store is not None:
+            store.close()
+            print(f"wrote store {store.path}")
         return 0
+    if getattr(args, "store", None):
+        raise SystemExit("--store requires --tile")
     heights = gen.generate(seed=args.seed)
     surface = Surface(
         heights=np.asarray(heights),
@@ -344,6 +378,15 @@ def _cmd_job_run(args: argparse.Namespace) -> int:
         )
     gen, rebuild = _job_generator_and_rebuild(args)
     noise = BlockNoise(seed=args.seed)
+    # strips mode schedules one full-width chunk per strip, so the
+    # store bitmap indexes strips exactly like the tiled bitmap
+    # indexes tiles
+    store = _store_from_args(
+        args, gen.grid,
+        chunk=((args.tile, args.n) if args.mode == "strips"
+               else (args.tile, args.tile)),
+        meta={"seed": args.seed},
+    )
     common = dict(
         checkpoint=args.checkpoint,
         backend=args.backend,
@@ -352,6 +395,7 @@ def _cmd_job_run(args: argparse.Namespace) -> int:
         fault_plan=_fault_plan_from_args(args),
         checkpoint_every=args.checkpoint_every,
         rebuild=rebuild,
+        store=store,
     )
     try:
         if args.mode == "strips":
@@ -366,9 +410,14 @@ def _cmd_job_run(args: argparse.Namespace) -> int:
     except FileExistsError as exc:
         raise SystemExit(str(exc))
     except (TileFailedError, FailureBudgetExceeded, PoolRespawnLimit) as exc:
+        if store is not None:
+            store.close()  # persist what the writer durably completed
         raise _job_failed(exc, args.checkpoint)
     surface.provenance["seed"] = args.seed
     _emit_surface(surface, args)
+    if store is not None:
+        store.close()
+        print(f"wrote store {store.path}")
     return 0
 
 
@@ -540,6 +589,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_args(g)
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--truncation", type=float, default=0.9999)
+    g.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="write heights into an out-of-core SurfaceStore directory "
+             "(chunked npy + bitmap; requires --tile; peak RSS stays "
+             "O(tile), independent of --n)",
+    )
     _add_output_args(g)
     g.set_defaults(func=_cmd_generate)
 
@@ -571,6 +626,12 @@ def build_parser() -> argparse.ArgumentParser:
     jr.add_argument(
         "--checkpoint", required=True, metavar="DIR",
         help="checkpoint directory (created; must not already hold a job)",
+    )
+    jr.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="stream heights into an out-of-core SurfaceStore instead "
+             "of RAM + state.npz; resume skips the chunks its bitmap "
+             "has durably recorded",
     )
     jr.add_argument(
         "--mode", choices=("tiled", "strips"), default="tiled",

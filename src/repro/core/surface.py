@@ -48,7 +48,22 @@ class Surface:
     provenance: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        h = np.asarray(self.heights, dtype=float)
+        h = self.heights
+        if isinstance(h, np.memmap) and h.dtype == np.float64:
+            # Out-of-core heights (repro.io.store / mmap_mode loads):
+            # keep the memmap and skip the eager finite scan — paging a
+            # larger-than-RAM file through RAM here would defeat the
+            # point of the disk-backed sink.  Statistics accessors
+            # still work; they fault pages in as touched.
+            if h.ndim != 2:
+                raise ValueError(f"heights must be 2D, got ndim={h.ndim}")
+            if h.shape != self.grid.shape:
+                raise ValueError(
+                    f"heights shape {h.shape} does not match grid shape "
+                    f"{self.grid.shape}"
+                )
+            return
+        h = np.asarray(h, dtype=float)
         if h.ndim != 2:
             raise ValueError(f"heights must be 2D, got ndim={h.ndim}")
         if h.shape != self.grid.shape:

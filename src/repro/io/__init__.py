@@ -4,6 +4,12 @@ from .asciigrid import load_ascii_grid, save_ascii_grid
 from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_npz
 from .npzio import load_surface, save_surface
 from .objmesh import save_obj
+from .store import (
+    StoreCorrupt,
+    StoreWriter,
+    SurfaceStore,
+    stream_to_store,
+)
 from .streamed import load_streamed_surface, stream_to_npy
 from .pgm import (
     ascii_preview,
@@ -18,6 +24,7 @@ __all__ = [
     "save_surface", "load_surface", "save_obj",
     "save_ascii_grid", "load_ascii_grid",
     "atomic_write_bytes", "atomic_write_json", "atomic_write_npz",
+    "SurfaceStore", "StoreWriter", "StoreCorrupt", "stream_to_store",
     "stream_to_npy", "load_streamed_surface",
     "write_pgm", "write_ppm", "render_gray", "render_hillshade",
     "render_terrain", "ascii_preview",

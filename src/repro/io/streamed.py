@@ -24,6 +24,7 @@ from ..core.rng import BlockNoise
 from ..core.surface import Surface
 from ..parallel.executor import WindowedGenerator, _tile_heights
 from ..parallel.tiles import Tile
+from .atomic import atomic_write_json
 
 __all__ = ["stream_to_npy", "load_streamed_surface"]
 
@@ -76,7 +77,9 @@ def stream_to_npy(
         "noise_block": noise.block,
         "method": "streamed-npy",
     }
-    Path(str(path) + ".meta.json").write_text(json.dumps(meta, indent=2))
+    # Atomic (tmp sibling + rename): a crash mid-write must never leave
+    # a truncated-but-parseable sidecar next to a valid heights file.
+    atomic_write_json(Path(str(path) + ".meta.json"), meta)
     return path
 
 

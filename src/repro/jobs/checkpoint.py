@@ -14,6 +14,14 @@ A checkpoint is a directory holding two atomically-written files:
     The partial ``heights`` array plus the boolean ``done`` mask over
     the plan's row-major tile order.
 
+Store-backed jobs (``store=`` on :func:`repro.jobs.run_tiled` /
+:func:`~repro.jobs.run_strips`) keep **no** ``state.npz``: the heights
+live in the :class:`repro.io.store.SurfaceStore` and the store's
+per-chunk bitmap *is* the done mask — the manifest records the store's
+path under ``"store"`` and progress is read back from the bitmap on
+load.  Because the store writer marks a chunk only after its durable
+write, a resumed store job can never trust data that is not on disk.
+
 Because tile values are pure functions of ``(generator, noise seed,
 tile)``, a checkpoint plus the same generator configuration is
 sufficient for :func:`repro.jobs.resume` to finish the run with heights
@@ -82,12 +90,17 @@ class JobCheckpoint:
     ``heights`` is the live output array — :func:`repro.jobs.run_tiled`
     hands it to the executor as ``out=``, so marking a tile done and
     calling :meth:`write` persists exactly what has been computed.
+    For store-backed jobs ``heights`` is ``None``, ``store`` holds the
+    open :class:`~repro.io.store.SurfaceStore`, and ``done`` *is* the
+    store's live chunk bitmap (shared array, maintained by the store's
+    writer).
     """
 
     path: Path
     manifest: Dict[str, Any]
-    heights: np.ndarray
+    heights: Optional[np.ndarray]
     done: np.ndarray
+    store: Optional[Any] = None
 
     # -- lifecycle ---------------------------------------------------------
     @classmethod
@@ -104,6 +117,7 @@ class JobCheckpoint:
         generator: Any,
         rebuild: Optional[dict] = None,
         strips: Optional[dict] = None,
+        store: Optional[Any] = None,
     ) -> "JobCheckpoint":
         path = Path(path)
         if (path / MANIFEST_NAME).exists():
@@ -112,6 +126,8 @@ class JobCheckpoint:
                 f"repro.jobs.resume() (or delete it) instead of "
                 f"starting a new job there"
             )
+        if store is not None:
+            store.validate_plan(plan)  # tile index must equal chunk index
         path.mkdir(parents=True, exist_ok=True)
         manifest: Dict[str, Any] = {
             "format": FORMAT_VERSION,
@@ -139,12 +155,19 @@ class JobCheckpoint:
         }
         if strips is not None:
             manifest["strips"] = strips
-        ckpt = cls(
-            path=path,
-            manifest=manifest,
-            heights=np.zeros((plan.total_nx, plan.total_ny), dtype=float),
-            done=np.zeros(len(plan), dtype=bool),
-        )
+        if store is not None:
+            manifest["store"] = {"path": str(Path(store.path).resolve())}
+            ckpt = cls(
+                path=path, manifest=manifest,
+                heights=None, done=store.done, store=store,
+            )
+        else:
+            ckpt = cls(
+                path=path,
+                manifest=manifest,
+                heights=np.zeros((plan.total_nx, plan.total_ny), dtype=float),
+                done=np.zeros(len(plan), dtype=bool),
+            )
         ckpt.write()
         return ckpt
 
@@ -164,10 +187,20 @@ class JobCheckpoint:
                 f"unsupported checkpoint format {fmt!r} at {path} "
                 f"(this build reads {FORMAT_VERSION!r})"
             )
+        plan = _plan_from_manifest(manifest)
+        store_spec = manifest.get("store")
+        if store_spec is not None:
+            # heights + done live in the store; the bitmap — written
+            # only after each durable chunk write — is authoritative.
+            from ..io.store import SurfaceStore
+
+            store = SurfaceStore.open(store_spec["path"], mode="r+")
+            store.validate_plan(plan)
+            return cls(path=path, manifest=manifest,
+                       heights=None, done=store.done, store=store)
         with np.load(path / STATE_NAME) as state:
             heights = np.array(state["heights"], dtype=float)
             done = np.array(state["done"], dtype=bool)
-        plan = _plan_from_manifest(manifest)
         if heights.shape != (plan.total_nx, plan.total_ny):
             raise ValueError(
                 f"checkpoint state shape {heights.shape} does not match "
@@ -205,7 +238,17 @@ class JobCheckpoint:
         return [int(i) for i in np.flatnonzero(self.done)]
 
     def mark_done(self, index: int) -> None:
+        if self.store is not None:
+            # The store's writer owns the bitmap and marks a chunk only
+            # after its durable write; the executor's on_tile hook fires
+            # at queue submission, which must not count as done.
+            return
         self.done[index] = True
+
+    @property
+    def out_target(self) -> Any:
+        """What the executor should fill: the store or the live array."""
+        return self.store if self.store is not None else self.heights
 
     # -- persistence -------------------------------------------------------
     def write(self, status: Optional[str] = None) -> None:
@@ -223,8 +266,9 @@ class JobCheckpoint:
                        {"tiles_done":
                         self.manifest["progress"]["tiles_done"]}
                        if obs.enabled() else None):
-            atomic_write_npz(self.path / STATE_NAME,
-                             heights=self.heights, done=self.done)
+            if self.store is None:
+                atomic_write_npz(self.path / STATE_NAME,
+                                 heights=self.heights, done=self.done)
             atomic_write_json(self.path / MANIFEST_NAME, self.manifest)
         if obs.enabled():
             obs.add("jobs.checkpoint_writes")
@@ -247,6 +291,8 @@ class JobCheckpoint:
             "generator": self.manifest.get("generator"),
             "resilience": self.manifest.get("resilience"),
             "error": self.manifest.get("error"),
+            **({"store": self.manifest["store"]}
+               if self.manifest.get("store") else {}),
         }
 
 

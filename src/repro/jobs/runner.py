@@ -91,7 +91,7 @@ def _execute(
                 generator, noise, plan,
                 backend=backend, workers=workers,
                 retry=policy, fault_plan=fault_plan,
-                out=ckpt.heights, skip=skip, on_tile=on_tile,
+                out=ckpt.out_target, skip=skip, on_tile=on_tile,
             )
     except BaseException as exc:
         ckpt.manifest["error"] = repr(exc)
@@ -121,6 +121,7 @@ def run_tiled(
     fault_plan: Optional[FaultPlan] = None,
     checkpoint_every: int = 1,
     rebuild: Optional[dict] = None,
+    store: Optional[Any] = None,
 ) -> Surface:
     """Checkpointed tiled generation (resilient ``generate_tiled``).
 
@@ -129,13 +130,17 @@ def run_tiled(
     state, ``checkpoint_every`` sets how many completed tiles trigger a
     state flush, and ``rebuild`` optionally records a recipe (spectrum
     or figure parameters) from which :func:`resume` can reconstruct the
-    generator when the caller cannot pass one.
+    generator when the caller cannot pass one.  ``store`` (a
+    :class:`repro.io.store.SurfaceStore` whose chunk grid equals the
+    plan) makes the job out-of-core: heights stream to the store, the
+    checkpoint keeps no ``state.npz``, and resume skips the chunks the
+    store's bitmap has durably recorded.
     """
     policy = retry if retry is not None else RetryPolicy()
     ckpt = JobCheckpoint.create(
         checkpoint, kind="tiled", plan=plan, noise=noise,
         backend=backend, workers=workers, retry=policy,
-        generator=generator, rebuild=rebuild,
+        generator=generator, rebuild=rebuild, store=store,
     )
     return _execute(
         ckpt, generator, noise, plan,
@@ -172,6 +177,7 @@ def run_strips(
     fault_plan: Optional[FaultPlan] = None,
     checkpoint_every: int = 1,
     rebuild: Optional[dict] = None,
+    store: Optional[Any] = None,
 ) -> Surface:
     """Checkpointed strip-stream generation.
 
@@ -180,7 +186,9 @@ def run_strips(
     assembled surface — bit-identical to
     ``assemble_strips(stream_strips(...))`` — while gaining every
     resilience feature of the tiled path: retries, worker-crash
-    recovery, degradation, and resumable checkpoints.
+    recovery, degradation, and resumable checkpoints.  ``store`` (one
+    chunk per strip: ``chunk=(strip_nx, width_ny)``) streams the
+    strips to disk instead of RAM, exactly as in :func:`run_tiled`.
     """
     policy = retry if retry is not None else RetryPolicy()
     plan = strip_plan(total_nx, width_ny, strip_nx, x0, y0)
@@ -190,6 +198,7 @@ def run_strips(
         generator=generator, rebuild=rebuild,
         strips={"total_nx": total_nx, "width_ny": width_ny,
                 "strip_nx": strip_nx, "x0": x0, "y0": y0},
+        store=store,
     )
     surface = _execute(
         ckpt, generator, noise, plan,

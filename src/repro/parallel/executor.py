@@ -347,7 +347,7 @@ class _ResilientRun:
     """
 
     def __init__(self, generator, noise, plan, backend, workers, policy,
-                 fault_plan, out, skip, on_tile, agg):
+                 fault_plan, out, skip, on_tile, agg, writer=None):
         self.generator = generator
         self.noise = noise
         self.plan = plan
@@ -355,6 +355,8 @@ class _ResilientRun:
         self.policy = policy
         self.fault_plan = fault_plan
         self.out = out
+        self.writer = writer  # async store writeback (out is None then)
+        self.shape = (plan.total_nx, plan.total_ny)
         self.on_tile = on_tile
         self.agg = agg
         tiles = plan.tiles()
@@ -388,10 +390,16 @@ class _ResilientRun:
         if self.fault_plan is not None:
             self.fault_plan.fire(task.idx, task.attempt)
 
-    def _place(self, tile: Tile, values: np.ndarray) -> None:
+    def _place(self, idx: int, tile: Tile, values: np.ndarray) -> None:
         ix = tile.x0 - self.plan.origin_x
         iy = tile.y0 - self.plan.origin_y
-        self.out[ix : ix + tile.nx, iy : iy + tile.ny] = values
+        if self.writer is not None:
+            # Hand the tile to the async writeback path; the writer
+            # marks the store's chunk bitmap only after the durable
+            # write, so crash-resume never trusts unwritten data.
+            self.writer.submit(idx, ix, iy, values)
+        else:
+            self.out[ix : ix + tile.nx, iy : iy + tile.ny] = values
 
     def _complete(self, task: _Task, prov: Optional[dict]) -> None:
         _merge_tile_provenance(self.agg, _slim_provenance(prov))
@@ -457,7 +465,7 @@ class _ResilientRun:
                 self.pending.appendleft(task._replace(attempt=task.attempt + 1))
                 continue
             self.busy_s += dt
-            self._place(task.tile, heights)
+            self._place(task.idx, task.tile, heights)
             self._complete(task, prov)
 
     def _thread_tile(self, task: _Task, submit_ns: Optional[int]):
@@ -490,7 +498,7 @@ class _ResilientRun:
                         inflight[submit(retry)] = retry
                         continue
                     self.busy_s += dt
-                    self._place(task.tile, heights)
+                    self._place(task.idx, task.tile, heights)
                     self._complete(task, prov)
 
     def _run_process(self) -> None:
@@ -506,18 +514,19 @@ class _ResilientRun:
         incrementally, so already-done (skipped/resumed) regions of
         ``out`` are never overwritten with uninitialised memory.
         """
-        shm = shared_memory.SharedMemory(create=True, size=self.out.nbytes)
+        nbytes = self.shape[0] * self.shape[1] * np.dtype(np.float64).itemsize
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
         recorder = obs.get_recorder()
         try:
             view = np.ndarray(
-                self.out.shape, dtype=np.float64, buffer=shm.buf
+                self.shape, dtype=np.float64, buffer=shm.buf
             )
             while self.pending:
                 pool = cf.ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_pool_init,
                     initargs=(self.generator, self.noise, shm.name,
-                              self.out.shape,
+                              self.shape,
                               (self.plan.origin_x, self.plan.origin_y),
                               obs.enabled(), self.fault_plan),
                 )
@@ -566,9 +575,20 @@ class _ResilientRun:
                             tile = task.tile
                             ix = tile.x0 - self.plan.origin_x
                             iy = tile.y0 - self.plan.origin_y
-                            self.out[ix:ix + tile.nx, iy:iy + tile.ny] = (
-                                view[ix:ix + tile.nx, iy:iy + tile.ny]
-                            )
+                            if self.writer is not None:
+                                # copy out of the shared buffer before
+                                # handing over: the segment outlives no
+                                # respawn and workers may rewrite it
+                                self.writer.submit(
+                                    task.idx, ix, iy,
+                                    np.array(view[ix:ix + tile.nx,
+                                                  iy:iy + tile.ny]),
+                                )
+                            else:
+                                self.out[ix:ix + tile.nx,
+                                         iy:iy + tile.ny] = (
+                                    view[ix:ix + tile.nx, iy:iy + tile.ny]
+                                )
                             self.saw_worker_delta = True
                             self.cache_delta["hits"] += delta["hits"]
                             self.cache_delta["misses"] += delta["misses"]
@@ -649,12 +669,24 @@ def generate_tiled(
         Preallocated float64 output of shape ``(plan.total_nx,
         plan.total_ny)`` to fill in place — the checkpoint/resume hook:
         tiles listed in ``skip`` keep whatever ``out`` already holds.
+        May also be a :class:`repro.io.store.SurfaceStore` whose chunk
+        grid equals the tile plan: tiles are then streamed to disk
+        through an async :class:`~repro.io.store.StoreWriter` (the
+        full array never exists in RAM; the returned surface holds a
+        read-only memmap) and the store's chunk bitmap records
+        completion after each durable write.  The process backend
+        still allocates a full-size shared-memory staging buffer — use
+        serial/thread backends when the output exceeds RAM.
     skip:
         Indices into ``plan.tiles()`` (row-major) already completed.
     on_tile:
         ``on_tile(index, tile)`` called in the parent after that tile's
         data has landed in the output array (any backend) — the
-        incremental-checkpoint hook of :mod:`repro.jobs`.
+        incremental-checkpoint hook of :mod:`repro.jobs`.  With a
+        store target the hook fires at *submission* to the writeback
+        queue; durable completion is what the store's own bitmap
+        records, so store-backed checkpoints must trust the bitmap,
+        not this hook (``repro.jobs`` does).
 
     Returns
     -------
@@ -672,7 +704,16 @@ def generate_tiled(
             f"unknown backend {backend!r}; expected serial|thread|process"
         )
     grid = generator.grid  # type: ignore[attr-defined]
-    if out is not None:
+    # Duck-typed out-of-core target (repro.io.store.SurfaceStore): the
+    # executor must not import repro.io (which imports this module), so
+    # a store is recognised by its write/chunk protocol instead.
+    store = out if (out is not None and hasattr(out, "write_window")
+                    and hasattr(out, "chunk_shape")) else None
+    writer = None
+    if store is not None:
+        store.validate_plan(plan)
+        out = None
+    elif out is not None:
         out = np.asarray(out)
         if out.shape != (plan.total_nx, plan.total_ny):
             raise ValueError(
@@ -693,6 +734,7 @@ def generate_tiled(
     resilient = (
         retry is not None or fault_plan is not None
         or skip is not None or on_tile is not None
+        or store is not None
     )
     run: Optional[_ResilientRun] = None
 
@@ -706,12 +748,23 @@ def generate_tiled(
     } if obs.enabled() else None)
     with run_span:
         if resilient:
+            if store is not None:
+                writer = store.writer()
             run = _ResilientRun(
                 generator, noise, plan, backend, n,
                 retry if retry is not None else _default_retry_policy(),
-                fault_plan, out, skip, on_tile, agg,
+                fault_plan, out, skip, on_tile, agg, writer=writer,
             )
-            run.run()
+            try:
+                run.run()
+            except BaseException:
+                if writer is not None:
+                    # drain what's queued but don't mask the original
+                    # error with a secondary write failure
+                    writer.close(raise_pending=False)
+                raise
+            if writer is not None:
+                writer.close()  # re-raises a deferred write error
             busy_s = run.busy_s
             if run.saw_worker_delta:
                 cache_delta = run.cache_delta
@@ -822,8 +875,15 @@ def generate_tiled(
             "executor.worker_utilization",
             busy_s / (pool_size * run_span.duration_s),
         )
+    if store is not None:
+        provenance["store"] = store.progress_summary()
+        # Hand back the on-disk result as a read-only memmap; Surface
+        # keeps it lazy, so the full field still never enters RAM.
+        heights = store.heights("r")
+    else:
+        heights = out
     return Surface(
-        heights=out,
+        heights=heights,
         grid=big_grid,
         origin=origin,
         provenance=provenance,

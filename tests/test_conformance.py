@@ -1,0 +1,149 @@
+"""Seeded statistical conformance gates for generation paths.
+
+The paper's contract (Section 2.1, eqns 1-4) is statistical: heights
+are zero-mean Gaussian with variance ``h^2`` and the prescribed
+autocorrelation.  This suite pins those properties — for every spectrum
+family the paper treats — against **both** production paths:
+
+* the in-memory tiled executor, and
+* the out-of-core store-backed tiled path (which must be bit-identical
+  to it, asserted here at ensemble scale as well).
+
+All seeds are fixed, so every statistic is a deterministic number; the
+tolerances (centralised in :mod:`tests.tolerances`) are calibrated
+margins against FFT rounding drift, not flaky confidence intervals.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.convolution import ConvolutionGenerator
+from repro.core.grid import Grid2D
+from repro.core.rng import BlockNoise
+from repro.core.spectra import (
+    ExponentialSpectrum,
+    GaussianSpectrum,
+    PowerLawSpectrum,
+)
+from repro.core.weights import weight_array, weight_autocorrelation
+from repro.io.store import SurfaceStore
+from repro.parallel import TilePlan, generate_tiled
+from repro.stats.acf import acf2d_unbiased
+from repro.validation.ensemble import ensemble_variance
+
+from tests.tolerances import (
+    acf_lag_cl_atol,
+    ensemble_variance_rtol,
+    ks_stat_max,
+)
+
+N = 96
+TILE = 48
+CL = 10.0  # clx = cly; lag index CL/dx = 10 on the unit-spacing grid
+LAG = 10
+SEED0 = 100
+NSEEDS = 8
+POOL_STRIDE = 7  # decimate pooled samples to tame spatial correlation
+
+SPECTRA = [
+    GaussianSpectrum(h=1.0, clx=CL, cly=CL),
+    ExponentialSpectrum(h=1.0, clx=CL, cly=CL),
+    PowerLawSpectrum(h=1.0, clx=CL, cly=CL, order=2.0),
+]
+
+
+@pytest.fixture(scope="module", params=SPECTRA, ids=lambda s: s.kind)
+def spectrum(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def gen(spectrum):
+    return ConvolutionGenerator(
+        spectrum, Grid2D(nx=N, ny=N, lx=float(N), ly=float(N))
+    )
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return TilePlan(total_nx=N, total_ny=N, tile_nx=TILE, tile_ny=TILE)
+
+
+@pytest.fixture(scope="module")
+def fields_memory(gen, plan):
+    return [
+        generate_tiled(gen, BlockNoise(seed=SEED0 + i), plan,
+                       backend="serial").heights
+        for i in range(NSEEDS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def fields_store(gen, plan, spectrum, tmp_path_factory):
+    root = tmp_path_factory.mktemp(f"conformance-{spectrum.kind}")
+    fields = []
+    for i in range(NSEEDS):
+        with SurfaceStore.create(root / f"s{i}", shape=(N, N),
+                                 chunk=(TILE, TILE)) as store:
+            generate_tiled(gen, BlockNoise(seed=SEED0 + i), plan,
+                           backend="serial", out=store)
+            fields.append(np.array(store.heights()))
+    return fields
+
+
+@pytest.fixture(scope="module", params=["memory", "store"])
+def fields(request, fields_memory, fields_store):
+    return fields_memory if request.param == "memory" else fields_store
+
+
+@pytest.fixture(scope="module")
+def discrete_variance(spectrum, gen):
+    return float(weight_array(spectrum, gen.grid).sum())
+
+
+def test_store_path_bit_identical_at_ensemble_scale(fields_memory,
+                                                    fields_store):
+    for mem, st in zip(fields_memory, fields_store):
+        np.testing.assert_array_equal(st, mem)
+
+
+def test_height_marginal_ks(spectrum, fields, discrete_variance):
+    """Pooled height samples follow N(0, sqrt(sum(w)))."""
+    pooled = np.concatenate([f.ravel()[::POOL_STRIDE] for f in fields])
+    ks = stats.kstest(pooled, "norm",
+                      args=(0.0, np.sqrt(discrete_variance)))
+    assert ks.statistic < ks_stat_max(spectrum), (
+        f"{spectrum.kind}: KS statistic {ks.statistic:.4f} exceeds "
+        f"{ks_stat_max(spectrum)}"
+    )
+    # and the mean is pinned near zero — with correlation length CL the
+    # effective sample count is only ~(N/CL)^2 per field, so the bound
+    # is ~4 sigma of the mean, not a naive i.i.d. interval
+    assert abs(pooled.mean()) < 0.15 * np.sqrt(discrete_variance)
+
+
+def test_rms_height(spectrum, fields, discrete_variance):
+    """Ensemble variance converges to the discrete target ``sum(w)``."""
+    measured = ensemble_variance(
+        lambda seed: fields[seed - SEED0], NSEEDS, seed0=SEED0
+    )
+    rel = abs(measured - discrete_variance) / discrete_variance
+    assert rel < ensemble_variance_rtol(spectrum), (
+        f"{spectrum.kind}: variance {measured:.4f} vs target "
+        f"{discrete_variance:.4f} (rel {rel:.4f})"
+    )
+
+
+def test_acf_at_lag_cl(spectrum, gen, fields, discrete_variance):
+    """Ensemble ACF at lag ``(clx, 0)`` matches the discrete target."""
+    target = weight_autocorrelation(spectrum, gen.grid)[LAG, 0]
+    acf = np.zeros((LAG + 1, LAG + 1))
+    for f in fields:
+        acf += acf2d_unbiased(f, max_lag=(LAG, LAG))
+    acf /= len(fields)
+    diff = abs(acf[LAG, 0] - target) / discrete_variance
+    assert diff < acf_lag_cl_atol(spectrum), (
+        f"{spectrum.kind}: ACF({CL}, 0) = {acf[LAG, 0]:.4f} vs target "
+        f"{target:.4f} (normalised diff {diff:.4f})"
+    )

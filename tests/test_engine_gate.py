@@ -53,14 +53,23 @@ def _inhomo_results(batched=1.0, per_region=4.0, speedup=None,
 
 
 def _write_pair(tmp_path, results=None, inhomo=None):
-    """Write both gate inputs; return CLI argv selecting them."""
+    """Write both gate inputs; return CLI argv selecting them.
+
+    The live obs/jobs/store overhead measurements are skipped: these
+    tests pin the gate's decision logic against synthetic rows, and the
+    live timings are both slow and machine-noise sensitive (the real
+    measurements are exercised once, in
+    ``test_real_bench_output_passes_if_present``).
+    """
     engine_path = tmp_path / "engine_fft.json"
     engine_path.write_text(json.dumps(_results() if results is None
                                       else results))
     inhomo_path = tmp_path / "inhomo_batch.json"
     inhomo_path.write_text(json.dumps(_inhomo_results() if inhomo is None
                                       else inhomo))
-    return [str(engine_path), "--inhomo-results", str(inhomo_path)]
+    return [str(engine_path), "--inhomo-results", str(inhomo_path),
+            "--skip-obs-overhead", "--skip-jobs-overhead",
+            "--skip-store-overhead"]
 
 
 class TestCheck:

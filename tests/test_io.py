@@ -150,3 +150,72 @@ class TestRendering:
     def test_render_with_explicit_range(self, surface):
         img = render_gray(surface, vmin=-10.0, vmax=10.0)
         assert img.max() < 1.0 and img.min() > 0.0
+
+
+class TestStreamedMetaAtomicity:
+    """Regression: the streamed sidecar must be written atomically.
+
+    ``stream_to_npy`` once wrote ``<path>.npy.meta.json`` with a plain
+    ``write_text`` — a crash mid-write could leave a truncated sidecar
+    next to a valid heights file, bricking ``load_streamed_surface``.
+    It now goes through :func:`repro.io.atomic.atomic_write_json`.
+    """
+
+    @staticmethod
+    def _gen(n=24):
+        from repro.core.convolution import ConvolutionGenerator
+        from repro.core.spectra import GaussianSpectrum
+
+        return ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=4.0, cly=4.0),
+            Grid2D(nx=n, ny=n, lx=float(n), ly=float(n)),
+        )
+
+    def test_interrupted_meta_write_preserves_old_sidecar(
+        self, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.core.rng import BlockNoise
+        from repro.io import atomic
+        from repro.io.streamed import load_streamed_surface, stream_to_npy
+
+        gen = self._gen()
+        p = stream_to_npy(tmp_path / "s", gen, BlockNoise(seed=3),
+                          total_nx=24, ny=24, strip_nx=8)
+        meta_path = tmp_path / "s.npy.meta.json"
+        before = meta_path.read_text()
+
+        # crash exactly at the publish step: tmp written, rename fails
+        real_replace = atomic.os.replace
+
+        def exploding_replace(src, dst):
+            if str(dst).endswith(".meta.json"):
+                raise OSError("simulated crash during rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(atomic.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            stream_to_npy(tmp_path / "s", gen, BlockNoise(seed=99),
+                          total_nx=24, ny=24, strip_nx=8)
+        monkeypatch.undo()
+
+        # the sidecar still holds the ORIGINAL, complete, parseable JSON
+        assert meta_path.read_text() == before
+        assert json.loads(before)["noise_seed"] == 3
+        s = load_streamed_surface(p)
+        assert s.provenance["noise_seed"] == 3
+
+    def test_meta_is_complete_json_with_newline(self, tmp_path):
+        from repro.core.rng import BlockNoise
+        from repro.io.streamed import stream_to_npy
+        import json
+
+        stream_to_npy(tmp_path / "t", self._gen(), BlockNoise(seed=5),
+                      total_nx=24, ny=24, strip_nx=24)
+        text = (tmp_path / "t.npy.meta.json").read_text()
+        assert text.endswith("\n")  # atomic_write_json's canonical form
+        meta = json.loads(text)
+        assert meta["total_nx"] == 24 and meta["noise_seed"] == 5
+        # no stray tmp siblings left behind
+        assert not list(tmp_path.glob("*.tmp"))

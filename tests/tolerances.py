@@ -14,3 +14,43 @@ def variance_rtol(spectrum) -> float:
     return {"gaussian": 1e-6, "power_law": 0.06, "exponential": 0.12}[
         spectrum.kind
     ]
+
+
+# ---------------------------------------------------------------------------
+# Conformance gates (tests/test_conformance.py)
+#
+# The conformance suite uses FIXED seeds, so each statistic below is a
+# deterministic number, not a random variable: the margins guard against
+# FFT-library rounding drift, not sampling noise.  Calibrated on the
+# 96^2 fixture grid, 8 realisations, seeds 100..107 (measured worst
+# case in parentheses).
+# ---------------------------------------------------------------------------
+
+
+def ks_stat_max(spectrum) -> float:
+    """Max KS statistic: pooled height samples vs N(0, sqrt(sum(w))).
+
+    The pooled samples are spatially correlated, so the classical
+    p-value is meaningless; the gate is on the statistic itself
+    (measured: gaussian 0.035, power_law 0.035, exponential 0.051).
+    """
+    return {"gaussian": 0.10, "power_law": 0.10, "exponential": 0.13}[
+        spectrum.kind
+    ]
+
+
+def ensemble_variance_rtol(spectrum) -> float:
+    """Ensemble mean sample variance vs discrete target ``sum(w)``
+    (measured: gaussian 0.003, power_law 0.009, exponential 0.026)."""
+    return {"gaussian": 0.04, "power_law": 0.05, "exponential": 0.08}[
+        spectrum.kind
+    ]
+
+
+def acf_lag_cl_atol(spectrum) -> float:
+    """Ensemble ACF at lag ``(clx, 0)`` vs the discrete target
+    ``weight_autocorrelation``, as a fraction of the variance
+    (measured: gaussian 0.006, power_law 0.007, exponential 0.011)."""
+    return {"gaussian": 0.05, "power_law": 0.05, "exponential": 0.05}[
+        spectrum.kind
+    ]
