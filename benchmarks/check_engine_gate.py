@@ -47,6 +47,25 @@ writeback of every tile to disk) against the in-memory tiled run at
 (default 5%).  Recorded in ``benchmarks/out/store_overhead.json``;
 ``--skip-store-overhead`` skips it.
 
+Also measures the ``dtype="float32"`` engine mode against the default
+``float64`` path on the homogeneous 4096^2 tiled FFT workload (engine
+work only — the per-tile valid correlations; the dtype-independent
+noise reads are excluded, same convention as the engine bench) and
+fails when the speedup falls below ``--min-dtype-speedup`` (default
+1.3x) or the float32 surface drifts from the float64 surface by more
+than ``--max-dtype-deviation``.  Recorded in
+``benchmarks/out/engine_dtype.json``; ``--skip-dtype-speedup`` skips
+it.
+
+Finally measures the circulant-embedding oracle's throughput against
+the convolution method on a 512^2 window (fields per second; the
+circulant sampler yields two independent fields per torus FFT) and
+fails when the oracle's embedding needed eigenvalue repair beyond
+rounding noise (``eig_clipped_mass`` > 1e-12 would mean the "exact"
+oracle is silently approximate).  Recorded in
+``benchmarks/out/circulant_throughput.json``; ``--skip-circulant``
+skips it.
+
 Usage (CI tier-2, after running the benches)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_fft.py \\
@@ -77,6 +96,12 @@ DEFAULT_JOBS_RESULTS = (
 )
 DEFAULT_STORE_RESULTS = (
     Path(__file__).resolve().parent / "out" / "store_overhead.json"
+)
+DEFAULT_DTYPE_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "engine_dtype.json"
+)
+DEFAULT_CIRCULANT_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "circulant_throughput.json"
 )
 
 # Overhead-measurement scenario: the engine bench's homogeneous FFT
@@ -266,6 +291,7 @@ def measure_store_overhead() -> dict:
     in-memory run.  Same pairing/median methodology as
     ``measure_jobs_overhead`` (the budget sits near machine noise).
     """
+    import os
     import shutil
     import tempfile
 
@@ -277,6 +303,13 @@ def measure_store_overhead() -> dict:
     from repro.io.store import SurfaceStore
     from repro.parallel.executor import generate_tiled
     from repro.parallel.tiles import TilePlan
+
+    # Flush dirty pages left by whatever ran before this measurement
+    # (e.g. a full test-suite pass that wrote gigabytes of stores):
+    # background writeback steals disk bandwidth from the store-backed
+    # passes but not from the in-memory passes, which asymmetrically
+    # inflates the measured ratio well past the real overhead.
+    os.sync()
 
     surface_n = 4096
     grid = Grid2D(nx=256, ny=256, lx=256.0, ly=256.0)  # dx = 1
@@ -337,6 +370,160 @@ def measure_store_overhead() -> dict:
             "store_all": times_store,
         },
         "overhead": overhead,
+    }
+
+
+def measure_dtype_speedup() -> dict:
+    """Time the 4096^2 homogeneous FFT engine pass float64 vs float32.
+
+    Engine work only: each pass runs the per-tile valid correlations
+    over the full tile plan with the noise windows read outside the
+    timer — the same convention as the engine bench, because the noise
+    plane costs the same in both precisions and its jitter would dilute
+    the dtype delta this row exists to pin.  Speedup is the median of
+    per-pair ratios over order-alternated back-to-back passes.  The row
+    also records the max float32-vs-float64 surface deviation, so a
+    "fast but wrong" single-precision path cannot pass.
+    """
+    _import_repro()
+    import numpy as np
+
+    from repro.core.convolution import (
+        ConvolutionGenerator,
+        apply_kernels_valid,
+        noise_window_for,
+    )
+    from repro.core.grid import Grid2D
+    from repro.core.rng import BlockNoise
+    from repro.core.spectra import GaussianSpectrum
+    from repro.parallel.tiles import TilePlan
+
+    surface_n = 4096
+    grid = Grid2D(nx=256, ny=256, lx=256.0, ly=256.0)  # dx = 1
+    spec = GaussianSpectrum(h=1.0, clx=24.0, cly=24.0)
+    gen = ConvolutionGenerator(spec, grid, truncation=OBS_TRUNC,
+                               engine="fft")
+    noise = BlockNoise(seed=53)
+    plan = TilePlan(total_nx=surface_n, total_ny=surface_n,
+                    tile_nx=OBS_TILE, tile_ny=OBS_TILE)
+
+    windows = []
+    for t in plan:
+        wx0, wy0, wnx, wny = noise_window_for(gen.kernel, t.x0, t.y0,
+                                              t.nx, t.ny)
+        windows.append(noise.window(wx0, wy0, wnx, wny))
+
+    def run(dtype) -> float:
+        t0 = time.perf_counter()
+        for w in windows:
+            apply_kernels_valid([gen.kernel], w, engine="fft", dtype=dtype)
+        return time.perf_counter() - t0
+
+    # warm plan cache + FFT workspaces for both precisions
+    run(np.float64)
+    run(np.float32)
+
+    times_f64, times_f32, ratios = [], [], []
+    for k in range(OVERHEAD_REPEATS):
+        if k % 2 == 0:
+            t64, t32 = run(np.float64), run(np.float32)
+        else:
+            t32, t64 = run(np.float32), run(np.float64)
+        times_f64.append(t64)
+        times_f32.append(t32)
+        ratios.append(t64 / t32)
+    speedup = sorted(ratios)[len(ratios) // 2]
+
+    # accuracy companion: the float32 surface must track float64 (one
+    # tile is enough — every tile exercises the same kernel/plan)
+    w = windows[0]
+    out64 = apply_kernels_valid([gen.kernel], w, engine="fft")[0]
+    out32 = apply_kernels_valid([gen.kernel], w, engine="fft",
+                                dtype=np.float32)[0]
+    maxdev = float(np.abs(out32.astype(np.float64) - out64).max())
+
+    return {
+        "claim": "float32 engine mode >=1.3x over float64 on the "
+                 "homogeneous 4096^2 tiled FFT path, tracking float64 "
+                 "to single-precision rounding",
+        "surface": [surface_n, surface_n],
+        "tile": [OBS_TILE, OBS_TILE],
+        "kernel": list(gen.footprint),
+        "tiles": len(plan),
+        "repeats": OVERHEAD_REPEATS,
+        "timings_s": {
+            "float64_best": min(times_f64),
+            "float32_best": min(times_f32),
+            "float64_all": times_f64,
+            "float32_all": times_f32,
+        },
+        "speedup_float32_vs_float64": speedup,
+        "max_abs_dev_float32_vs_float64": maxdev,
+    }
+
+
+def measure_circulant_throughput() -> dict:
+    """Field throughput of the circulant oracle vs the convolution path.
+
+    Informational row (the oracle is a test instrument, not a
+    production engine — there is no speed contract either way), plus
+    one hard gate: the oracle's embedding on this configuration must be
+    nonnegative definite up to rounding (``eig_clipped_mass`` <=
+    1e-12), because a clipped embedding would make the "exact" sampler
+    silently approximate and quietly weaken every oracle-tier bound.
+    The circulant sampler yields two independent fields per torus FFT
+    (real and imaginary parts), so its per-field rate is half its
+    per-draw rate.
+    """
+    _import_repro()
+    from repro.core.circulant import CirculantGenerator
+    from repro.core.convolution import ConvolutionGenerator
+    from repro.core.grid import Grid2D
+    from repro.core.rng import BlockNoise
+    from repro.core.spectra import GaussianSpectrum
+
+    n = 512
+    draws = 6
+    grid = Grid2D(nx=n, ny=n, lx=float(n), ly=float(n))  # dx = 1
+    spec = GaussianSpectrum(h=1.0, clx=24.0, cly=24.0)
+    circ = CirculantGenerator(spec, grid)
+    conv = ConvolutionGenerator(spec, grid, truncation=OBS_TRUNC,
+                                engine="fft")
+
+    # warm: builds the embedding eigenvalues / the kernel plan
+    circ.generate_pair(seed=0)
+    conv.generate(seed=0)
+
+    t0 = time.perf_counter()
+    for i in range(draws):
+        circ.generate_pair(seed=1 + i)
+    t_circ = time.perf_counter() - t0
+    circ_fields_per_s = 2 * draws / t_circ
+
+    t0 = time.perf_counter()
+    for i in range(draws):
+        conv.generate(seed=1 + i)
+    t_conv = time.perf_counter() - t0
+    conv_fields_per_s = draws / t_conv
+
+    return {
+        "claim": "circulant oracle throughput context; its embedding is "
+                 "exact (no eigenvalue repair) on the bench "
+                 "configuration",
+        "surface": [n, n],
+        "embedding": list(circ.embedding_info["embedding"]),
+        "kernel": list(conv.footprint),
+        "draws": draws,
+        "timings_s": {
+            "circulant_pair_draws": t_circ,
+            "convolution_generates": t_conv,
+        },
+        "circulant_fields_per_s": circ_fields_per_s,
+        "convolution_fields_per_s": conv_fields_per_s,
+        "throughput_ratio_circulant_vs_convolution":
+            circ_fields_per_s / conv_fields_per_s,
+        "eig_clipped_mass": circ.embedding_info["eig_clipped_mass"],
+        "eig_min": circ.embedding_info["eig_min"],
     }
 
 
@@ -449,6 +636,29 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-store-overhead", action="store_true",
                         help="skip the live store-writeback overhead "
                              "measurement")
+    parser.add_argument("--min-dtype-speedup", type=float, default=1.3,
+                        help="required float32-vs-float64 engine speedup "
+                             "on the homogeneous 4096^2 path (default 1.3)")
+    parser.add_argument("--max-dtype-deviation", type=float, default=1e-4,
+                        help="allowed max abs float32-vs-float64 surface "
+                             "deviation (default 1e-4; measured ~1e-6)")
+    parser.add_argument("--dtype-results", type=Path,
+                        default=DEFAULT_DTYPE_RESULTS,
+                        help="where to record the dtype-speedup row "
+                             "(default: benchmarks/out/engine_dtype.json)")
+    parser.add_argument("--skip-dtype-speedup", action="store_true",
+                        help="skip the live float32-speedup measurement")
+    parser.add_argument("--max-eig-clipped-mass", type=float, default=1e-12,
+                        help="allowed clipped-eigenvalue mass in the "
+                             "circulant oracle's embedding (default 1e-12)")
+    parser.add_argument("--circulant-results", type=Path,
+                        default=DEFAULT_CIRCULANT_RESULTS,
+                        help="where to record the circulant throughput row "
+                             "(default: benchmarks/out/"
+                             "circulant_throughput.json)")
+    parser.add_argument("--skip-circulant", action="store_true",
+                        help="skip the circulant-vs-convolution "
+                             "throughput measurement")
     args = parser.parse_args(argv)
 
     failures = []
@@ -501,6 +711,50 @@ def main(argv=None) -> int:
                 f"store writeback overhead "
                 f"{store_row['overhead'] * 100:.2f}% exceeds the "
                 f"{args.max_store_overhead * 100:.1f}% budget"
+            )
+
+    if not args.skip_dtype_speedup:
+        dtype_row = measure_dtype_speedup()
+        args.dtype_results.parent.mkdir(exist_ok=True)
+        args.dtype_results.write_text(json.dumps(dtype_row, indent=2))
+        print(
+            f"dtype gate: float64 "
+            f"{dtype_row['timings_s']['float64_best']:.3f}s, float32 "
+            f"{dtype_row['timings_s']['float32_best']:.3f}s, speedup "
+            f"{dtype_row['speedup_float32_vs_float64']:.2f}x, maxdev "
+            f"{dtype_row['max_abs_dev_float32_vs_float64']:.2e}"
+        )
+        speedup = dtype_row["speedup_float32_vs_float64"]
+        if not speedup >= args.min_dtype_speedup:  # catches NaN too
+            failures.append(
+                f"float32 engine speedup {speedup:.2f}x is below the "
+                f"required {args.min_dtype_speedup:.2f}x"
+            )
+        dev = dtype_row["max_abs_dev_float32_vs_float64"]
+        if not dev <= args.max_dtype_deviation:
+            failures.append(
+                f"float32 surface deviates from float64 by {dev:.3e} "
+                f"(> {args.max_dtype_deviation:.1e} allowed)"
+            )
+
+    if not args.skip_circulant:
+        circ_row = measure_circulant_throughput()
+        args.circulant_results.parent.mkdir(exist_ok=True)
+        args.circulant_results.write_text(json.dumps(circ_row, indent=2))
+        print(
+            f"circulant gate: oracle "
+            f"{circ_row['circulant_fields_per_s']:.1f} fields/s, "
+            f"convolution {circ_row['convolution_fields_per_s']:.1f} "
+            f"fields/s (ratio "
+            f"{circ_row['throughput_ratio_circulant_vs_convolution']:.2f}x), "
+            f"clipped mass {circ_row['eig_clipped_mass']:.1e}"
+        )
+        mass = circ_row["eig_clipped_mass"]
+        if not mass <= args.max_eig_clipped_mass:  # catches NaN too
+            failures.append(
+                f"circulant embedding needed eigenvalue repair: clipped "
+                f"mass {mass:.3e} > {args.max_eig_clipped_mass:.1e} — the "
+                f"oracle is no longer exact on the bench configuration"
             )
 
     try:

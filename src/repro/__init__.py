@@ -25,6 +25,7 @@ from . import obs
 from ._version import __version__
 from .core import (
     BlockNoise,
+    CirculantGenerator,
     ConvolutionGenerator,
     HeightField,
     SurfaceGenerator,
@@ -77,7 +78,8 @@ __all__ = [
     "Grid2D", "Spectrum", "GaussianSpectrum", "PowerLawSpectrum",
     "ExponentialSpectrum", "spectrum_from_dict",
     # generation
-    "ConvolutionGenerator", "InhomogeneousGenerator", "direct_dft_surface",
+    "ConvolutionGenerator", "CirculantGenerator", "InhomogeneousGenerator",
+    "direct_dft_surface",
     "hermitian_random_array", "convolve_full", "convolve_spatial",
     "standard_normal_field", "BlockNoise", "Lcg",
     # kernels & weights

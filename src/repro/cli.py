@@ -126,6 +126,12 @@ def _execution_parent() -> argparse.ArgumentParser:
         "and the plan-cached overlap-save FFT otherwise",
     )
     x.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64",
+        help="engine working precision: float32 halves FFT memory "
+             "traffic at single-precision accuracy (see the conformance "
+             "tier for which statistics are float32-safe)",
+    )
+    x.add_argument(
         "--tile", type=int, default=None,
         help="generate tile-by-tile over the unbounded noise plane "
              "(tile edge in samples; non-periodic windowed surface)",
@@ -229,7 +235,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
     spectrum = _spectrum_from_args(args)
     gen = ConvolutionGenerator(
-        spectrum, grid, truncation=args.truncation, engine=args.engine
+        spectrum, grid, truncation=args.truncation, engine=args.engine,
+        dtype=args.dtype,
     )
     resilience = _resilience_kwargs(args)
     if args.tile is not None:
@@ -271,6 +278,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             "spectrum": spectrum.to_dict(),
             "seed": args.seed,
             "engine": args.engine,
+            "dtype": args.dtype,
         },
     )
     _emit_surface(surface, args)
@@ -293,7 +301,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         grid = default_grid(args.n, args.domain)
         layout = figure_layout(args.name, args.domain)
         gen = InhomogeneousGenerator(layout, grid, truncation=0.999,
-                                     engine=args.engine)
+                                     engine=args.engine, dtype=args.dtype)
         plan = TilePlan(total_nx=args.n, total_ny=args.n,
                         tile_nx=args.tile, tile_ny=args.tile)
         surface = generate_tiled(
@@ -307,7 +315,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return 0
     surface = figure_surface(
         args.name, n=args.n, domain=args.domain, seed=args.seed,
-        engine=args.engine,
+        engine=args.engine, dtype=args.dtype,
     )
     _emit_surface(surface, args)
     return 0
@@ -324,15 +332,16 @@ def _job_generator_and_rebuild(args: argparse.Namespace):
         grid = default_grid(args.n, args.domain)
         layout = figure_layout(args.figure, args.domain)
         gen = InhomogeneousGenerator(layout, grid, truncation=0.999,
-                                     engine=args.engine)
+                                     engine=args.engine, dtype=args.dtype)
         rebuild = {"kind": "figure", "name": args.figure, "n": args.n,
                    "domain": args.domain, "truncation": 0.999,
-                   "engine": args.engine}
+                   "engine": args.engine, "dtype": args.dtype}
         return gen, rebuild
     grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
     spectrum = _spectrum_from_args(args)
     gen = ConvolutionGenerator(
-        spectrum, grid, truncation=args.truncation, engine=args.engine
+        spectrum, grid, truncation=args.truncation, engine=args.engine,
+        dtype=args.dtype,
     )
     rebuild = {
         "kind": "convolution",
@@ -341,6 +350,7 @@ def _job_generator_and_rebuild(args: argparse.Namespace):
                  "lx": args.domain, "ly": args.domain},
         "truncation": args.truncation,
         "engine": args.engine,
+        "dtype": args.dtype,
     }
     return gen, rebuild
 

@@ -2,6 +2,18 @@
 and inhomogeneous generation (the paper's primary contribution)."""
 
 from .api import HeightField, SurfaceGenerator, split_result
+from .backend import (
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .circulant import (
+    CirculantGenerator,
+    embedded_covariance,
+    embedding_eigenvalues,
+)
 from .convolution import (
     ENGINES,
     ConvolutionGenerator,
@@ -116,6 +128,11 @@ __all__ = [
     # FFT engine / plan cache
     "KernelPlan", "KernelPlanCache", "CacheStats", "choose_block_shape",
     "plan_cache",
+    # array backends
+    "ArrayBackend", "NumpyBackend", "get_backend", "register_backend",
+    "available_backends",
+    # circulant-embedding oracle
+    "CirculantGenerator", "embedded_covariance", "embedding_eigenvalues",
     # inhomogeneous
     "InhomogeneousGenerator", "PointOrientedLayout", "PointSpec",
     "point_oriented_weights", "blend_fields", "blend_reference", "kernel_stack",

@@ -1,0 +1,162 @@
+"""Pluggable array backend for the FFT engine.
+
+The overlap-save engine (:mod:`repro.core.engine`,
+:mod:`repro.core.convolution`) needs exactly four array operations:
+real-to-complex 2D FFTs in both directions, uninitialised allocation,
+and dtype coercion.  This module puts those four behind a minimal seam
+— :class:`ArrayBackend` — so an accelerator backend (CuPy, torch) can
+be dropped in later by registering an object with the same four
+methods, without touching the engine's block arithmetic.
+
+Design constraints, in order:
+
+1. **Bit-identical default.**  The ``"numpy"`` backend delegates to the
+   exact ``scipy.fft`` calls the engine made before the seam existed,
+   so every surface, cache key, and cross-engine equivalence bound is
+   unchanged (property-tested in ``tests/test_backend.py``).
+2. **Zero hot-path overhead.**  Backends are plain objects resolved
+   once per engine call (a dict lookup); no wrappers around the arrays
+   themselves.
+3. **dtype awareness.**  ``empty``/``asarray`` take an explicit dtype
+   so the engine's opt-in ``float32`` mode flows through the same seam
+   (``float32`` in → ``complex64`` spectra → ``float32`` out, with no
+   silent up-casts).
+
+Future accelerator backends should subclass (or duck-type)
+:class:`ArrayBackend` and call :func:`register_backend`; the registry is
+deliberately name-keyed so configuration layers (CLI, job specs) can
+select backends by string.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy import fft as sfft
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+]
+
+
+class ArrayBackend:
+    """The four array operations the FFT engine is written against.
+
+    Subclasses (or duck-typed equivalents) must preserve the numpy
+    backend's semantics: ``rfft2(a, s)`` zero-pads/crops to ``s`` and
+    transforms the last two axes, ``irfft2`` inverts it back to a real
+    array of shape ``s``, ``empty`` returns an uninitialised array, and
+    ``asarray`` coerces dtype without copying when possible.  Complex
+    precision follows the real input (``float32 -> complex64``,
+    ``float64 -> complex128``).
+    """
+
+    #: Registry key; also what appears in provenance records.
+    name: str = "abstract"
+
+    def rfft2(self, a: np.ndarray,
+              s: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def irfft2(self, a: np.ndarray,
+               s: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def empty(self, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        raise NotImplementedError
+
+    def asarray(self, a, dtype=None) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default CPU backend: ``scipy.fft`` + ``numpy`` allocation.
+
+    ``scipy.fft`` (pocketfft) is used rather than ``numpy.fft`` because
+    it preserves single precision end to end — ``numpy.fft`` up-casts
+    ``float32`` input to ``complex128`` — and because it is what the
+    engine called before this seam existed, keeping results
+    bit-identical.
+    """
+
+    name = "numpy"
+
+    def rfft2(self, a: np.ndarray,
+              s: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        return sfft.rfft2(a, s=s)
+
+    def irfft2(self, a: np.ndarray,
+               s: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        return sfft.irfft2(a, s=s)
+
+    def empty(self, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def asarray(self, a, dtype=None) -> np.ndarray:
+        return np.asarray(a, dtype=dtype)
+
+
+_REGISTRY: Dict[str, ArrayBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(backend: ArrayBackend, *,
+                     replace: bool = False) -> ArrayBackend:
+    """Register ``backend`` under ``backend.name``.
+
+    Registering a second backend under an existing name requires
+    ``replace=True`` — accidental shadowing of ``"numpy"`` would
+    silently change every engine result.
+    """
+    name = getattr(backend, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError("backend must carry a non-empty string .name")
+    with _REGISTRY_LOCK:
+        if name in _REGISTRY and not replace:
+            raise ValueError(
+                f"backend {name!r} is already registered; pass "
+                f"replace=True to override it"
+            )
+        _REGISTRY[name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted (for error messages and tests)."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str = "numpy") -> ArrayBackend:
+    """Resolve a backend by name.
+
+    Raises a :class:`ValueError` naming the registered backends when
+    ``name`` is unknown, so a typo (or a not-yet-installed accelerator
+    backend) fails loudly at configuration time, not inside a tile.
+    """
+    if isinstance(name, ArrayBackend):
+        return name  # already resolved — idempotent for internal callers
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+    if backend is None:
+        known = ", ".join(repr(n) for n in available_backends())
+        raise ValueError(
+            f"unknown array backend {name!r}; registered backends: "
+            f"{known}.  Register a custom backend with "
+            f"repro.core.backend.register_backend()."
+        )
+    return backend
+
+
+#: The default backend, registered eagerly so ``get_backend()`` with no
+#: arguments always works.
+numpy_backend = register_backend(NumpyBackend())

@@ -55,14 +55,15 @@ from dataclasses import replace
 from typing import Optional, Tuple, Union
 
 import numpy as np
-from scipy import fft as sfft
 from scipy import signal
 
 from .. import obs
 from .api import HeightField, absorb_legacy_positionals, merge_provenance, traced
+from .backend import ArrayBackend, get_backend
 from .engine import (
     BatchStats,
     KernelPlanCache,
+    check_dtype,
     choose_block_shape,
     common_margins,
     plan_cache,
@@ -163,6 +164,7 @@ def convolve_spatial(
     boundary: str = "wrap",
     engine: str = "auto",
     cache: Optional[KernelPlanCache] = None,
+    dtype=np.float64,
 ) -> np.ndarray:
     """Apply a centred kernel to a noise field of the output's shape.
 
@@ -175,10 +177,10 @@ def convolve_spatial(
         Non-periodic edge handling (useful when the physical surface is a
         patch, not a torus).  ``"zero"`` tapers variance near edges.
 
-    ``engine``/``cache`` select the valid-correlation engine, see
-    :func:`apply_kernel_valid`.
+    ``engine``/``cache``/``dtype`` select the valid-correlation engine
+    and its precision, see :func:`apply_kernel_valid`.
     """
-    noise = np.asarray(noise, dtype=float)
+    noise = np.asarray(noise, dtype=check_dtype(dtype))
     if noise.ndim != 2:
         raise ValueError("noise must be 2D")
     kx, ky = kernel.shape
@@ -186,7 +188,8 @@ def convolve_spatial(
     py_lo, py_hi = kernel.cy, ky - 1 - kernel.cy
     mode = _pad_mode(boundary)
     padded = np.pad(noise, ((px_lo, px_hi), (py_lo, py_hi)), mode=mode)
-    return apply_kernel_valid(kernel, padded, engine=engine, cache=cache)
+    return apply_kernel_valid(kernel, padded, engine=engine, cache=cache,
+                              dtype=dtype)
 
 
 def _pad_mode(boundary: str) -> str:
@@ -206,8 +209,9 @@ def _pad_mode(boundary: str) -> str:
     raise ValueError(f"unknown boundary {boundary!r}")
 
 
-def _check_valid_shapes(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
-    noise = np.asarray(noise, dtype=float)
+def _check_valid_shapes(kernel: Kernel, noise: np.ndarray,
+                        dtype=np.float64) -> np.ndarray:
+    noise = np.asarray(noise, dtype=check_dtype(dtype))
     kx, ky = kernel.shape
     if noise.shape[0] < kx or noise.shape[1] < ky:
         raise ValueError(
@@ -221,6 +225,8 @@ def apply_kernel_valid(
     noise: np.ndarray,
     engine: str = "auto",
     cache: Optional[KernelPlanCache] = None,
+    dtype=np.float64,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Valid-mode correlation: the core windowed-generation primitive.
 
@@ -240,6 +246,13 @@ def apply_kernel_valid(
     cache:
         Plan cache for the FFT engine (default: the process-wide
         :data:`repro.core.engine.plan_cache`).
+    dtype:
+        Engine precision (``float64`` default, ``float32`` opt-in):
+        noise is coerced once, kernels/plans are rounded once, and the
+        output carries the requested dtype with no silent up-casts.
+    backend:
+        Array backend for the FFT engine (default
+        :func:`repro.core.backend.get_backend`\\ ``("numpy")``).
     """
     engine = _check_engine(engine)
     if engine == "auto":
@@ -247,11 +260,13 @@ def apply_kernel_valid(
     obs.add("conv.dispatch." + engine)
     if engine == "spatial":
         with obs.trace("conv.spatial"):
-            return apply_kernel_valid_spatial(kernel, noise)
-    return apply_kernel_valid_fft(kernel, noise, cache=cache)
+            return apply_kernel_valid_spatial(kernel, noise, dtype=dtype)
+    return apply_kernel_valid_fft(kernel, noise, cache=cache, dtype=dtype,
+                                  backend=backend)
 
 
-def apply_kernel_valid_spatial(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
+def apply_kernel_valid_spatial(kernel: Kernel, noise: np.ndarray,
+                               dtype=np.float64) -> np.ndarray:
     """Explicit spatial evaluation of the valid correlation.
 
     Accumulates one shifted noise slab per kernel sample — O(out * K^2)
@@ -259,12 +274,15 @@ def apply_kernel_valid_spatial(kernel: Kernel, noise: np.ndarray) -> np.ndarray:
     makes it both the reference oracle for the FFT engine and the
     fastest path for very small (truncated) kernels.
     """
-    noise = _check_valid_shapes(kernel, noise)
+    noise = _check_valid_shapes(kernel, noise, dtype)
     kx, ky = kernel.shape
     onx = noise.shape[0] - kx + 1
     ony = noise.shape[1] - ky + 1
-    out = np.zeros((onx, ony))
-    values = kernel.values
+    out = np.zeros((onx, ony), dtype=noise.dtype)
+    # Round the kernel to the working precision up front so every
+    # slab product stays in that precision (a float64 coefficient
+    # would silently promote float32 slabs).
+    values = kernel.values.astype(noise.dtype, copy=False)
     for dx in range(kx):
         row = values[dx]
         for dy in range(ky):
@@ -280,6 +298,8 @@ def apply_kernel_valid_fft(
     noise: np.ndarray,
     cache: Optional[KernelPlanCache] = None,
     block_shape: Optional[Tuple[int, int]] = None,
+    dtype=np.float64,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Overlap-save FFT evaluation of the valid correlation.
 
@@ -300,14 +320,24 @@ def apply_kernel_valid_fft(
     block_shape:
         Explicit per-axis FFT lengths (testing/tuning); must be at least
         the kernel support per axis.  Default: automatic policy.
+    dtype:
+        Engine precision; ``float32`` plans/spectra halve the memory
+        traffic (the 4096^2 homogeneous hot path gains >= 1.3x, gated
+        in ``benchmarks/check_engine_gate.py``).
+    backend:
+        Array backend supplying ``rfft2``/``irfft2``/``empty``/
+        ``asarray`` (default numpy; see :mod:`repro.core.backend`).
 
     Notes
     -----
-    Results are a pure function of ``(kernel, noise, block shape)`` —
-    cache hits, misses, and rebuilds in other processes produce
-    bit-identical output, so all executor backends agree exactly.
+    Results are a pure function of ``(kernel, noise, block shape,
+    dtype)`` — cache hits, misses, and rebuilds in other processes
+    produce bit-identical output, so all executor backends agree
+    exactly.
     """
-    noise = _check_valid_shapes(kernel, noise)
+    xp = backend if backend is not None else get_backend("numpy")
+    dt = check_dtype(dtype)
+    noise = _check_valid_shapes(kernel, noise, dt)
     kx, ky = kernel.shape
     onx = noise.shape[0] - kx + 1
     ony = noise.shape[1] - ky + 1
@@ -315,7 +345,7 @@ def apply_kernel_valid_fft(
     # not route it through the cache, whose normalised plans assume a
     # non-degenerate amplitude.
     if kernel.scale == 0.0 or not np.any(kernel.values):
-        return np.zeros((onx, ony))
+        return np.zeros((onx, ony), dtype=dt)
     if block_shape is None:
         block_shape = choose_block_shape(noise.shape, kernel.shape)
     bx, by = int(block_shape[0]), int(block_shape[1])
@@ -324,10 +354,10 @@ def apply_kernel_valid_fft(
             f"block_shape {block_shape} smaller than kernel {kernel.shape}"
         )
     plan = (cache if cache is not None else plan_cache).get_plan(
-        kernel, (bx, by)
+        kernel, (bx, by), dt, xp
     )
     factor = kernel.plan_scale  # undoes the plan's normalisation
-    out = np.empty((onx, ony))
+    out = xp.empty((onx, ony), dt)
     step_x = bx - kx + 1
     step_y = by - ky + 1
     for x0 in range(0, onx, step_x):
@@ -336,10 +366,10 @@ def apply_kernel_valid_fft(
             ny_blk = min(step_y, ony - y0)
             seg = noise[x0 : x0 + bx, y0 : y0 + by]
             with obs.trace("engine.fft.forward"):
-                spec = sfft.rfft2(seg, s=(bx, by))
+                spec = xp.rfft2(seg, s=(bx, by))
             spec *= plan.kfft
             with obs.trace("engine.fft.inverse"):
-                conv = sfft.irfft2(spec, s=(bx, by))
+                conv = xp.irfft2(spec, s=(bx, by))
             obs.add("engine.fft.forward_ffts")
             obs.add("engine.fft.inverse_ffts")
             obs.add("engine.fft.blocks")
@@ -451,6 +481,8 @@ def apply_kernels_valid(
     block_shape: Optional[Tuple[int, int]] = None,
     margins: Optional[Tuple[int, int, int, int]] = None,
     stats: Optional[BatchStats] = None,
+    dtype=np.float64,
+    backend: Optional[ArrayBackend] = None,
 ) -> "list[Optional[np.ndarray]]":
     """Batched valid correlation: M kernels against one noise window.
 
@@ -480,6 +512,10 @@ def apply_kernels_valid(
     stats:
         Optional :class:`~repro.core.engine.BatchStats` accumulating
         forward/inverse FFT and active/skipped kernel counts.
+    dtype, backend:
+        Engine precision and array backend, as in
+        :func:`apply_kernel_valid`; every kernel of the batch runs at
+        the same precision.
 
     Returns
     -------
@@ -491,7 +527,7 @@ def apply_kernels_valid(
     n = len(kernels)
     if n == 0:
         return []
-    noise = np.asarray(noise, dtype=float)
+    noise = np.asarray(noise, dtype=check_dtype(dtype))
     if noise.ndim != 2:
         raise ValueError("noise must be 2D")
     lx, rx, ly, ry = common_margins(kernels) if margins is None else margins
@@ -527,7 +563,7 @@ def apply_kernels_valid(
                                                 (lx, rx, ly, ry))
     return _apply_kernels_valid_fft(kernels, noise, mask, (lx, rx, ly, ry),
                                     cache=cache, block_shape=block_shape,
-                                    stats=stats)
+                                    stats=stats, backend=backend)
 
 
 def _apply_kernels_valid_spatial(
@@ -551,7 +587,7 @@ def _apply_kernels_valid_spatial(
         oy = ly - k.cy
         sub = noise[ox : ox + onx + k.shape[0] - 1,
                     oy : oy + ony + k.shape[1] - 1]
-        outs.append(apply_kernel_valid_spatial(k, sub))
+        outs.append(apply_kernel_valid_spatial(k, sub, dtype=noise.dtype))
     return outs
 
 
@@ -563,6 +599,7 @@ def _apply_kernels_valid_fft(
     cache: Optional[KernelPlanCache] = None,
     block_shape: Optional[Tuple[int, int]] = None,
     stats: Optional[BatchStats] = None,
+    backend: Optional[ArrayBackend] = None,
 ) -> "list[Optional[np.ndarray]]":
     """Shared-forward overlap-save engine for the batch.
 
@@ -573,6 +610,8 @@ def _apply_kernels_valid_fft(
     to the single-kernel engine's ``kx - 1`` when the margins are that
     kernel's own.
     """
+    xp = backend if backend is not None else get_backend("numpy")
+    dt = noise.dtype  # caller coerced; one precision for the whole batch
     lx, rx, ly, ry = margins
     kx_eff = lx + rx + 1
     ky_eff = ly + ry + 1
@@ -593,12 +632,12 @@ def _apply_kernels_valid_fft(
         if mask is not None and not mask[m]:
             continue
         if k.scale == 0.0 or not np.any(k.values):
-            outs[m] = np.zeros((onx, ony))  # flat surface, no plan
+            outs[m] = np.zeros((onx, ony), dtype=dt)  # flat surface, no plan
             continue
-        outs[m] = np.empty((onx, ony))
+        outs[m] = xp.empty((onx, ony), dt)
         plans.append((
             m,
-            cache.get_plan(k, (bx, by)),
+            cache.get_plan(k, (bx, by), dt, xp),
             lx + (k.shape[0] - 1 - k.cx),
             ly + (k.shape[1] - 1 - k.cy),
         ))
@@ -611,7 +650,7 @@ def _apply_kernels_valid_fft(
                 ny_blk = min(step_y, ony - y0)
                 seg = noise[x0 : x0 + bx, y0 : y0 + by]
                 with obs.trace("engine.fft.forward"):
-                    spec = sfft.rfft2(seg, s=(bx, by))
+                    spec = xp.rfft2(seg, s=(bx, by))
                 obs.add("engine.fft.forward_ffts")
                 obs.add("engine.fft.blocks")
                 if stats is not None:
@@ -619,7 +658,7 @@ def _apply_kernels_valid_fft(
                     stats.blocks += 1
                 for m, plan, px, py in plans:
                     with obs.trace("engine.fft.inverse"):
-                        conv = sfft.irfft2(spec * plan.kfft, s=(bx, by))
+                        conv = xp.irfft2(spec * plan.kfft, s=(bx, by))
                     obs.add("engine.fft.inverse_ffts")
                     if stats is not None:
                         stats.inverse_ffts += 1
@@ -642,18 +681,21 @@ def generate_window(
     ny: int,
     engine: str = "auto",
     cache: Optional[KernelPlanCache] = None,
+    dtype=np.float64,
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Generate an arbitrary window of the infinite surface (advantage (a)).
 
     The surface value at global index ``(i, j)`` is a deterministic
-    function of ``(kernel, noise.seed, engine)``; windows generated
-    separately agree on overlaps (exactly in the underlying noise, to
-    FFT rounding ~1e-15 in the heights), which is what enables streaming
-    strips, parallel tiles, and surfaces of unbounded extent.
+    function of ``(kernel, noise.seed, engine, dtype)``; windows
+    generated separately agree on overlaps (exactly in the underlying
+    noise, to FFT rounding ~1e-15 in the heights), which is what enables
+    streaming strips, parallel tiles, and surfaces of unbounded extent.
     """
     wx0, wy0, wnx, wny = noise_window_for(kernel, x0, y0, nx, ny)
     window = noise.window(wx0, wy0, wnx, wny)
-    return apply_kernel_valid(kernel, window, engine=engine, cache=cache)
+    return apply_kernel_valid(kernel, window, engine=engine, cache=cache,
+                              dtype=dtype, backend=backend)
 
 
 def resolve_kernel(
@@ -721,6 +763,11 @@ class ConvolutionGenerator:
         Valid-correlation engine for the windowed paths
         (``"auto"`` | ``"spatial"`` | ``"fft"``), see
         :func:`apply_kernel_valid`.
+    dtype:
+        Working precision of the engine (``"float64"`` default,
+        ``"float32"`` opt-in).  Stored on the generator as
+        ``self.dtype`` so the tiled/streaming executors allocate
+        matching output buffers; recorded in provenance.
 
     Examples
     --------
@@ -741,11 +788,13 @@ class ConvolutionGenerator:
         grid: Grid2D,
         truncation: TruncationSpec = 0.9999,
         engine: str = "auto",
+        dtype="float64",
     ) -> None:
         self.spectrum = spectrum
         self.grid = grid
         self.truncation = truncation
         self.engine = _check_engine(engine)
+        self.dtype = check_dtype(dtype)
         self.kernel = resolve_kernel(spectrum, grid, truncation)
 
     # ------------------------------------------------------------------
@@ -793,15 +842,21 @@ class ConvolutionGenerator:
                 noise = standard_normal_field(self.grid.shape, seed)
             if exact:
                 heights = convolve_full(self.spectrum, self.grid, noise=noise)
+                if self.dtype != heights.dtype:
+                    # the exact path computes in float64; the cast is the
+                    # only lossy step, matching the engine's output dtype
+                    heights = heights.astype(self.dtype)
             else:
                 heights = convolve_spatial(
-                    self.kernel, noise, boundary=boundary, engine=self.engine
+                    self.kernel, noise, boundary=boundary, engine=self.engine,
+                    dtype=self.dtype,
                 )
         record = {
             "method": "convolution",
             "engine": self.engine,
             "boundary": boundary,
             "exact": exact,
+            "dtype": self.dtype.name,
         }
         if hasattr(self.spectrum, "to_dict"):
             record["spectrum"] = self.spectrum.to_dict()
@@ -816,13 +871,15 @@ class ConvolutionGenerator:
         """Window ``[x0, x0+nx) x [y0, y0+ny)`` of the infinite surface."""
         with traced(self, trace, "generate_window"):
             heights = generate_window(
-                self.kernel, noise, x0, y0, nx, ny, engine=self.engine
+                self.kernel, noise, x0, y0, nx, ny, engine=self.engine,
+                dtype=self.dtype,
             )
         record = {
             "method": "convolution-window",
             "window": [x0, y0, nx, ny],
             "noise_seed": noise.seed,
             "engine": self.engine,
+            "dtype": self.dtype.name,
         }
         return HeightField.wrap(
             heights, merge_provenance(record, provenance)

@@ -52,12 +52,13 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Hashable, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import fft as sfft
 
 from .. import obs
+from .backend import ArrayBackend, get_backend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (weights -> engine)
     from .weights import Kernel
@@ -69,8 +70,10 @@ __all__ = [
     "KernelPlanCache",
     "choose_block_shape",
     "common_margins",
+    "check_dtype",
     "plan_cache",
     "DEFAULT_MAX_BLOCK_ELEMS",
+    "ENGINE_DTYPES",
 ]
 
 #: One FFT over the whole noise window is used while its padded element
@@ -82,6 +85,28 @@ DEFAULT_MAX_BLOCK_ELEMS = 1 << 22
 #: waste their ``kernel - 1`` overlap, so blocks never shrink below this
 #: unless the kernel itself is smaller.
 _MIN_BLOCK_EDGE = 512
+
+#: Precisions the FFT engine supports.  ``float64`` is the default and
+#: the accuracy contract; ``float32`` is the opt-in hot path (complex64
+#: spectra, roughly half the memory traffic) gated by the calibrated
+#: conformance suite.
+ENGINE_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def check_dtype(dtype) -> np.dtype:
+    """Normalise and validate an engine precision request.
+
+    Accepts anything :func:`numpy.dtype` does (``"float32"``,
+    ``np.float32``, a dtype instance); rejects everything outside
+    :data:`ENGINE_DTYPES` with an actionable error.
+    """
+    dt = np.dtype(dtype)
+    if dt not in ENGINE_DTYPES:
+        names = "|".join(d.name for d in ENGINE_DTYPES)
+        raise ValueError(
+            f"unsupported engine dtype {dt.name!r}; expected one of {names}"
+        )
+    return dt
 
 
 def choose_block_shape(
@@ -207,13 +232,20 @@ class KernelPlan:
         ``block_shape``, divided by ``norm`` — multiplying a noise
         block's spectrum by this and inverse-transforming yields the
         valid *correlation* (paper eqn 36) of the unit-scale kernel.
+        Complex precision follows ``dtype`` (``complex64`` for a
+        ``float32`` plan).
     norm:
         Scale of the kernel the plan was built from (``h`` for
         identity-keyed kernels, 1.0 for fingerprint-keyed ones); the
         engine multiplies the output by the *requesting* kernel's scale.
+    dtype:
+        Real precision the plan was built at; part of the cache key, so
+        a ``float32`` request can never be served a ``float64`` plan
+        (or vice versa).
     """
 
-    __slots__ = ("key", "block_shape", "kernel_shape", "kfft", "norm")
+    __slots__ = ("key", "block_shape", "kernel_shape", "kfft", "norm",
+                 "dtype")
 
     def __init__(
         self,
@@ -222,12 +254,14 @@ class KernelPlan:
         kernel_shape: Tuple[int, int],
         kfft: np.ndarray,
         norm: float,
+        dtype: np.dtype = np.dtype(np.float64),
     ) -> None:
         self.key = key
         self.block_shape = block_shape
         self.kernel_shape = kernel_shape
         self.kfft = kfft
         self.norm = norm
+        self.dtype = np.dtype(dtype)
 
     @property
     def nbytes(self) -> int:
@@ -242,23 +276,29 @@ class KernelPlan:
 
 
 def _build_plan(kernel: "Kernel", block_shape: Tuple[int, int],
-                key: Hashable) -> KernelPlan:
+                key: Hashable, dtype: np.dtype = np.dtype(np.float64),
+                backend: Optional[ArrayBackend] = None) -> KernelPlan:
+    xp = backend if backend is not None else get_backend("numpy")
+    dtype = check_dtype(dtype)
     kx, ky = kernel.shape
     bx, by = block_shape
     if bx < kx or by < ky:
         raise ValueError(
             f"FFT block {block_shape} smaller than kernel {kernel.shape}"
         )
-    padded = np.zeros((bx, by))
+    padded = xp.empty((bx, by), dtype)
+    padded[:] = 0.0
     # Index flip turns the FFT's circular convolution into the
-    # correlation of eqn (36).
+    # correlation of eqn (36).  A float32 plan rounds the kernel here,
+    # once, instead of on every block.
     padded[:kx, :ky] = kernel.values[::-1, ::-1]
     norm = kernel.plan_scale
-    kfft = sfft.rfft2(padded)
+    kfft = xp.rfft2(padded)
     if norm != 1.0:
         kfft /= norm
     return KernelPlan(key=key, block_shape=block_shape,
-                      kernel_shape=(kx, ky), kfft=kfft, norm=norm)
+                      kernel_shape=(kx, ky), kfft=kfft, norm=norm,
+                      dtype=dtype)
 
 
 class KernelPlanCache:
@@ -286,19 +326,24 @@ class KernelPlanCache:
         self._evictions = 0
 
     # ------------------------------------------------------------------
-    def get_plan(self, kernel: "Kernel", block_shape: Tuple[int, int]
-                 ) -> KernelPlan:
-        """Fetch (or build and cache) the plan for ``(kernel, block)``.
+    def get_plan(self, kernel: "Kernel", block_shape: Tuple[int, int],
+                 dtype=np.float64,
+                 backend: Optional[ArrayBackend] = None) -> KernelPlan:
+        """Fetch (or build and cache) the plan for ``(kernel, block, dtype)``.
 
         Identity-keyed kernels that differ only in overall scale map to
         the same entry; see the module docstring for the keying rules.
+        ``dtype`` is part of the key: a ``float32`` request never
+        receives a ``float64`` plan or vice versa (the spectra differ in
+        both precision and rounding).
         """
         bx, by = int(block_shape[0]), int(block_shape[1])
+        dt = check_dtype(dtype)
         # The kernel shape is part of the key so that an identity whose
         # energy truncation lands on different half-widths across ``h``
         # variants (borderline rounding) gets a fresh entry instead of a
         # silently mis-shaped plan.
-        key = (kernel.plan_key, kernel.shape, bx, by)
+        key = (kernel.plan_key, kernel.shape, bx, by, dt.str)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -309,7 +354,7 @@ class KernelPlanCache:
             self._misses += 1
             obs.add("engine.plan_cache.misses")
             with obs.trace("engine.plan.build"):
-                plan = _build_plan(kernel, (bx, by), key)
+                plan = _build_plan(kernel, (bx, by), key, dt, backend)
             self._plans[key] = plan
             while len(self._plans) > self._maxsize:
                 self._plans.popitem(last=False)

@@ -51,7 +51,7 @@ from .convolution import (
     batched_noise_window_for,
     resolve_kernel,
 )
-from .engine import BatchStats, common_margins
+from .engine import BatchStats, check_dtype, common_margins
 from .grid import Grid2D
 from .rng import BlockNoise, SeedLike, standard_normal_field
 from .spectra import Spectrum
@@ -362,12 +362,14 @@ class InhomogeneousGenerator:
         truncation: TruncationSpec = 0.9999,
         engine: str = "auto",
         prune: bool = True,
+        dtype="float64",
     ) -> None:
         self.layout = layout
         self.grid = grid
         self.truncation = truncation
         self.engine = _check_engine(engine)
         self.prune = bool(prune)
+        self.dtype = check_dtype(dtype)
         self._weight_map: Optional[WeightMap] = None
         self._kernels: Optional[List[Kernel]] = None
         self._kernel_cache: dict = {}
@@ -463,9 +465,15 @@ class InhomogeneousGenerator:
         active = wm.support() if self.prune else None
         stats = BatchStats()
         fields = apply_kernels_valid(
-            kernels, padded, active=active, engine=self.engine, stats=stats
+            kernels, padded, active=active, engine=self.engine, stats=stats,
+            dtype=self.dtype,
         )
-        heights = blend_fields(wm.weights, fields)
+        # The float64 blend weights promote float32 fields during the
+        # weighted sum; cast back so the surface carries the requested
+        # engine precision.
+        heights = blend_fields(wm.weights, fields).astype(
+            self.dtype, copy=False
+        )
         return Surface(
             heights=heights,
             grid=self.grid,
@@ -476,6 +484,7 @@ class InhomogeneousGenerator:
                 "truncation": repr(self.truncation),
                 "boundary": boundary,
                 "engine": self.engine,
+                "dtype": self.dtype.name,
                 "regions_active": stats.kernels_active,
                 "regions_skipped": stats.kernels_skipped,
                 "batch_fft": stats.as_dict(),
@@ -518,9 +527,11 @@ class InhomogeneousGenerator:
         stats = BatchStats()
         fields = apply_kernels_valid(
             kernels, window, active=active, engine=self.engine,
-            margins=margins, stats=stats,
+            margins=margins, stats=stats, dtype=self.dtype,
         )
-        heights = blend_fields(wm.weights, fields)
+        heights = blend_fields(wm.weights, fields).astype(
+            self.dtype, copy=False
+        )
         return Surface(
             heights=heights,
             grid=win_grid,
@@ -531,6 +542,7 @@ class InhomogeneousGenerator:
                 "window": [x0, y0, nx, ny],
                 "noise_seed": noise.seed,
                 "engine": self.engine,
+                "dtype": self.dtype.name,
                 "regions": wm.n_regions,
                 "regions_active": stats.kernels_active,
                 "regions_skipped": stats.kernels_skipped,

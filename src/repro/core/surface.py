@@ -63,7 +63,12 @@ class Surface:
                     f"{self.grid.shape}"
                 )
             return
-        h = np.asarray(h, dtype=float)
+        h = np.asarray(h)
+        if h.dtype != np.float32:
+            # float32 is the engine's opt-in precision and is preserved;
+            # every other input (lists, ints, float16...) normalises to
+            # the historical float64.
+            h = np.asarray(h, dtype=float)
         if h.ndim != 2:
             raise ValueError(f"heights must be 2D, got ndim={h.ndim}")
         if h.shape != self.grid.shape:

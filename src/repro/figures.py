@@ -182,6 +182,7 @@ def figure_surface(
     seed: int = 2009,
     truncation=0.999,
     engine: str = "auto",
+    dtype="float64",
 ) -> Surface:
     """Generate one realisation of a paper figure.
 
@@ -201,11 +202,14 @@ def figure_surface(
         Kernel truncation spec (energy fraction by default).
     engine:
         Convolution engine forwarded to the generator.
+    dtype:
+        Engine precision forwarded to the generator (``"float64"``
+        default, ``"float32"`` opt-in).
     """
     grid = default_grid(n, domain)
     layout = figure_layout(name, domain)
     gen = InhomogeneousGenerator(layout, grid, truncation=truncation,
-                                 engine=engine)
+                                 engine=engine, dtype=dtype)
     surface = gen.generate(seed=seed)
     surface.provenance["figure"] = name
     surface.provenance["seed"] = seed

@@ -73,6 +73,11 @@ def generator_fingerprint(generator: Any) -> str:
     truncation = getattr(generator, "truncation", None)
     if truncation is not None:
         desc["truncation"] = repr(truncation)
+    # only a non-default precision marks the digest, so checkpoints
+    # written before dtype existed still resume with float64 generators
+    dt = getattr(generator, "dtype", None)
+    if dt is not None and np.dtype(dt) != np.float64:
+        desc["dtype"] = np.dtype(dt).name
     spectrum = getattr(generator, "spectrum", None)
     if spectrum is not None and hasattr(spectrum, "to_dict"):
         desc["spectrum"] = spectrum.to_dict()
@@ -162,10 +167,14 @@ class JobCheckpoint:
                 heights=None, done=store.done, store=store,
             )
         else:
+            # the live array must match the generator's precision (the
+            # executor refuses a mismatched out= target)
+            out_dtype = np.dtype(getattr(generator, "dtype", np.float64))
             ckpt = cls(
                 path=path,
                 manifest=manifest,
-                heights=np.zeros((plan.total_nx, plan.total_ny), dtype=float),
+                heights=np.zeros((plan.total_nx, plan.total_ny),
+                                 dtype=out_dtype),
                 done=np.zeros(len(plan), dtype=bool),
             )
         ckpt.write()
@@ -199,7 +208,9 @@ class JobCheckpoint:
             return cls(path=path, manifest=manifest,
                        heights=None, done=store.done, store=store)
         with np.load(path / STATE_NAME) as state:
-            heights = np.array(state["heights"], dtype=float)
+            # keep the stored precision: a float32 job must resume into
+            # a float32 array or the executor rejects it as out= target
+            heights = np.array(state["heights"])
             done = np.array(state["done"], dtype=bool)
         if heights.shape != (plan.total_nx, plan.total_ny):
             raise ValueError(

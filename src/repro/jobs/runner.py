@@ -229,6 +229,7 @@ def _generator_from_rebuild(rebuild: Optional[dict]) -> Any:
             Grid2D(nx=g["nx"], ny=g["ny"], lx=g["lx"], ly=g["ly"]),
             truncation=rebuild.get("truncation", 0.9999),
             engine=rebuild.get("engine", "auto"),
+            dtype=rebuild.get("dtype", "float64"),
         )
     if kind == "figure":
         from ..core.inhomogeneous import InhomogeneousGenerator
@@ -239,6 +240,7 @@ def _generator_from_rebuild(rebuild: Optional[dict]) -> Any:
         return InhomogeneousGenerator(
             layout, grid, truncation=rebuild.get("truncation", 0.999),
             engine=rebuild.get("engine", "auto"),
+            dtype=rebuild.get("dtype", "float64"),
         )
     raise ValueError(f"unknown rebuild kind {kind!r}")
 

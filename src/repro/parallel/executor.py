@@ -246,6 +246,17 @@ def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
 
 
+def _generator_dtype(generator) -> np.dtype:
+    """Output precision of ``generator`` (``float64`` unless it opts in).
+
+    Generators grown a ``dtype`` attribute (the engine's ``float32``
+    mode) drive the dtype of every executor-side buffer — the assembled
+    output array, both shared-memory staging views, and the worker-side
+    mappings — so tiles land without a hidden cast.
+    """
+    return np.dtype(getattr(generator, "dtype", np.float64))
+
+
 def _pool_init(
     generator: WindowedGenerator,
     noise: BlockNoise,
@@ -266,7 +277,7 @@ def _pool_init(
     next to the plan-cache deltas.
     """
     shm = _attach_shared_memory(shm_name)
-    view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    view = np.ndarray(shape, dtype=_generator_dtype(generator), buffer=shm.buf)
     if obs_enabled:
         obs.install(obs.Recorder())
     _POOL_STATE.update(
@@ -514,12 +525,13 @@ class _ResilientRun:
         incrementally, so already-done (skipped/resumed) regions of
         ``out`` are never overwritten with uninitialised memory.
         """
-        nbytes = self.shape[0] * self.shape[1] * np.dtype(np.float64).itemsize
+        dt = _generator_dtype(self.generator)
+        nbytes = self.shape[0] * self.shape[1] * dt.itemsize
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
         recorder = obs.get_recorder()
         try:
             view = np.ndarray(
-                self.shape, dtype=np.float64, buffer=shm.buf
+                self.shape, dtype=dt, buffer=shm.buf
             )
             while self.pending:
                 pool = cf.ProcessPoolExecutor(
@@ -666,8 +678,9 @@ def generate_tiled(
         default :class:`~repro.jobs.retry.RetryPolicy` when ``retry``
         is not given — as do ``out``, ``skip`` and ``on_tile``).
     out:
-        Preallocated float64 output of shape ``(plan.total_nx,
-        plan.total_ny)`` to fill in place — the checkpoint/resume hook:
+        Preallocated output of shape ``(plan.total_nx, plan.total_ny)``
+        and the generator's dtype (float64 unless the generator opts
+        into float32) to fill in place — the checkpoint/resume hook:
         tiles listed in ``skip`` keep whatever ``out`` already holds.
         May also be a :class:`repro.io.store.SurfaceStore` whose chunk
         grid equals the tile plan: tiles are then streamed to disk
@@ -710,6 +723,7 @@ def generate_tiled(
     store = out if (out is not None and hasattr(out, "write_window")
                     and hasattr(out, "chunk_shape")) else None
     writer = None
+    gen_dtype = _generator_dtype(generator)
     if store is not None:
         store.validate_plan(plan)
         out = None
@@ -720,10 +734,12 @@ def generate_tiled(
                 f"out has shape {out.shape}; plan needs "
                 f"({plan.total_nx}, {plan.total_ny})"
             )
-        if out.dtype != np.float64:
-            raise ValueError("out must be float64")
+        if out.dtype != gen_dtype:
+            raise ValueError(
+                f"out must match the generator dtype {gen_dtype.name}"
+            )
     else:
-        out = np.empty((plan.total_nx, plan.total_ny), dtype=float)
+        out = np.empty((plan.total_nx, plan.total_ny), dtype=gen_dtype)
     tiles = plan.tiles()
     stats_before = plan_cache.stats()
     agg: dict = {}
@@ -790,7 +806,7 @@ def generate_tiled(
         else:  # process
             shm = shared_memory.SharedMemory(create=True, size=out.nbytes)
             try:
-                view = np.ndarray(out.shape, dtype=np.float64, buffer=shm.buf)
+                view = np.ndarray(out.shape, dtype=out.dtype, buffer=shm.buf)
                 with cf.ProcessPoolExecutor(
                     max_workers=n,
                     initializer=_pool_init,

@@ -12,6 +12,12 @@ family the paper treats — against **both** production paths:
 All seeds are fixed, so every statistic is a deterministic number; the
 tolerances (centralised in :mod:`tests.tolerances`) are calibrated
 margins against FFT rounding drift, not flaky confidence intervals.
+
+The whole suite is parametrized over the engine precision: the opt-in
+``float32`` mode must satisfy the *same* calibrated statistical gates
+as ``float64`` (cell-by-cell, see ``tolerances.FLOAT32_SAFE``) and must
+track the float64 surface sample-by-sample within single-precision FFT
+rounding (``tolerances.float32_vs_float64_atol``).
 """
 
 import numpy as np
@@ -33,8 +39,10 @@ from repro.stats.acf import acf2d_unbiased
 from repro.validation.ensemble import ensemble_variance
 
 from tests.tolerances import (
+    FLOAT32_SAFE,
     acf_lag_cl_atol,
     ensemble_variance_rtol,
+    float32_vs_float64_atol,
     ks_stat_max,
 )
 
@@ -58,10 +66,24 @@ def spectrum(request):
     return request.param
 
 
+@pytest.fixture(scope="module", params=["float64", "float32"])
+def dtype(request):
+    return request.param
+
+
+def _require_float32_safe(spectrum, dtype, statistic):
+    """Gate a statistical cell on the calibrated float32-safe table."""
+    if dtype == "float32" and (spectrum.kind, statistic) not in FLOAT32_SAFE:
+        pytest.skip(
+            f"({spectrum.kind}, {statistic}) is not verified "
+            f"single-precision-safe; see tolerances.FLOAT32_SAFE"
+        )
+
+
 @pytest.fixture(scope="module")
-def gen(spectrum):
+def gen(spectrum, dtype):
     return ConvolutionGenerator(
-        spectrum, Grid2D(nx=N, ny=N, lx=float(N), ly=float(N))
+        spectrum, Grid2D(nx=N, ny=N, lx=float(N), ly=float(N)), dtype=dtype
     )
 
 
@@ -104,12 +126,34 @@ def discrete_variance(spectrum, gen):
 
 def test_store_path_bit_identical_at_ensemble_scale(fields_memory,
                                                     fields_store):
+    # The store format is float64-only; a float32 -> float64 cast is
+    # exact, so store round-trips stay value-identical for both engine
+    # precisions.
     for mem, st in zip(fields_memory, fields_store):
-        np.testing.assert_array_equal(st, mem)
+        np.testing.assert_array_equal(st, mem.astype(np.float64))
 
 
-def test_height_marginal_ks(spectrum, fields, discrete_variance):
+def test_float32_tracks_float64(spectrum, dtype, gen, plan):
+    """The float32 surface is the float64 surface to FFT rounding."""
+    if dtype != "float32":
+        pytest.skip("cross-precision check runs once, on the float32 row")
+    g64 = ConvolutionGenerator(spectrum, gen.grid)
+    atol = float32_vs_float64_atol(spectrum)
+    for i in range(2):
+        h32 = generate_tiled(gen, BlockNoise(seed=SEED0 + i), plan,
+                             backend="serial").heights
+        h64 = generate_tiled(g64, BlockNoise(seed=SEED0 + i), plan,
+                             backend="serial").heights
+        assert h32.dtype == np.float32
+        worst = float(np.abs(h32.astype(np.float64) - h64).max())
+        assert worst < atol, (
+            f"{spectrum.kind}: float32 deviates from float64 by {worst:.3e}"
+        )
+
+
+def test_height_marginal_ks(spectrum, dtype, fields, discrete_variance):
     """Pooled height samples follow N(0, sqrt(sum(w)))."""
+    _require_float32_safe(spectrum, dtype, "ks")
     pooled = np.concatenate([f.ravel()[::POOL_STRIDE] for f in fields])
     ks = stats.kstest(pooled, "norm",
                       args=(0.0, np.sqrt(discrete_variance)))
@@ -123,8 +167,9 @@ def test_height_marginal_ks(spectrum, fields, discrete_variance):
     assert abs(pooled.mean()) < 0.15 * np.sqrt(discrete_variance)
 
 
-def test_rms_height(spectrum, fields, discrete_variance):
+def test_rms_height(spectrum, dtype, fields, discrete_variance):
     """Ensemble variance converges to the discrete target ``sum(w)``."""
+    _require_float32_safe(spectrum, dtype, "variance")
     measured = ensemble_variance(
         lambda seed: fields[seed - SEED0], NSEEDS, seed0=SEED0
     )
@@ -135,12 +180,14 @@ def test_rms_height(spectrum, fields, discrete_variance):
     )
 
 
-def test_acf_at_lag_cl(spectrum, gen, fields, discrete_variance):
+def test_acf_at_lag_cl(spectrum, dtype, gen, fields, discrete_variance):
     """Ensemble ACF at lag ``(clx, 0)`` matches the discrete target."""
+    _require_float32_safe(spectrum, dtype, "acf")
     target = weight_autocorrelation(spectrum, gen.grid)[LAG, 0]
     acf = np.zeros((LAG + 1, LAG + 1))
     for f in fields:
-        acf += acf2d_unbiased(f, max_lag=(LAG, LAG))
+        acf += acf2d_unbiased(np.asarray(f, dtype=np.float64),
+                              max_lag=(LAG, LAG))
     acf /= len(fields)
     diff = abs(acf[LAG, 0] - target) / discrete_variance
     assert diff < acf_lag_cl_atol(spectrum), (

@@ -376,6 +376,34 @@ class TestResumeDeterminism:
         with pytest.raises(ValueError, match="rebuild"):
             resume(path)
 
+    def test_float32_job_resumes_bit_identical(self, tmp_path, noise,
+                                               plan):
+        # regression: the checkpoint must allocate (and reload) its live
+        # array in the generator's precision, or the executor rejects it
+        # as an out= target and a float32 job can neither run nor resume
+        g32 = ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=10.0, cly=10.0),
+            Grid2D(nx=N, ny=N, lx=float(N), ly=float(N)),
+            dtype="float32",
+        )
+        reference32 = generate_tiled(g32, noise, plan,
+                                     backend="serial").heights
+        assert reference32.dtype == np.float32
+        path = self._interrupt(tmp_path, g32, noise, plan)
+        surface = resume(path, g32)
+        assert surface.heights.dtype == np.float32
+        assert np.array_equal(surface.heights, reference32)
+
+    def test_fingerprint_distinguishes_precision(self, gen):
+        g32 = ConvolutionGenerator(
+            GaussianSpectrum(h=1.0, clx=10.0, cly=10.0),
+            Grid2D(nx=N, ny=N, lx=float(N), ly=float(N)),
+            dtype="float32",
+        )
+        # a float32 checkpoint must refuse a float64 generator (and vice
+        # versa); the default precision keeps the pre-dtype digest
+        assert generator_fingerprint(gen) != generator_fingerprint(g32)
+
 
 @pytest.mark.faults
 class TestStripJobs:

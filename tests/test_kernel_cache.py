@@ -206,3 +206,52 @@ class TestProcessWideCache:
         s = plan_cache.stats()
         assert s.maxsize >= 1
         assert s.size <= s.maxsize
+
+
+class TestDtypeKeying:
+    """dtype is part of the plan key: a float32 plan must never be
+    served to a float64 request (or vice versa) — a silent precision
+    swap would corrupt every downstream surface."""
+
+    def test_dtypes_are_distinct_plans(self, grid):
+        cache = KernelPlanCache()
+        kern = _kernel(grid)
+        p64 = cache.get_plan(kern, (32, 32))  # default float64
+        p32 = cache.get_plan(kern, (32, 32), np.float32)
+        assert p64 is not p32
+        s = cache.stats()
+        assert (s.misses, s.hits, s.size) == (2, 0, 2)
+        assert p64.dtype == np.float64 and p64.kfft.dtype == np.complex128
+        assert p32.dtype == np.float32 and p32.kfft.dtype == np.complex64
+
+    def test_cache_never_crosses_precisions(self, grid):
+        cache = KernelPlanCache()
+        kern = _kernel(grid)
+        first32 = cache.get_plan(kern, (32, 32), np.float32)
+        # a warm float32 entry must not satisfy a float64 lookup...
+        p64 = cache.get_plan(kern, (32, 32), np.float64)
+        assert p64 is not first32 and p64.dtype == np.float64
+        # ...and each precision hits its own entry afterwards
+        assert cache.get_plan(kern, (32, 32), np.float32) is first32
+        assert cache.get_plan(kern, (32, 32), np.float64) is p64
+        s = cache.stats()
+        assert (s.misses, s.hits) == (2, 2)
+
+    def test_h_sharing_is_per_dtype(self, grid):
+        # spectra differing only in h share a plan *within* a dtype,
+        # never across dtypes
+        cache = KernelPlanCache()
+        a = _kernel(grid, h=1.0)
+        b = _kernel(grid, h=2.5)
+        p_a32 = cache.get_plan(a, (32, 32), np.float32)
+        p_b32 = cache.get_plan(b, (32, 32), np.float32)
+        p_b64 = cache.get_plan(b, (32, 32), np.float64)
+        assert p_a32 is p_b32
+        assert p_b64 is not p_b32
+        s = cache.stats()
+        assert (s.misses, s.hits, s.size) == (2, 1, 2)
+
+    def test_rejects_unsupported_dtype(self, grid):
+        cache = KernelPlanCache()
+        with pytest.raises(ValueError, match="float16"):
+            cache.get_plan(_kernel(grid), (32, 32), np.float16)
