@@ -57,6 +57,16 @@ than ``--max-dtype-deviation``.  Recorded in
 ``benchmarks/out/engine_dtype.json``; ``--skip-dtype-speedup`` skips
 it.
 
+Also measures the distributed backend's throughput scaling: the
+homogeneous 8192^2 tiled path through ``generate_dist`` with 1 vs 2
+local worker processes (lease-scheduled over the store bitmap).  The two
+runs must be bit-identical (always enforced — sharding may never change
+the surface) and, on machines with at least two usable cores, 2 workers
+must deliver ``--min-dist-speedup`` (default 1.6x) over 1; on
+single-core machines the speedup is recorded as context only, matching
+the parallel bench's convention.  Recorded in
+``benchmarks/out/dist_scaling.json``; ``--skip-dist`` skips it.
+
 Finally measures the circulant-embedding oracle's throughput against
 the convolution method on a 512^2 window (fields per second; the
 circulant sampler yields two independent fields per torus FFT) and
@@ -103,6 +113,9 @@ DEFAULT_DTYPE_RESULTS = (
 DEFAULT_CIRCULANT_RESULTS = (
     Path(__file__).resolve().parent / "out" / "circulant_throughput.json"
 )
+DEFAULT_DIST_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "dist_scaling.json"
+)
 
 # Overhead-measurement scenario: the engine bench's homogeneous FFT
 # configuration (dx=1 grid, cl=24 Gaussian -> 129^2 kernel) tiled over a
@@ -112,6 +125,11 @@ OBS_SURFACE = 2048
 OBS_TILE = 512
 OBS_TRUNC = (64, 64)
 OVERHEAD_REPEATS = 7  # odd: both overhead rows are medians of per-pair ratios
+
+# Dist-scaling scenario: same engine configuration, large enough that
+# tile compute dominates worker startup and socket chatter.
+DIST_SURFACE = 8192
+DIST_TILE = 512
 
 
 def _import_repro():
@@ -462,6 +480,105 @@ def measure_dtype_speedup() -> dict:
     }
 
 
+def _usable_cores() -> int:
+    import os
+
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def measure_dist_scaling(workers_counts=(1, 2)) -> dict:
+    """Throughput of ``generate_dist`` at 1 vs 2 worker processes.
+
+    Runs the homogeneous 8192^2 tiled FFT workload (the engine bench's
+    dx=1 / cl=24 / 129^2-kernel configuration, 512^2 tiles) through the
+    coordinator/worker runtime once per worker count, each into a fresh
+    scratch store.  Workers are real ``python -m repro dist worker``
+    subprocesses, so the measurement includes the full distribution tax:
+    process startup, recipe rebuild, socket leases, shared-store
+    writeback, coordinator-side fsync.
+
+    Each run's heights are hashed so the row also pins the dist
+    invariant that matters more than speed: worker count may change
+    wall time, never bytes.
+    """
+    import hashlib
+    import shutil
+    import tempfile
+
+    _import_repro()
+    import numpy as np
+
+    from repro.core.rng import BlockNoise
+    from repro.core.spectra import GaussianSpectrum
+    from repro.dist.executor import generate_dist
+    from repro.io.store import SurfaceStore
+    from repro.parallel.tiles import TilePlan
+
+    n, tile = DIST_SURFACE, DIST_TILE
+    spec = GaussianSpectrum(h=1.0, clx=24.0, cly=24.0)
+    rebuild = {
+        "kind": "convolution",
+        "spectrum": spec.to_dict(),
+        "grid": {"nx": 256, "ny": 256, "lx": 256.0, "ly": 256.0},  # dx = 1
+        "truncation": list(OBS_TRUNC),
+        "engine": "fft",
+        "dtype": "float64",
+    }
+    noise = BlockNoise(seed=59)
+    plan = TilePlan(total_nx=n, total_ny=n, tile_nx=tile, tile_ny=tile)
+
+    def run(workers: int):
+        scratch = tempfile.mkdtemp(prefix="dist-gate-")
+        try:
+            store = SurfaceStore.create(
+                Path(scratch) / "s", shape=(n, n), chunk=(tile, tile),
+            )
+            t0 = time.perf_counter()
+            surface = generate_dist(rebuild, noise, plan, store,
+                                    workers=workers, lease_timeout_s=300.0)
+            elapsed = time.perf_counter() - t0
+            digest = hashlib.sha256(
+                np.ascontiguousarray(surface.heights).tobytes()
+            ).hexdigest()
+            lease = surface.provenance["dist"]["lease"]
+            store.close()
+            return elapsed, digest, lease
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    timings, digests, leases = {}, {}, {}
+    for workers in workers_counts:
+        elapsed, digest, lease = run(workers)
+        key = f"workers_{workers}"
+        timings[key] = elapsed
+        digests[key] = digest
+        leases[key] = lease
+
+    base = f"workers_{workers_counts[0]}"
+    top = f"workers_{workers_counts[-1]}"
+    return {
+        "claim": "dist backend: 2 workers >= 1.6x throughput over 1 on "
+                 "the homogeneous 8192^2 path (enforced with >= 2 usable "
+                 "cores); worker count never changes the bytes",
+        "surface": [n, n],
+        "tile": [tile, tile],
+        "tiles": len(plan),
+        "workers_counts": list(workers_counts),
+        "usable_cores": _usable_cores(),
+        "timings_s": timings,
+        "throughput_samples_per_s": {
+            k: n * n / t for k, t in timings.items()
+        },
+        "speedup": timings[base] / timings[top],
+        "bit_identical_across_worker_counts":
+            len(set(digests.values())) == 1,
+        "heights_sha256": digests,
+        "lease": leases,
+    }
+
+
 def measure_circulant_throughput() -> dict:
     """Field throughput of the circulant oracle vs the convolution path.
 
@@ -648,6 +765,17 @@ def main(argv=None) -> int:
                              "(default: benchmarks/out/engine_dtype.json)")
     parser.add_argument("--skip-dtype-speedup", action="store_true",
                         help="skip the live float32-speedup measurement")
+    parser.add_argument("--min-dist-speedup", type=float, default=1.6,
+                        help="required 2-worker-vs-1 throughput speedup "
+                             "for the dist backend on the homogeneous "
+                             "8192^2 path; enforced only with >= 2 usable "
+                             "cores (default 1.6)")
+    parser.add_argument("--dist-results", type=Path,
+                        default=DEFAULT_DIST_RESULTS,
+                        help="where to record the dist-scaling row "
+                             "(default: benchmarks/out/dist_scaling.json)")
+    parser.add_argument("--skip-dist", action="store_true",
+                        help="skip the dist worker-scaling measurement")
     parser.add_argument("--max-eig-clipped-mass", type=float, default=1e-12,
                         help="allowed clipped-eigenvalue mass in the "
                              "circulant oracle's embedding (default 1e-12)")
@@ -735,6 +863,36 @@ def main(argv=None) -> int:
             failures.append(
                 f"float32 surface deviates from float64 by {dev:.3e} "
                 f"(> {args.max_dtype_deviation:.1e} allowed)"
+            )
+
+    if not args.skip_dist:
+        dist_row = measure_dist_scaling()
+        args.dist_results.parent.mkdir(exist_ok=True)
+        args.dist_results.write_text(json.dumps(dist_row, indent=2))
+        cores = dist_row["usable_cores"]
+        print(
+            f"dist gate: 1 worker "
+            f"{dist_row['timings_s']['workers_1']:.3f}s, 2 workers "
+            f"{dist_row['timings_s']['workers_2']:.3f}s, speedup "
+            f"{dist_row['speedup']:.2f}x ({cores} usable core(s)), "
+            f"bit-identical: "
+            f"{dist_row['bit_identical_across_worker_counts']}"
+        )
+        if not dist_row["bit_identical_across_worker_counts"]:
+            failures.append(
+                "dist runs with different worker counts produced "
+                "different bytes — sharding must never change the surface"
+            )
+        if cores >= 2:
+            if not dist_row["speedup"] >= args.min_dist_speedup:  # NaN too
+                failures.append(
+                    f"dist 2-worker speedup {dist_row['speedup']:.2f}x is "
+                    f"below the required {args.min_dist_speedup:.2f}x"
+                )
+        else:
+            print(
+                "dist gate: single usable core — speedup recorded as "
+                "context, threshold not enforced"
             )
 
     if not args.skip_circulant:

@@ -1,0 +1,36 @@
+"""Dist scale-out — coordinator/worker throughput scaling.
+
+Runs the engine gate's dist-scaling measurement (the homogeneous 8192^2
+tiled FFT workload through ``generate_dist`` with 1 vs 2 real worker
+subprocesses) and records the row the gate script reads.  The contract
+has two halves with different strictness:
+
+- **bit-identity across worker counts** is absolute — sharding is a
+  scheduling decision and may never change the surface;
+- **>= 1.6x two-worker speedup** is a hardware claim, asserted only when
+  the machine actually has two usable cores (same convention as the A2
+  parallel bench).
+"""
+
+from __future__ import annotations
+
+from check_engine_gate import _usable_cores, measure_dist_scaling
+
+MIN_DIST_SPEEDUP = 1.6
+
+
+def test_bench_dist_scaling(record):
+    row = measure_dist_scaling()
+    record("dist_scaling", row)
+
+    assert row["bit_identical_across_worker_counts"], (
+        "dist runs with different worker counts produced different bytes"
+    )
+    for key, lease in row["lease"].items():
+        assert lease["pending"] == 0, f"{key} left tiles pending"
+        assert lease["failures"] == 0, f"{key} reported tile failures"
+    if _usable_cores() >= 2:
+        assert row["speedup"] >= MIN_DIST_SPEEDUP, (
+            f"2-worker speedup {row['speedup']:.2f}x below "
+            f"{MIN_DIST_SPEEDUP}x with {row['usable_cores']} cores"
+        )

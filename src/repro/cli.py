@@ -49,6 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -72,7 +73,26 @@ from .validation.checks import variance_closure, weight_acf_error
 
 __all__ = ["main", "build_parser"]
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "dist")
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (``--workers``).
+
+    Rejecting zero/negative values at parse time turns what used to be
+    a late executor traceback into a one-line usage error.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def _spectrum_from_args(args: argparse.Namespace) -> Spectrum:
@@ -140,11 +160,14 @@ def _execution_parent() -> argparse.ArgumentParser:
         "--backend", choices=BACKENDS,
         default="serial",
         help="tiled execution backend (with --tile): thread shares "
-             "memory, process uses persistent shared-memory workers",
+             "memory, process uses persistent shared-memory workers, "
+             "dist runs lease-scheduled worker processes over a socket "
+             "(requires --store)",
     )
     x.add_argument(
-        "--workers", type=int, default=None,
-        help="pool size for the parallel backends (default: cores - 1)",
+        "--workers", type=_positive_int, default=None,
+        help="pool size for the parallel backends (default: cores - 1; "
+             "dist backend: 2)",
     )
     x.add_argument(
         "--inject-fault", action="append", default=None, metavar="SPEC",
@@ -254,10 +277,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                                  chunk=(args.tile, args.tile),
                                  meta={"spectrum": spectrum.to_dict(),
                                        "seed": args.seed})
+        if args.backend == "dist" and store is None:
+            raise SystemExit(
+                "--backend dist requires --store: the store's chunk "
+                "bitmap is the distributed completion ledger"
+            )
+        rebuild = {
+            "kind": "convolution",
+            "spectrum": spectrum.to_dict(),
+            "grid": {"nx": args.n, "ny": args.n,
+                     "lx": args.domain, "ly": args.domain},
+            "truncation": args.truncation,
+            "engine": args.engine,
+            "dtype": args.dtype,
+        }
         surface = generate_tiled(
             gen, BlockNoise(seed=args.seed), plan,
             backend=args.backend, workers=args.workers,
-            out=store,
+            out=store, rebuild=rebuild,
             **resilience,
         )
         surface.provenance["spectrum"] = spectrum.to_dict()
@@ -269,6 +306,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         return 0
     if getattr(args, "store", None):
         raise SystemExit("--store requires --tile")
+    if args.backend == "dist":
+        raise SystemExit("--backend dist requires --tile and --store")
     heights = gen.generate(seed=args.seed)
     surface = Surface(
         heights=np.asarray(heights),
@@ -286,6 +325,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.backend == "dist":
+        raise SystemExit(
+            "--backend dist is not supported by `figure` (no --store "
+            "target); use `job run --figure ... --store ... --backend "
+            "dist` instead"
+        )
     resilience = _resilience_kwargs(args)
     if args.tile is not None:
         # Tiled multi-region generation: the figure layout drives the
@@ -459,6 +504,101 @@ def _cmd_job_status(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc))
     return 0
+
+
+def _cmd_dist_coordinator(args: argparse.Namespace) -> int:
+    """Serve one distributed run: lease tiles to connecting workers.
+
+    Prints the bound address on the first line (machine-parsable:
+    ``dist coordinator listening on HOST:PORT``) so launcher scripts
+    can point workers at an OS-assigned port, then blocks until the
+    run completes and prints the run summary as JSON.  Re-running on an
+    existing store resumes off its bitmap.
+    """
+    from .dist import Coordinator, RunSpec
+    from .io.store import SurfaceStore
+    from .jobs import (FailureBudgetExceeded, PoolRespawnLimit,
+                       TileFailedError)
+    from .parallel.tiles import TilePlan
+
+    _gen, rebuild = _job_generator_and_rebuild(args)
+    plan = TilePlan(total_nx=args.n, total_ny=args.n,
+                    tile_nx=args.tile, tile_ny=args.tile)
+    store_path = Path(args.store)
+    if (store_path / "manifest.json").exists():
+        store = SurfaceStore.open(store_path, "r+")  # resume off the bitmap
+        try:
+            store.validate_plan(plan)
+        except ValueError as exc:
+            raise SystemExit(f"--store: {exc}")
+    else:
+        grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
+        store = SurfaceStore.create(
+            store_path, shape=(args.n, args.n), chunk=(args.tile, args.tile),
+            dx=grid.dx, dy=grid.dy, meta={"seed": args.seed},
+        )
+    fault_plan = _fault_plan_from_args(args)
+    spec = RunSpec(
+        rebuild=rebuild,
+        noise_seed=args.seed,
+        plan={"total_nx": args.n, "total_ny": args.n,
+              "tile_nx": args.tile, "tile_ny": args.tile,
+              "origin_x": 0, "origin_y": 0},
+        store_path=str(store_path.resolve()),
+        access="shared",
+        obs=obs.enabled(),
+        faults=fault_plan.to_dicts() if fault_plan is not None else [],
+    )
+    coordinator = Coordinator(
+        spec, plan, store,
+        policy=_retry_policy_from_args(args),
+        lease_timeout_s=args.lease_timeout,
+        n_shards=args.workers or 2,
+        host=args.host, port=args.port,
+        persist_every=args.persist_every,
+    )
+    host, port = coordinator.start()
+    print(f"dist coordinator listening on {host}:{port}", flush=True)
+    try:
+        summary = coordinator.serve()
+    except (TileFailedError, FailureBudgetExceeded, PoolRespawnLimit) as exc:
+        store.close()
+        raise SystemExit(
+            f"distributed run failed: {exc}\nstore preserved at "
+            f"{store.path}; re-run the coordinator to resume off its "
+            f"bitmap"
+        )
+    store.close()
+    print(json.dumps({"store": store.progress_summary(), **summary},
+                     indent=2))
+    return 0
+
+
+def _cmd_dist_worker(args: argparse.Namespace) -> int:
+    """Serve a coordinator until its run completes (or aborts)."""
+    from .dist.worker import run_worker
+    from .jobs.faults import mark_killable
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(
+            f"--connect expects HOST:PORT, got {args.connect!r}"
+        )
+    if not host:
+        raise SystemExit(
+            f"--connect expects HOST:PORT, got {args.connect!r}"
+        )
+    # a dist worker is expendable by design; let injected kill faults
+    # crash it for real so fault drills exercise the re-lease path
+    mark_killable()
+    try:
+        summary = run_worker(host, port, max_tiles=args.max_tiles)
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"dist worker: {exc}")
+    print(json.dumps(summary, indent=2))
+    return 0 if not summary["reason"].startswith("abort") else 3
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -678,7 +818,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKENDS, default=None,
         help="override the recorded backend (cannot change the values)",
     )
-    jz.add_argument("--workers", type=int, default=None)
+    jz.add_argument("--workers", type=_positive_int, default=None)
     jz.add_argument("--checkpoint-every", type=int, default=1, metavar="K")
     jz.add_argument("--inject-fault", action="append", default=None,
                     metavar="SPEC")
@@ -688,6 +828,89 @@ def build_parser() -> argparse.ArgumentParser:
     js = jsub.add_parser("status", help="summarise a checkpoint as JSON")
     js.add_argument("checkpoint", metavar="CKPT")
     js.set_defaults(func=_cmd_job_status)
+
+    d = sub.add_parser(
+        "dist",
+        help="multi-host tile sharding: lease-scheduled coordinator "
+             "and workers over a socket",
+    )
+    dsub = d.add_subparsers(dest="dist_command", required=True)
+
+    dc = dsub.add_parser(
+        "coordinator",
+        help="serve one run: lease tiles to connecting workers, own "
+             "the store bitmap ledger",
+    )
+    _add_spectrum_args(dc)
+    _add_grid_args(dc)
+    dc.add_argument("--seed", type=int, default=0)
+    dc.add_argument("--truncation", type=float, default=0.9999)
+    dc.add_argument(
+        "--figure", choices=FIGURES, default=None,
+        help="run a paper-figure layout instead of a homogeneous spectrum",
+    )
+    dc.add_argument("--engine", choices=ENGINES, default="auto")
+    dc.add_argument("--dtype", choices=("float64", "float32"),
+                    default="float64")
+    dc.add_argument(
+        "--tile", type=_positive_int, required=True,
+        help="tile edge in samples (also the store chunk edge)",
+    )
+    dc.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="SurfaceStore directory; created if absent, resumed off "
+             "its bitmap if already present",
+    )
+    dc.add_argument("--host", default="127.0.0.1",
+                    help="interface to listen on")
+    dc.add_argument(
+        "--port", type=int, default=0,
+        help="port to listen on (0 = OS-assigned; the bound port is "
+             "printed on the first output line)",
+    )
+    dc.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="expected worker count — sets the shard fan-out for "
+             "locality, not a limit on connections (default: 2)",
+    )
+    dc.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="S",
+        help="seconds before an unacknowledged lease is re-offered",
+    )
+    dc.add_argument(
+        "--persist-every", type=_positive_int, default=8, metavar="K",
+        help="flush bitmap/manifest every K completed tiles",
+    )
+    dc.add_argument("--max-attempts", type=int, default=3,
+                    help="per-tile attempt limit")
+    dc.add_argument("--backoff-base", type=float, default=0.05,
+                    help="first retry delay in seconds (doubles per retry)")
+    dc.add_argument("--failure-budget", type=int, default=None,
+                    help="abort after this many tile failures overall")
+    dc.add_argument("--max-respawns", type=int, default=2)
+    dc.add_argument("--no-degrade", action="store_true")
+    dc.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        help="fault plan shipped to every worker in the run spec "
+             '("tile=K[,attempt=N][,kind=raise|kill|delay][,delay=S]"; '
+             "kill faults really do kill dist workers)",
+    )
+    dc.set_defaults(func=_cmd_dist_coordinator)
+
+    dw = dsub.add_parser(
+        "worker",
+        help="connect to a coordinator and compute leased tiles until "
+             "the run completes",
+    )
+    dw.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address as printed by `dist coordinator`",
+    )
+    dw.add_argument(
+        "--max-tiles", type=_positive_int, default=None,
+        help="exit after this many tiles (load-shedding / test hook)",
+    )
+    dw.set_defaults(func=_cmd_dist_worker)
 
     i = sub.add_parser("inspect", help="inspect a saved surface")
     i.add_argument("path")

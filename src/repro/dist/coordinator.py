@@ -1,0 +1,389 @@
+"""The dist coordinator: lease server + completion ledger over a store.
+
+One coordinator owns one run: it listens on a TCP address, hands every
+connecting worker the :class:`~repro.dist.spec.RunSpec`, leases tiles
+through a :class:`~repro.dist.lease.LeaseLedger`, and is the *only*
+process that marks and persists the store's chunk bitmap.  Workers are
+stateless and interchangeable; all run state that matters lives in the
+ledger (in memory) and the store (on disk), which is what makes the
+fault story compositional:
+
+- **Worker crash**: its connection drops, its leases re-queue
+  immediately, another worker recomputes the tiles.  Values are pure
+  functions of ``(recipe, seed, tile)``, so recomputation is
+  bit-identical.
+- **Duplicate lease** (straggler raced a re-lease): both writers wrote
+  identical bytes; the ledger marks once and counts a duplicate.
+- **Coordinator crash**: the persisted bitmap undercounts (marks are
+  persisted only after completion reports, bitmap before manifest), so
+  a restarted coordinator re-leases at most the unpersisted tail —
+  never trusts an unwritten chunk.
+
+Concurrency model: one daemon thread per client connection, every
+ledger/store/recorder mutation under a single coordinator lock.  The
+protocol is request/reply per worker, so per-connection handlers are
+straight-line loops and the lock is held only between frames, never
+across a blocking recv of another client.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..io.store import SurfaceStore
+from ..jobs.retry import RetryPolicy
+from ..parallel.executor import _merge_tile_provenance
+from ..parallel.tiles import TilePlan
+from . import protocol
+from .lease import LeaseLedger
+from .spec import RunSpec
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator:
+    """Serve one distributed run over ``store`` according to ``spec``.
+
+    Usage::
+
+        coord = Coordinator(spec, plan, store, n_shards=workers)
+        host, port = coord.start()
+        ... point workers at (host, port) ...
+        summary = coord.serve()     # blocks; raises on failed runs
+
+    ``serve`` raises the same exceptions as the single-host resilient
+    executor (:class:`TileFailedError`, :class:`FailureBudgetExceeded`)
+    so :mod:`repro.jobs` handles both paths identically.
+    """
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        plan: TilePlan,
+        store: SurfaceStore,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        lease_timeout_s: float = 30.0,
+        n_shards: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        persist_every: int = 8,
+        on_tile: Optional[Callable[[int, Any], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        store.validate_plan(plan)
+        if not store.owns_ledger:
+            raise ValueError(
+                "the coordinator must own the store ledger "
+                "(open the store with ledger=True)"
+            )
+        self.spec = spec
+        self.plan = plan
+        self.store = store
+        self.tiles = plan.tiles()
+        self.ledger = LeaseLedger(
+            store.done, self.tiles,
+            policy=policy, lease_timeout_s=lease_timeout_s,
+            shards=plan.shards(max(1, n_shards)),
+        )
+        self._host = host
+        self._port = port
+        self._persist_every = max(1, int(persist_every))
+        self._on_tile = on_tile
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: List[threading.Thread] = []
+        self._finished = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._next_worker = 0
+        self._workers_connected = 0
+        self._since_persist = 0
+        self._seconds_in_tiles = 0.0
+        self.cache_delta = {"hits": 0, "misses": 0}
+        self.prov_agg: Dict[str, Any] = {}
+        # welcome payload is identical for every worker; build it once
+        self._spec_wire = spec.to_wire()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, start accepting, and return the bound ``(host, port)``."""
+        if self._listener is not None:
+            raise RuntimeError("coordinator already started")
+        self._listener = socket.create_server(
+            (self._host, self._port), reuse_port=False
+        )
+        self._host, self._port = self._listener.getsockname()[:2]
+        if self.ledger.all_done():
+            self._finished.set()  # resumed run with nothing left to do
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return (self._host, self._port)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self._host, self._port)
+
+    def abort(self, exc: BaseException) -> None:
+        """Fail the run: remember ``exc``, wake :meth:`serve`, and make
+        every subsequent worker request an ``abort`` reply."""
+        with self._lock:
+            if self._error is None:
+                self._error = exc
+        self._finished.set()
+
+    def serve(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the run completes, fails, or ``timeout`` passes.
+
+        On success returns the run summary (ledger counters, cache
+        deltas, wall/compute seconds); on failure persists progress and
+        re-raises the run's error; on timeout raises ``TimeoutError``
+        (the run keeps its state — callers may retry).
+        """
+        if not self._finished.wait(timeout):
+            raise TimeoutError(
+                f"distributed run incomplete after {timeout} s "
+                f"({self.ledger.pending_count()} tiles pending)"
+            )
+        try:
+            with self._lock:
+                self.store.persist_progress()
+                error = self._error
+            self._fsync_heights()
+            if error is not None:
+                raise error
+            return self.summary()
+        finally:
+            self._shutdown()
+
+    # -- internals ---------------------------------------------------------
+    def _fsync_heights(self) -> None:
+        """Make every worker's height write durable.
+
+        fsync flushes an inode's dirty pages regardless of which fd
+        (or process) wrote them, so one coordinator-side fsync covers
+        all shared-store workers on this host.
+        """
+        try:
+            fd = os.open(self.store.heights_path, os.O_RDWR)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _shutdown(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            listener.close()
+        # handlers are daemons; give orderly worker goodbyes a moment
+        for t in list(self._handlers):
+            t.join(timeout=5.0)
+
+    def _accept_loop(self) -> None:
+        listener = self._listener  # local ref: _shutdown nulls the attribute
+        while True:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return  # listener closed; run is over
+            with self._lock:
+                ord_ = self._next_worker
+                self._next_worker += 1
+            t = threading.Thread(
+                target=self._serve_client, args=(conn, ord_),
+                name=f"dist-client-{ord_}", daemon=True,
+            )
+            self._handlers.append(t)
+            t.start()
+
+    def _serve_client(self, conn: socket.socket, ord_: int) -> None:
+        worker = f"w{ord_}"
+        # generous per-frame timeout: a healthy worker computing a tile
+        # is silent for at most one lease lifetime
+        conn.settimeout(max(4 * self.ledger.lease_timeout_s, 60.0))
+        try:
+            with conn:
+                hello = protocol.recv_json(conn)
+                if (hello.get("type") != "hello"
+                        or hello.get("protocol") != protocol.PROTOCOL_VERSION):
+                    protocol.send_json(conn, {
+                        "type": "abort",
+                        "error": (
+                            f"protocol mismatch: coordinator speaks "
+                            f"{protocol.PROTOCOL_VERSION}, worker said "
+                            f"{hello.get('protocol')!r}"
+                        ),
+                    })
+                    return
+                shard = self.ledger.shard_for(ord_)
+                with self._lock:
+                    self._workers_connected += 1
+                    if obs.enabled():
+                        obs.set_gauge("dist.workers", self._workers_connected)
+                protocol.send_json(conn, {
+                    "type": "welcome", "worker": worker, "shard": shard,
+                    "spec": self._spec_wire,
+                })
+                self._message_loop(conn, worker, shard)
+        except (protocol.PeerGone, protocol.ProtocolError,
+                socket.timeout, OSError):
+            pass  # lost worker; leases below
+        finally:
+            with self._lock:
+                self._workers_connected -= 1
+                released = self.ledger.release_worker(worker, self._clock())
+                if obs.enabled():
+                    obs.set_gauge("dist.workers", self._workers_connected)
+                    if released:
+                        obs.add("dist.worker_releases")
+                        obs.add("dist.leases_released", len(released))
+
+    def _message_loop(self, conn: socket.socket, worker: str,
+                      shard: int) -> None:
+        while True:
+            msg = protocol.recv_json(conn)
+            kind = msg.get("type")
+            if kind == "lease":
+                reply = self._handle_lease(worker, shard)
+            elif kind == "complete":
+                heights = None
+                if msg.get("heights_follow"):
+                    fkind, payload = protocol.recv_frame(conn)
+                    if fkind != protocol.KIND_BINARY:
+                        raise protocol.ProtocolError(
+                            "complete promised heights but sent JSON"
+                        )
+                    heights = payload
+                reply = self._handle_complete(worker, msg, heights)
+            elif kind == "failed":
+                reply = self._handle_failed(worker, msg)
+            else:
+                raise protocol.ProtocolError(
+                    f"unexpected message type {kind!r} from {worker}"
+                )
+            protocol.send_json(conn, reply)
+            if reply["type"] in ("done", "abort"):
+                return
+
+    def _handle_lease(self, worker: str, shard: int) -> Dict[str, Any]:
+        with self._lock:
+            if self._error is not None:
+                return {"type": "abort", "error": repr(self._error)}
+            verdict, detail = self.ledger.request(
+                worker, shard, self._clock()
+            )
+            if verdict == "grant":
+                if obs.enabled():
+                    obs.add("dist.leases_granted")
+                    obs.set_gauge("dist.pending_tiles",
+                                  self.ledger.pending_count())
+                return {
+                    "type": "grant",
+                    "tile": detail.index,
+                    "attempt": detail.attempt,
+                    "deadline_s": self.ledger.lease_timeout_s,
+                }
+            if verdict == "complete":
+                return {"type": "done"}
+            return {"type": "wait", "seconds": detail}
+
+    def _handle_complete(self, worker: str, msg: Dict[str, Any],
+                         heights: Optional[bytes]) -> Dict[str, Any]:
+        idx = int(msg["tile"])
+        x0, y0, nx, ny = self.store.chunk_window(idx)
+        shipped = None
+        if heights is not None:
+            expect = nx * ny * self.store.dtype.itemsize
+            if len(heights) != expect:
+                raise protocol.ProtocolError(
+                    f"tile {idx} shipped {len(heights)} bytes; "
+                    f"expected {expect}"
+                )
+            shipped = np.frombuffer(heights, dtype=self.store.dtype
+                                    ).reshape(nx, ny)
+        with self._lock:
+            if self._error is not None:
+                return {"type": "abort", "error": repr(self._error)}
+            now = self._clock()
+            # peek, don't mark yet: ship-mode bytes must land first so
+            # the bitmap never claims an unwritten chunk
+            already = bool(self.store.done[idx])
+            if shipped is not None and not already:
+                self.store.write_window(x0, y0, shipped, mark=False)
+                if obs.enabled():
+                    obs.add("dist.bytes_shipped", len(heights))
+            first = self.ledger.complete(idx, worker, now)
+            if first:
+                self._absorb_report(msg)
+                if self._on_tile is not None:
+                    self._on_tile(idx, self.tiles[idx])
+                self._since_persist += 1
+                if (self._since_persist >= self._persist_every
+                        or self.ledger.all_done()):
+                    self.store.persist_progress()
+                    self._since_persist = 0
+                if obs.enabled():
+                    obs.add("dist.tiles_completed")
+                    obs.set_gauge("dist.pending_tiles",
+                                  self.ledger.pending_count())
+            elif obs.enabled():
+                obs.add("dist.duplicate_completions")
+            if self.ledger.all_done():
+                self._finished.set()
+                return {"type": "done"}
+        return {"type": "ack"}
+
+    def _absorb_report(self, msg: Dict[str, Any]) -> None:
+        """Fold one completion report into run-level accounting
+        (coordinator lock held)."""
+        cache = msg.get("cache") or {}
+        self.cache_delta["hits"] += int(cache.get("hits", 0))
+        self.cache_delta["misses"] += int(cache.get("misses", 0))
+        self._seconds_in_tiles += float(msg.get("seconds", 0.0))
+        _merge_tile_provenance(self.prov_agg, msg.get("prov"))
+        payload = msg.get("obs")
+        if payload and obs.enabled():
+            obs.get_recorder().merge_wire(payload)
+
+    def _handle_failed(self, worker: str, msg: Dict[str, Any]
+                       ) -> Dict[str, Any]:
+        idx = int(msg["tile"])
+        error = str(msg.get("error", "unknown error"))
+        with self._lock:
+            if self._error is not None:
+                return {"type": "abort", "error": repr(self._error)}
+            if obs.enabled():
+                obs.add("dist.tile_failures")
+            try:
+                self.ledger.fail(idx, worker, error, self._clock())
+            except BaseException as exc:
+                self._error = exc
+                self._finished.set()
+                return {"type": "abort", "error": repr(exc)}
+        return {"type": "ack"}
+
+    # -- accounting --------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """The run's provenance block (``dist`` section + cache sums)."""
+        with self._lock:
+            return {
+                "lease": self.ledger.summary(),
+                "lease_timeout_s": self.ledger.lease_timeout_s,
+                "shards": self.ledger.n_shards,
+                "workers_seen": self._next_worker,
+                "seconds_in_tiles": self._seconds_in_tiles,
+                "plan_cache": dict(self.cache_delta),
+                "provenance": dict(self.prov_agg),
+            }

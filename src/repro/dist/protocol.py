@@ -1,0 +1,156 @@
+"""Length-prefixed JSON/binary framing for the dist coordinator/worker link.
+
+Every message on the wire is one *frame*::
+
+    +----------------+------+-------------------+
+    | length (4B BE) | kind |  payload bytes    |
+    +----------------+------+-------------------+
+
+``length`` counts the payload only; ``kind`` is :data:`KIND_JSON` (a
+UTF-8 JSON object) or :data:`KIND_BINARY` (raw bytes — tile heights in
+``ship`` mode travel as one binary frame of little-endian float64, C
+order, immediately after their ``complete`` message).  The frame layer
+is deliberately dumb: no compression, no multiplexing, no partial
+frames — each connection is a simple request/reply conversation driven
+by the worker, which keeps the coordinator's per-client handler a
+straight-line loop.
+
+Message vocabulary (JSON frames; ``type`` discriminates)::
+
+    worker -> coordinator            coordinator -> worker
+    ---------------------            ---------------------
+    hello {protocol}                 welcome {worker, spec}
+    lease {worker}                   grant {tile, attempt, deadline_s}
+                                     wait {seconds}
+                                     done {}
+                                     abort {error}
+    complete {tile, attempt,         ack {}
+              seconds, prov, cache,
+              obs, heights_follow}
+    failed {tile, attempt, error}    ack {} | abort {error}
+
+The protocol version travels in ``hello`` and a mismatch is rejected
+before any work is leased, so a stale worker binary can never write
+into a store it misinterprets.
+
+Localhost TCP is the test substrate; nothing in this module assumes it —
+any connected, reliable, ordered byte stream (an SSH tunnel, a real
+multi-host TCP mesh) carries the same frames.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "KIND_JSON",
+    "KIND_BINARY",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "PeerGone",
+    "send_json",
+    "send_binary",
+    "recv_frame",
+    "recv_json",
+]
+
+PROTOCOL_VERSION = "repro.dist/v1"
+
+_HEADER = struct.Struct(">IB")  # payload length, frame kind
+KIND_JSON = 0
+KIND_BINARY = 1
+
+#: Refuse frames beyond this — a 4096x4096 float64 tile is 128 MiB, so
+#: 256 MiB covers any sane ship-mode tile while bounding a corrupt or
+#: hostile length header to one refused allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that violate the framing or vocabulary."""
+
+
+class PeerGone(ConnectionError):
+    """The peer closed the connection at a clean frame boundary."""
+
+
+def send_json(sock: socket.socket, obj: Dict[str, Any]) -> None:
+    """Send one JSON frame (compact separators; one sendall syscall)."""
+    payload = json.dumps(obj, separators=(",", ":")).encode()
+    _send(sock, KIND_JSON, payload)
+
+
+def send_binary(sock: socket.socket, data: bytes) -> None:
+    """Send one binary frame."""
+    _send(sock, KIND_BINARY, data)
+
+
+def _send(sock: socket.socket, kind: int, payload: bytes) -> None:
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    # Header + payload in one sendall: the header is tiny, and coalescing
+    # avoids a Nagle/delayed-ACK stall on the request/reply pattern.
+    sock.sendall(_HEADER.pack(len(payload), kind) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Receive one frame as ``(kind, payload)``.
+
+    Raises :class:`PeerGone` on EOF at a frame boundary (the peer's
+    orderly or crashed exit) and :class:`ProtocolError` on EOF inside a
+    frame or an oversized/unknown header.
+    """
+    header = _recv_exact(sock, _HEADER.size, boundary=True)
+    length, kind = _HEADER.unpack(header)
+    if kind not in (KIND_JSON, KIND_BINARY):
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing a {length}-byte frame (limit {MAX_FRAME_BYTES})"
+        )
+    return kind, _recv_exact(sock, length, boundary=False)
+
+
+def recv_json(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one frame and require it to be a JSON object."""
+    kind, payload = recv_frame(sock)
+    if kind != KIND_JSON:
+        raise ProtocolError("expected a JSON frame, got a binary frame")
+    try:
+        obj = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"undecodable JSON frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("JSON frame payload must be an object")
+    return obj
+
+
+def _recv_exact(sock: socket.socket, n: int, *, boundary: bool) -> bytes:
+    """Read exactly ``n`` bytes; EOF semantics depend on position.
+
+    At a frame ``boundary`` an immediate EOF is a clean disconnect
+    (:class:`PeerGone`); EOF anywhere else means a frame was torn
+    mid-flight (:class:`ProtocolError`).
+    """
+    if n == 0:
+        return b""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if boundary and got == 0:
+                raise PeerGone("peer closed the connection")
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)

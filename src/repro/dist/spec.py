@@ -1,0 +1,84 @@
+"""The run specification a coordinator ships to every worker.
+
+A :class:`RunSpec` is everything a fresh process on any host needs to
+compute tiles bit-identically to the single-host path: the generator's
+``rebuild`` recipe (the same JSON recipe :mod:`repro.jobs` checkpoints),
+the noise plane's seed/block, the tile plan geometry, where finished
+heights go, and the observability / fault-injection switches.  It is
+deliberately *descriptive* — no live objects cross the wire, so the
+worker can run on a different host (or a different Python) as long as it
+speaks the protocol and shares the store when ``access == "shared"``.
+
+Two height-delivery modes:
+
+``shared``
+    Worker opens the store path itself (same host or a shared
+    filesystem) with ``ledger=False`` and writes windows directly;
+    only completion reports cross the socket.
+``ship``
+    Worker has no store access; finished heights ride the socket as a
+    binary frame after each ``complete`` message and the coordinator
+    writes them.  Slower, but host-agnostic with no shared filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunSpec", "ACCESS_MODES"]
+
+ACCESS_MODES = ("shared", "ship")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Wire-serialisable description of one distributed run."""
+
+    rebuild: Dict[str, Any]
+    noise_seed: int
+    plan: Dict[str, int]
+    store_path: Optional[str]
+    access: str = "shared"
+    noise_block: Optional[int] = None
+    obs: bool = False
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.access not in ACCESS_MODES:
+            raise ValueError(
+                f"access must be one of {ACCESS_MODES}, got {self.access!r}"
+            )
+        if self.access == "shared" and not self.store_path:
+            raise ValueError("shared access requires a store path")
+        if not isinstance(self.rebuild, dict) or "kind" not in self.rebuild:
+            raise ValueError("rebuild recipe must be a dict with a 'kind'")
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "rebuild": self.rebuild,
+            "noise_seed": self.noise_seed,
+            "noise_block": self.noise_block,
+            "plan": self.plan,
+            "store_path": self.store_path,
+            "access": self.access,
+            "obs": self.obs,
+            "faults": list(self.faults),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "RunSpec":
+        try:
+            return cls(
+                rebuild=data["rebuild"],
+                noise_seed=int(data["noise_seed"]),
+                noise_block=(int(data["noise_block"])
+                             if data.get("noise_block") is not None else None),
+                plan={k: int(v) for k, v in data["plan"].items()},
+                store_path=data.get("store_path"),
+                access=data.get("access", "shared"),
+                obs=bool(data.get("obs", False)),
+                faults=list(data.get("faults") or []),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed run spec: {exc!r}") from exc

@@ -139,11 +139,18 @@ class SurfaceStore:
     """
 
     def __init__(self, path: Path, manifest: Dict[str, Any],
-                 done: np.ndarray, mode: str) -> None:
+                 done: np.ndarray, mode: str,
+                 owns_ledger: bool = True) -> None:
         self.path = Path(path)
         self.manifest = manifest
         self.done = done
         self.mode = mode
+        #: Whether this handle may persist the bitmap/manifest.  A dist
+        #: worker opens the store with ``ledger=False``: it writes height
+        #: windows but its in-memory bitmap is a stale snapshot, and
+        #: persisting it would roll back marks the coordinator (the
+        #: single ledger owner) has already committed.
+        self.owns_ledger = owns_ledger
         self._fh: Optional[Any] = None
         self._lock = threading.Lock()
 
@@ -206,12 +213,18 @@ class SurfaceStore:
         return cls(path=path, manifest=manifest, done=done, mode="r+")
 
     @classmethod
-    def open(cls, path: PathLike, mode: str = "r+") -> "SurfaceStore":
+    def open(cls, path: PathLike, mode: str = "r+",
+             *, ledger: bool = True) -> "SurfaceStore":
         """Open an existing store, validating every on-disk piece.
 
         Any torn or inconsistent file — a truncated manifest, a bitmap
         of the wrong length, a heights header that disagrees with the
         manifest — raises :class:`StoreCorrupt`.
+
+        ``ledger=False`` opens a *non-owner* writer handle: it may write
+        height windows but :meth:`flush`/:meth:`close` will not persist
+        the bitmap or manifest.  Use it when another process (the dist
+        coordinator) owns progress accounting over the same store.
         """
         if mode not in ("r", "r+"):
             raise ValueError(f"mode must be 'r' or 'r+', got {mode!r}")
@@ -287,7 +300,8 @@ class SurfaceStore:
                 f"dtype={done.dtype}) does not match the {n_chunks}-chunk "
                 f"grid"
             )
-        return cls(path=path, manifest=manifest, done=done, mode=mode)
+        return cls(path=path, manifest=manifest, done=done, mode=mode,
+                   owns_ledger=ledger)
 
     def close(self) -> None:
         """Flush (when writable) and release the write handle."""
@@ -466,6 +480,29 @@ class SurfaceStore:
     def done_indices(self) -> List[int]:
         return [int(i) for i in np.flatnonzero(self.done)]
 
+    def pending_indices(self) -> List[int]:
+        """Chunk indices not yet marked done — the dist scheduler's
+        initial work queue on start and on coordinator restart."""
+        return [int(i) for i in np.flatnonzero(~self.done)]
+
+    def refresh_done(self) -> None:
+        """Re-read the persisted bitmap into the live ``done`` array.
+
+        In place, so ledgers holding a reference to ``done`` observe the
+        reload.  Because marks are persisted only after durable chunk
+        writes, refreshing can only *add* recompute work relative to the
+        true state, never claim an unwritten chunk — the safe direction
+        for a restarted coordinator.
+        """
+        persisted = np.load(self.path / BITMAP_NAME)
+        if persisted.shape != self.done.shape or persisted.dtype != np.bool_:
+            raise StoreCorrupt(
+                f"chunk bitmap at {self.path / BITMAP_NAME} changed shape "
+                f"({persisted.shape}, {persisted.dtype}) under an open "
+                f"store handle"
+            )
+        self.done[:] = persisted
+
     def persist_progress(self) -> None:
         """Atomically persist the bitmap, then the manifest's progress.
 
@@ -477,12 +514,17 @@ class SurfaceStore:
         atomic_write_json(self.path / MANIFEST_NAME, self.manifest)
 
     def flush(self) -> None:
-        """fsync the heights file and persist bitmap + manifest."""
+        """fsync the heights file and persist bitmap + manifest.
+
+        Non-owner handles (``ledger=False``) fsync their height writes
+        but leave the bitmap/manifest to the ledger owner.
+        """
         with self._lock:
             if self._fh is not None:
                 self._fh.flush()
                 os.fsync(self._fh.fileno())
-        self.persist_progress()
+        if self.owns_ledger:
+            self.persist_progress()
 
     # -- reading -----------------------------------------------------------
     def heights(self, mode: str = "r") -> np.ndarray:

@@ -15,9 +15,12 @@ Three kinds:
 ``kill``
     Hard-exit the worker process (``os._exit``), breaking the process
     pool mid-run exactly like an OOM-killed or segfaulted worker.  Only
-    fires inside pool worker processes; in the parent (serial/thread
-    backends) it is inert, because killing the parent would be killing
-    the job itself rather than simulating a lost worker.
+    fires inside pool worker processes — or processes that declared
+    themselves expendable via :func:`mark_killable`, which the
+    ``repro dist worker`` entrypoint does because dist workers are
+    plain subprocesses without a multiprocessing parent.  Everywhere
+    else it is inert, because killing the parent would be killing the
+    job itself rather than simulating a lost worker.
 ``delay``
     Sleep ``delay_s`` seconds, then compute normally — a latency
     injector for scheduling/timeout behaviour.
@@ -35,10 +38,33 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "InjectedFault"]
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "mark_killable",
+]
 
 FAULT_KINDS = ("raise", "kill", "delay")
 FaultKind = str
+
+# Processes that are safe to hard-exit even without a multiprocessing
+# parent (dist worker subprocesses) opt in explicitly; see mark_killable.
+_KILLABLE = False
+
+
+def mark_killable() -> None:
+    """Declare this process expendable for ``kill`` faults.
+
+    Pool workers are detected automatically via their multiprocessing
+    parent; distributed workers are spawned with plain ``subprocess`` /
+    ``exec`` and must call this from their entrypoint so injected
+    ``kill`` faults actually crash them.  Never call this from a process
+    that owns the run (coordinator, test runner, interactive session).
+    """
+    global _KILLABLE
+    _KILLABLE = True
 
 
 class InjectedFault(RuntimeError):
@@ -71,6 +97,24 @@ class FaultSpec:
             )
         if self.delay_s < 0:
             raise ValueError("delay_s must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form for the dist wire protocol."""
+        return {
+            "tile": self.tile,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        return cls(
+            tile=int(data["tile"]),
+            attempt=int(data.get("attempt", 1)),
+            kind=str(data.get("kind", "raise")),
+            delay_s=float(data.get("delay_s", 0.0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -128,6 +172,14 @@ class FaultPlan:
             ))
         return cls(specs=tuple(specs))
 
+    def to_dicts(self) -> list:
+        """JSON-safe form (coordinator ships fault plans to workers)."""
+        return [spec.to_dict() for spec in self.specs]
+
+    @classmethod
+    def from_dicts(cls, data: Iterable[Dict[str, object]]) -> "FaultPlan":
+        return cls(specs=tuple(FaultSpec.from_dict(d) for d in data))
+
     def lookup(self, tile: int, attempt: int) -> Optional[FaultSpec]:
         for spec in self.specs:
             if spec.tile == tile and spec.attempt == attempt:
@@ -149,7 +201,7 @@ class FaultPlan:
             time.sleep(spec.delay_s)
             return
         if spec.kind == "kill":
-            if multiprocessing.parent_process() is not None:
+            if multiprocessing.parent_process() is not None or _KILLABLE:
                 os._exit(17)  # simulate a hard worker crash
             return  # inert in the parent: nothing to crash but the job
         raise InjectedFault(

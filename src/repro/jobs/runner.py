@@ -39,7 +39,8 @@ from .checkpoint import JobCheckpoint, generator_fingerprint
 from .faults import FaultPlan
 from .retry import RetryPolicy
 
-__all__ = ["run_tiled", "run_strips", "resume", "status"]
+__all__ = ["run_tiled", "run_strips", "resume", "status",
+           "generator_from_rebuild"]
 
 PathLike = Union[str, Path]
 
@@ -67,6 +68,11 @@ def _execute(
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    if backend == "dist" and ckpt.store is None:
+        raise ValueError(
+            "backend='dist' requires a store-backed job (store=): the "
+            "store's chunk bitmap is the distributed completion ledger"
+        )
     policy = retry if retry is not None else (ckpt.retry or RetryPolicy())
     skip = ckpt.done_indices()
     since_write = 0
@@ -92,6 +98,7 @@ def _execute(
                 backend=backend, workers=workers,
                 retry=policy, fault_plan=fault_plan,
                 out=ckpt.out_target, skip=skip, on_tile=on_tile,
+                rebuild=ckpt.manifest.get("rebuild"),
             )
     except BaseException as exc:
         ckpt.manifest["error"] = repr(exc)
@@ -210,8 +217,32 @@ def run_strips(
     return surface
 
 
-def _generator_from_rebuild(rebuild: Optional[dict]) -> Any:
-    """Reconstruct a generator from a manifest's ``rebuild`` recipe."""
+def _rebuild_truncation(rebuild: dict, default: float) -> Any:
+    """The recipe's truncation spec, repaired after JSON round-trips.
+
+    A fixed-footprint truncation is a ``(kx, ky)`` *tuple*, which JSON
+    (checkpoint manifests, the dist wire) returns as a list —
+    ``resolve_kernel`` dispatches on ``isinstance(..., tuple)``, so the
+    list must be coerced back or it would be misread as an energy
+    fraction and crash.
+    """
+    truncation = rebuild.get("truncation", default)
+    if isinstance(truncation, list):
+        if len(truncation) != 2:
+            raise ValueError(
+                f"truncation list must have two entries, got {truncation!r}"
+            )
+        return (truncation[0], truncation[1])
+    return truncation
+
+
+def generator_from_rebuild(rebuild: Optional[dict]) -> Any:
+    """Reconstruct a generator from a ``rebuild`` recipe.
+
+    Recipes are the JSON descriptions checkpoint manifests record and
+    the dist protocol ships: enough to rebuild the generator with a
+    matching fingerprint in any process on any host.
+    """
     if not rebuild:
         raise ValueError(
             "checkpoint records no rebuild recipe; pass generator= to "
@@ -227,7 +258,7 @@ def _generator_from_rebuild(rebuild: Optional[dict]) -> Any:
         return ConvolutionGenerator(
             spectrum_from_dict(rebuild["spectrum"]),
             Grid2D(nx=g["nx"], ny=g["ny"], lx=g["lx"], ly=g["ly"]),
-            truncation=rebuild.get("truncation", 0.9999),
+            truncation=_rebuild_truncation(rebuild, 0.9999),
             engine=rebuild.get("engine", "auto"),
             dtype=rebuild.get("dtype", "float64"),
         )
@@ -238,11 +269,15 @@ def _generator_from_rebuild(rebuild: Optional[dict]) -> Any:
         grid = default_grid(rebuild["n"], rebuild["domain"])
         layout = figure_layout(rebuild["name"], rebuild["domain"])
         return InhomogeneousGenerator(
-            layout, grid, truncation=rebuild.get("truncation", 0.999),
+            layout, grid, truncation=_rebuild_truncation(rebuild, 0.999),
             engine=rebuild.get("engine", "auto"),
             dtype=rebuild.get("dtype", "float64"),
         )
     raise ValueError(f"unknown rebuild kind {kind!r}")
+
+
+#: Backwards-compatible private alias (pre-dist name).
+_generator_from_rebuild = generator_from_rebuild
 
 
 def resume(

@@ -262,6 +262,31 @@ class Recorder:
         if dropped:
             self.metrics.inc("obs.spans_dropped", dropped)
 
+    def merge_wire(self, payload: Any) -> None:
+        """Fold a drain payload that crossed a JSON wire (dist workers).
+
+        JSON round-tripping turns :data:`SpanRecord` tuples into lists
+        and knows nothing of our shapes, so this validates before
+        delegating to :meth:`merge`: non-dict payloads are rejected and
+        malformed span records are dropped (counted in
+        ``obs.spans_dropped``) rather than poisoning the trace.  Metric
+        dicts survive JSON unchanged, so they merge as-is.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"obs wire payload must be a dict, got {type(payload).__name__}"
+            )
+        spans = payload.get("spans", ())
+        good = [s for s in spans
+                if isinstance(s, (list, tuple)) and len(s) == 6]
+        if len(good) != len(spans):
+            self.metrics.inc("obs.spans_dropped", len(spans) - len(good))
+        self.merge({
+            "spans": good,
+            "span_stats": payload.get("span_stats", {}) or {},
+            "metrics": payload.get("metrics", {}) or {},
+        })
+
 
 # ---------------------------------------------------------------------------
 # Module-level switchboard

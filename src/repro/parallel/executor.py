@@ -647,6 +647,7 @@ def generate_tiled(
     out: Optional[np.ndarray] = None,
     skip: Optional[Iterable[int]] = None,
     on_tile: Optional[Callable[[int, Tile], None]] = None,
+    rebuild: Optional[dict] = None,
 ) -> Surface:
     """Generate a large surface tile-by-tile.
 
@@ -661,8 +662,12 @@ def generate_tiled(
     plan:
         Tile decomposition covering the desired output.
     backend:
-        ``"serial"``, ``"thread"`` or ``"process"`` (see module
-        docstring for the trade-offs).
+        ``"serial"``, ``"thread"``, ``"process"`` (see module
+        docstring for the trade-offs) or ``"dist"`` — worker
+        *processes* scheduled by a lease coordinator over a socket
+        (:func:`repro.dist.executor.generate_dist`; requires ``out``
+        to be a :class:`~repro.io.store.SurfaceStore` and a
+        ``rebuild`` recipe, since live generators cannot cross hosts).
     workers:
         Pool size for the parallel backends (default
         :func:`default_workers`).
@@ -700,6 +705,11 @@ def generate_tiled(
         queue; durable completion is what the store's own bitmap
         records, so store-backed checkpoints must trust the bitmap,
         not this hook (``repro.jobs`` does).
+    rebuild:
+        Generator recipe (as checkpointed by :mod:`repro.jobs`) for
+        the ``dist`` backend, whose workers rebuild the generator in
+        their own processes instead of receiving this one.  Ignored by
+        the single-host backends.
 
     Returns
     -------
@@ -712,9 +722,33 @@ def generate_tiled(
     TileFailedError, FailureBudgetExceeded, PoolRespawnLimit
         Resilient runs only, when the retry policy's budgets are spent.
     """
-    if backend not in ("serial", "thread", "process"):
+    if backend not in ("serial", "thread", "process", "dist"):
         raise ValueError(
-            f"unknown backend {backend!r}; expected serial|thread|process"
+            f"unknown backend {backend!r}; "
+            f"expected serial|thread|process|dist"
+        )
+    if backend == "dist":
+        if not (out is not None and hasattr(out, "write_window")
+                and hasattr(out, "chunk_shape")):
+            raise ValueError(
+                "backend='dist' needs out= to be a SurfaceStore: the "
+                "store's chunk bitmap is the distributed completion "
+                "ledger"
+            )
+        if rebuild is None:
+            raise ValueError(
+                "backend='dist' needs a rebuild= recipe: workers run in "
+                "separate processes (possibly other hosts) and rebuild "
+                "the generator themselves"
+            )
+        from ..dist.executor import generate_dist  # local: avoid cycle
+
+        # skip= is redundant here — done chunks are already marked in
+        # the store bitmap, which is exactly what the ledger consults
+        return generate_dist(
+            rebuild, noise, plan, out,
+            workers=workers or 2, retry=retry,
+            fault_plan=fault_plan, on_tile=on_tile,
         )
     grid = generator.grid  # type: ignore[attr-defined]
     # Duck-typed out-of-core target (repro.io.store.SurfaceStore): the

@@ -106,6 +106,33 @@ class TilePlan:
                 ny = min(self.tile_ny, self.origin_y + self.total_ny - gy)
                 yield Tile(x0=gx, y0=gy, nx=nx, ny=ny)
 
+    def shards(self, n_shards: int) -> List[List[int]]:
+        """Partition the row-major tile indices into ``n_shards`` shards.
+
+        Shards are contiguous index ranges balanced to within one tile —
+        the static decomposition the distributed scheduler
+        (:mod:`repro.dist`) uses for worker affinity: worker ``k``
+        preferentially leases from shard ``k`` and steals from the
+        fullest other shard when its own runs dry.  Contiguity keeps a
+        worker's tiles row-adjacent, which maximises kernel-plan and
+        page-cache reuse inside that worker.
+
+        ``n_shards`` may exceed the tile count; the surplus shards are
+        empty (a degenerate but valid decomposition — more hosts than
+        tiles).  The shards always cover every index exactly once.
+        """
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        total = len(self)
+        base, extra = divmod(total, n_shards)
+        out: List[List[int]] = []
+        start = 0
+        for i in range(n_shards):
+            size = base + (1 if i < extra else 0)
+            out.append(list(range(start, start + size)))
+            start += size
+        return out
+
     def halo_samples(self, kernel_shape: Tuple[int, int]) -> Tuple[int, int]:
         """Noise-read accounting for this plan under ``kernel_shape``.
 

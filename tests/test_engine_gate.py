@@ -56,7 +56,7 @@ def _write_pair(tmp_path, results=None, inhomo=None):
     """Write both gate inputs; return CLI argv selecting them.
 
     The live measurements (obs/jobs/store overheads, dtype speedup,
-    circulant throughput) are skipped: these tests pin the gate's
+    dist scaling, circulant throughput) are skipped: these tests pin the gate's
     decision logic against synthetic rows, and the live timings are
     both slow and machine-noise sensitive (they run for real in the
     tier-2 standalone gate invocation, in a fresh process).
@@ -70,7 +70,7 @@ def _write_pair(tmp_path, results=None, inhomo=None):
     return [str(engine_path), "--inhomo-results", str(inhomo_path),
             "--skip-obs-overhead", "--skip-jobs-overhead",
             "--skip-store-overhead", "--skip-dtype-speedup",
-            "--skip-circulant"]
+            "--skip-dist", "--skip-circulant"]
 
 
 class TestCheck:
@@ -197,4 +197,4 @@ class TestMain:
             pytest.skip("bench output not present")
         assert gate.main(["--skip-obs-overhead", "--skip-jobs-overhead",
                           "--skip-store-overhead", "--skip-dtype-speedup",
-                          "--skip-circulant"]) == 0
+                          "--skip-dist", "--skip-circulant"]) == 0

@@ -219,3 +219,54 @@ class TestStreamedMetaAtomicity:
         assert meta["total_nx"] == 24 and meta["noise_seed"] == 5
         # no stray tmp siblings left behind
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestDirectoryFsync:
+    """The rename in an atomic write lives in the directory entry; a
+    durable publish needs the *directory* fsynced after ``os.replace``."""
+
+    def test_atomic_write_fsyncs_the_directory(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.io import atomic
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            try:
+                synced.append(os.fstat(fd).st_mode)
+            except OSError:
+                pass
+            return real_fsync(fd)
+
+        monkeypatch.setattr(atomic.os, "fsync", recording_fsync)
+        atomic.atomic_write_bytes(tmp_path / "a.bin", b"payload")
+        import stat
+
+        assert any(stat.S_ISDIR(mode) for mode in synced)
+        assert any(stat.S_ISREG(mode) for mode in synced)
+
+    def test_npz_write_fsyncs_the_directory(self, tmp_path, monkeypatch):
+        import os
+        import stat
+
+        import numpy as np
+
+        from repro.io import atomic
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(os.fstat(fd).st_mode)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(atomic.os, "fsync", recording_fsync)
+        atomic.atomic_write_npz(tmp_path / "a.npz", x=np.arange(3))
+        assert any(stat.S_ISDIR(mode) for mode in synced)
+
+    def test_fsync_directory_tolerates_missing_path(self, tmp_path):
+        from repro.io.atomic import fsync_directory
+
+        fsync_directory(tmp_path / "no-such-dir")  # must not raise
