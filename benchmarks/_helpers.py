@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -16,11 +20,69 @@ from repro.stats.correlation_length import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "git_rev",
     "measure_slab",
     "metrics_snapshot",
     "quadrant_interior",
     "reference_cl",
+    "write_bench_json",
 ]
+
+#: Schema tag stamped into every ``benchmarks/out/*.json`` row so that
+#: downstream readers (EXPERIMENTS.md tooling, track_regressions.py) can
+#: detect shape changes instead of silently misreading old rows.
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+def git_rev(repo_dir: Optional[Path] = None) -> Optional[str]:
+    """Short git revision of the repo, or None outside a checkout.
+
+    Never raises: bench rows must be writable from an exported tarball
+    or a container without git just as well as from a working tree.
+    """
+    cwd = repo_dir or Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _json_default(o: Any) -> Any:
+    if isinstance(o, (np.floating, np.integer)):
+        return o.item()
+    if isinstance(o, np.ndarray):
+        return o.tolist()
+    raise TypeError(f"unserialisable {type(o)}")
+
+
+def write_bench_json(
+    path: Union[str, Path],
+    payload: Dict[str, Any],
+    *,
+    timestamp: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Write one bench result row, stamped with measurement provenance.
+
+    Adds a ``bench`` block carrying the schema version, the git revision
+    the numbers were measured at, and a wall-clock timestamp (injectable
+    for tests).  Existing keys in ``payload`` are never overwritten; the
+    stamped document is returned for callers that also want it in-memory.
+    """
+    ts = time.time() if timestamp is None else float(timestamp)
+    doc = dict(payload)
+    doc.setdefault("bench", {
+        "schema": BENCH_SCHEMA,
+        "git_rev": git_rev(),
+        "timestamp": ts,
+    })
+    Path(path).write_text(json.dumps(doc, indent=2, default=_json_default))
+    return doc
 
 
 def metrics_snapshot() -> Dict[str, Any]:

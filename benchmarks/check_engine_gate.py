@@ -116,6 +116,9 @@ DEFAULT_CIRCULANT_RESULTS = (
 DEFAULT_DIST_RESULTS = (
     Path(__file__).resolve().parent / "out" / "dist_scaling.json"
 )
+DEFAULT_TELEMETRY_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "telemetry_overhead.json"
+)
 
 # Overhead-measurement scenario: the engine bench's homogeneous FFT
 # configuration (dx=1 grid, cl=24 Gaussian -> 129^2 kernel) tiled over a
@@ -140,6 +143,18 @@ def _import_repro():
         sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
     import repro  # noqa: F401
     return repro
+
+
+def _write_row(path: Path, row: dict) -> None:
+    """Record one gate row, stamped with schema/git-rev/timestamp."""
+    _import_repro()
+    try:
+        from _helpers import write_bench_json
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from _helpers import write_bench_json
+    path.parent.mkdir(exist_ok=True)
+    write_bench_json(path, row)
 
 
 def measure_obs_overhead() -> dict:
@@ -579,6 +594,109 @@ def measure_dist_scaling(workers_counts=(1, 2)) -> dict:
     }
 
 
+def measure_telemetry_overhead() -> dict:
+    """Time the 2048^2 dist run with live telemetry off vs on.
+
+    "On" means the full PR-8 telemetry plane: worker heartbeat frames
+    every 0.25s (tile compute moved to a background thread so the
+    socket stays responsive), coordinator-side :class:`RunTracker`
+    folding, and the ``/metrics`` + ``/status`` + ``/health`` HTTP
+    status thread bound to an OS-assigned port.  "Off" is the exact
+    pre-heartbeat wire exchange.  Overhead is the median of per-pair
+    ratios over order-alternated back-to-back runs (the budget sits
+    near dist-run noise, same methodology as the jobs/store rows), and
+    both modes' heights are hashed so the row also pins the obs
+    contract: telemetry may cost milliseconds, never bits.
+    """
+    import hashlib
+    import shutil
+    import tempfile
+
+    _import_repro()
+    import numpy as np
+
+    from repro.core.rng import BlockNoise
+    from repro.core.spectra import GaussianSpectrum
+    from repro.dist.executor import generate_dist
+    from repro.io.store import SurfaceStore
+    from repro.parallel.tiles import TilePlan
+
+    n, tile = OBS_SURFACE, OBS_TILE
+    heartbeat_s = 0.25
+    spec = GaussianSpectrum(h=1.0, clx=24.0, cly=24.0)
+    rebuild = {
+        "kind": "convolution",
+        "spectrum": spec.to_dict(),
+        "grid": {"nx": 256, "ny": 256, "lx": 256.0, "ly": 256.0},  # dx = 1
+        "truncation": list(OBS_TRUNC),
+        "engine": "fft",
+        "dtype": "float64",
+    }
+    noise = BlockNoise(seed=61)
+    plan = TilePlan(total_nx=n, total_ny=n, tile_nx=tile, tile_ny=tile)
+
+    def run(telemetry: bool):
+        scratch = tempfile.mkdtemp(prefix="telemetry-gate-")
+        try:
+            store = SurfaceStore.create(
+                Path(scratch) / "s", shape=(n, n), chunk=(tile, tile),
+            )
+            kwargs = (
+                {"heartbeat_s": heartbeat_s, "status_port": 0}
+                if telemetry else {}
+            )
+            t0 = time.perf_counter()
+            surface = generate_dist(rebuild, noise, plan, store,
+                                    workers=2, lease_timeout_s=300.0,
+                                    **kwargs)
+            elapsed = time.perf_counter() - t0
+            digest = hashlib.sha256(
+                np.ascontiguousarray(surface.heights).tobytes()
+            ).hexdigest()
+            store.close()
+            return elapsed, digest
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    # Warm both modes: worker subprocesses rebuild their plan caches per
+    # run, so the warmup mainly settles the parent-side import state and
+    # OS page/file caches the two modes share.
+    run(False)
+    run(True)
+
+    times_off, times_on, ratios = [], [], []
+    digests = set()
+    for k in range(OVERHEAD_REPEATS):
+        if k % 2 == 0:
+            (toff, doff), (ton, don) = run(False), run(True)
+        else:
+            (ton, don), (toff, doff) = run(True), run(False)
+        times_off.append(toff)
+        times_on.append(ton)
+        ratios.append(ton / toff)
+        digests.update((doff, don))
+    overhead = sorted(ratios)[len(ratios) // 2] - 1.0
+    return {
+        "claim": "live telemetry (heartbeats + status HTTP endpoints) "
+                 "costs <=2% on the 2048^2 2-worker dist path and never "
+                 "changes the bytes",
+        "surface": [n, n],
+        "tile": [tile, tile],
+        "tiles": len(plan),
+        "workers": 2,
+        "heartbeat_s": heartbeat_s,
+        "repeats": OVERHEAD_REPEATS,
+        "timings_s": {
+            "telemetry_off_best": min(times_off),
+            "telemetry_on_best": min(times_on),
+            "telemetry_off_all": times_off,
+            "telemetry_on_all": times_on,
+        },
+        "overhead": overhead,
+        "bit_identical_on_vs_off": len(digests) == 1,
+    }
+
+
 def measure_circulant_throughput() -> dict:
     """Field throughput of the circulant oracle vs the convolution path.
 
@@ -776,6 +894,20 @@ def main(argv=None) -> int:
                              "(default: benchmarks/out/dist_scaling.json)")
     parser.add_argument("--skip-dist", action="store_true",
                         help="skip the dist worker-scaling measurement")
+    parser.add_argument("--max-telemetry-overhead", type=float,
+                        default=0.02,
+                        help="allowed relative overhead of live telemetry "
+                             "(heartbeats + status endpoints) on the "
+                             "2048^2 2-worker dist path "
+                             "(default 0.02 = 2%%)")
+    parser.add_argument("--telemetry-results", type=Path,
+                        default=DEFAULT_TELEMETRY_RESULTS,
+                        help="where to record the telemetry-overhead row "
+                             "(default: benchmarks/out/"
+                             "telemetry_overhead.json)")
+    parser.add_argument("--skip-telemetry", action="store_true",
+                        help="skip the live telemetry-overhead "
+                             "measurement")
     parser.add_argument("--max-eig-clipped-mass", type=float, default=1e-12,
                         help="allowed clipped-eigenvalue mass in the "
                              "circulant oracle's embedding (default 1e-12)")
@@ -794,8 +926,7 @@ def main(argv=None) -> int:
         # Live measurement first: the obs row is recorded even when the
         # bench JSONs are missing (that still exits 2 below).
         obs_row = measure_obs_overhead()
-        args.obs_results.parent.mkdir(exist_ok=True)
-        args.obs_results.write_text(json.dumps(obs_row, indent=2))
+        _write_row(args.obs_results, obs_row)
         print(
             f"obs gate: tracing off {obs_row['timings_s']['tracing_off_best']:.3f}s, "
             f"on {obs_row['timings_s']['tracing_on_best']:.3f}s, overhead "
@@ -810,8 +941,7 @@ def main(argv=None) -> int:
 
     if not args.skip_jobs_overhead:
         jobs_row = measure_jobs_overhead()
-        args.jobs_results.parent.mkdir(exist_ok=True)
-        args.jobs_results.write_text(json.dumps(jobs_row, indent=2))
+        _write_row(args.jobs_results, jobs_row)
         print(
             f"jobs gate: plain {jobs_row['timings_s']['plain_best']:.3f}s, "
             f"resilient {jobs_row['timings_s']['resilient_best']:.3f}s, "
@@ -826,8 +956,7 @@ def main(argv=None) -> int:
 
     if not args.skip_store_overhead:
         store_row = measure_store_overhead()
-        args.store_results.parent.mkdir(exist_ok=True)
-        args.store_results.write_text(json.dumps(store_row, indent=2))
+        _write_row(args.store_results, store_row)
         print(
             f"store gate: memory "
             f"{store_row['timings_s']['memory_best']:.3f}s, store "
@@ -843,8 +972,7 @@ def main(argv=None) -> int:
 
     if not args.skip_dtype_speedup:
         dtype_row = measure_dtype_speedup()
-        args.dtype_results.parent.mkdir(exist_ok=True)
-        args.dtype_results.write_text(json.dumps(dtype_row, indent=2))
+        _write_row(args.dtype_results, dtype_row)
         print(
             f"dtype gate: float64 "
             f"{dtype_row['timings_s']['float64_best']:.3f}s, float32 "
@@ -867,8 +995,7 @@ def main(argv=None) -> int:
 
     if not args.skip_dist:
         dist_row = measure_dist_scaling()
-        args.dist_results.parent.mkdir(exist_ok=True)
-        args.dist_results.write_text(json.dumps(dist_row, indent=2))
+        _write_row(args.dist_results, dist_row)
         cores = dist_row["usable_cores"]
         print(
             f"dist gate: 1 worker "
@@ -895,10 +1022,31 @@ def main(argv=None) -> int:
                 "context, threshold not enforced"
             )
 
+    if not args.skip_telemetry:
+        tel_row = measure_telemetry_overhead()
+        _write_row(args.telemetry_results, tel_row)
+        print(
+            f"telemetry gate: off "
+            f"{tel_row['timings_s']['telemetry_off_best']:.3f}s, on "
+            f"{tel_row['timings_s']['telemetry_on_best']:.3f}s, overhead "
+            f"{tel_row['overhead'] * 100:.2f}%, bit-identical: "
+            f"{tel_row['bit_identical_on_vs_off']}"
+        )
+        if not tel_row["bit_identical_on_vs_off"]:
+            failures.append(
+                "telemetry on vs off produced different bytes — the obs "
+                "contract forbids telemetry from changing the surface"
+            )
+        if not tel_row["overhead"] <= args.max_telemetry_overhead:  # NaN
+            failures.append(
+                f"telemetry overhead {tel_row['overhead'] * 100:.2f}% "
+                f"exceeds the {args.max_telemetry_overhead * 100:.1f}% "
+                f"budget"
+            )
+
     if not args.skip_circulant:
         circ_row = measure_circulant_throughput()
-        args.circulant_results.parent.mkdir(exist_ok=True)
-        args.circulant_results.write_text(json.dumps(circ_row, indent=2))
+        _write_row(args.circulant_results, circ_row)
         print(
             f"circulant gate: oracle "
             f"{circ_row['circulant_fields_per_s']:.1f} fields/s, "

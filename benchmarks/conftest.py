@@ -11,12 +11,10 @@ figure).  Set ``REPRO_BENCH_N=1024`` for the full-scale reference images.
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 from typing import Any, Dict
 
-import numpy as np
 import pytest
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
@@ -52,21 +50,13 @@ def record(out_dir):
     """Write a named JSON result row for EXPERIMENTS.md."""
 
     def _record(name: str, payload: Dict[str, Any]) -> None:
-        from _helpers import metrics_snapshot
+        from _helpers import metrics_snapshot, write_bench_json
 
         # Every row carries the process metrics state (plan-cache hit
-        # rate, live obs counters when tracing) as measurement context.
+        # rate, live obs counters when tracing) as measurement context;
+        # write_bench_json stamps schema version / git rev / timestamp.
         payload.setdefault("obs_metrics", metrics_snapshot())
-        path = out_dir / f"{name}.json"
-
-        def default(o):
-            if isinstance(o, (np.floating, np.integer)):
-                return o.item()
-            if isinstance(o, np.ndarray):
-                return o.tolist()
-            raise TypeError(f"unserialisable {type(o)}")
-
-        path.write_text(json.dumps(payload, indent=2, default=default))
+        write_bench_json(out_dir / f"{name}.json", payload)
 
     return _record
 

@@ -1,0 +1,149 @@
+"""Warn when bench rows drift against a recorded baseline.
+
+The bench harness writes one JSON row per experiment under
+``benchmarks/out/`` (stamped by :func:`_helpers.write_bench_json` with
+schema version, git rev and timestamp).  This script compares the
+numeric leaves of those rows against a committed baseline snapshot and
+warns on relative drift beyond a threshold (default 15%) — enough slack
+to absorb machine noise, tight enough to flag real perf or accuracy
+regressions before they land.
+
+Usage::
+
+    # record the current rows as the baseline
+    python benchmarks/track_regressions.py --update
+
+    # later: compare fresh rows against it (exit 0, warnings on stderr)
+    python benchmarks/track_regressions.py
+
+    # CI-style: non-zero exit when drift exceeds the threshold
+    python benchmarks/track_regressions.py --strict
+
+Only scalar numeric leaves are compared.  The ``bench`` provenance stamp
+(timestamp, git rev) and the free-form ``obs_metrics`` context block are
+excluded — they are measurement *metadata*, expected to change between
+runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_OUT = HERE / "out"
+DEFAULT_BASELINE = HERE / "baseline.json"
+DEFAULT_THRESHOLD = 0.15
+
+#: Top-level keys that are provenance/context, not measurements.
+SKIP_KEYS = {"bench", "obs_metrics"}
+
+
+def flatten(doc: Any, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric scalar leaf."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            if not prefix and key in SKIP_KEYS:
+                continue
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from flatten(value, f"{prefix}{i}.")
+    elif isinstance(doc, bool):
+        return
+    elif isinstance(doc, (int, float)):
+        yield prefix.rstrip("."), float(doc)
+
+
+def load_rows(out_dir: Path) -> Dict[str, Dict[str, float]]:
+    """Flattened numeric leaves of every ``*.json`` row in ``out_dir``."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for path in sorted(out_dir.glob("*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"track_regressions: skipping {path.name}: {exc}",
+                  file=sys.stderr)
+            continue
+        rows[path.name] = dict(flatten(doc))
+    return rows
+
+
+def compare(
+    baseline: Dict[str, Dict[str, float]],
+    current: Dict[str, Dict[str, float]],
+    threshold: float,
+) -> List[str]:
+    """Human-readable drift warnings for leaves beyond ``threshold``."""
+    warnings: List[str] = []
+    for name in sorted(set(baseline) & set(current)):
+        base_row, cur_row = baseline[name], current[name]
+        for key in sorted(set(base_row) & set(cur_row)):
+            base, cur = base_row[key], cur_row[key]
+            if not (math.isfinite(base) and math.isfinite(cur)):
+                continue
+            if base == 0.0:
+                if cur != 0.0:
+                    warnings.append(
+                        f"{name}:{key} was 0, now {cur:.6g}")
+                continue
+            drift = (cur - base) / abs(base)
+            if abs(drift) > threshold:
+                warnings.append(
+                    f"{name}:{key} drifted {drift:+.1%} "
+                    f"({base:.6g} -> {cur:.6g})")
+    for name in sorted(set(baseline) - set(current)):
+        warnings.append(f"{name}: present in baseline, missing from out/")
+    return warnings
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", type=Path, default=DEFAULT_OUT,
+                        help="directory of fresh bench rows")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline snapshot JSON")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="relative drift warning threshold "
+                             "(default 0.15)")
+    parser.add_argument("--update", action="store_true",
+                        help="record the current rows as the baseline")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when drift is found")
+    args = parser.parse_args(argv)
+
+    if not args.out_dir.is_dir():
+        print(f"track_regressions: no bench rows at {args.out_dir}",
+              file=sys.stderr)
+        return 0
+    current = load_rows(args.out_dir)
+
+    if args.update:
+        args.baseline.write_text(json.dumps(current, indent=2,
+                                            sort_keys=True))
+        print(f"track_regressions: baseline of {len(current)} row(s) "
+              f"written to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"track_regressions: no baseline at {args.baseline}; "
+              "run with --update to record one", file=sys.stderr)
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+
+    warnings = compare(baseline, current, args.threshold)
+    for line in warnings:
+        print(f"WARNING: {line}", file=sys.stderr)
+    print(f"track_regressions: {len(current)} row(s) checked against "
+          f"{len(baseline)} baseline row(s); "
+          f"{len(warnings)} drift warning(s) at >{args.threshold:.0%}")
+    return 1 if (warnings and args.strict) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,11 @@ Subcommands
     Export a saved surface as a Wavefront OBJ mesh.
 ``profile1d``
     Generate a 1D rough profile (direct 1D convolution method).
+``top``
+    Live status view of a running distributed generation: polls a
+    coordinator's ``/status`` endpoint (or falls back to reading a
+    ``SurfaceStore`` bitmap directly) and renders a refreshing
+    progress/worker table.
 
 The ``generate``, ``figure`` and ``job run`` subcommands share one
 execution-options flag group (``--engine/--tile/--backend/--workers/
@@ -282,6 +287,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 "--backend dist requires --store: the store's chunk "
                 "bitmap is the distributed completion ledger"
             )
+        telemetry = {}
+        if args.heartbeat is not None:
+            telemetry["heartbeat_s"] = args.heartbeat
+        if args.status_port is not None:
+            telemetry["status_port"] = args.status_port
+        if telemetry and args.backend != "dist":
+            raise SystemExit(
+                "--heartbeat/--status-port require --backend dist "
+                "(single-host backends have no coordinator to serve them)"
+            )
         rebuild = {
             "kind": "convolution",
             "spectrum": spectrum.to_dict(),
@@ -295,6 +310,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             gen, BlockNoise(seed=args.seed), plan,
             backend=args.backend, workers=args.workers,
             out=store, rebuild=rebuild,
+            telemetry=telemetry or None,
             **resilience,
         )
         surface.provenance["spectrum"] = spectrum.to_dict()
@@ -308,6 +324,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         raise SystemExit("--store requires --tile")
     if args.backend == "dist":
         raise SystemExit("--backend dist requires --tile and --store")
+    if args.heartbeat is not None or args.status_port is not None:
+        raise SystemExit(
+            "--heartbeat/--status-port require --tile with --backend dist"
+        )
     heights = gen.generate(seed=args.seed)
     surface = Surface(
         heights=np.asarray(heights),
@@ -556,9 +576,16 @@ def _cmd_dist_coordinator(args: argparse.Namespace) -> int:
         n_shards=args.workers or 2,
         host=args.host, port=args.port,
         persist_every=args.persist_every,
+        run_id=args.run_id,
+        heartbeat_s=args.heartbeat,
+        status_port=args.status_port,
     )
     host, port = coordinator.start()
     print(f"dist coordinator listening on {host}:{port}", flush=True)
+    status_addr = coordinator.status_address
+    if status_addr is not None:
+        print(f"dist status on {status_addr[0]}:{status_addr[1]} "
+              f"(/metrics /status /health)", flush=True)
     try:
         summary = coordinator.serve()
     except (TileFailedError, FailureBudgetExceeded, PoolRespawnLimit) as exc:
@@ -572,6 +599,149 @@ def _cmd_dist_coordinator(args: argparse.Namespace) -> int:
     print(json.dumps({"store": store.progress_summary(), **summary},
                      indent=2))
     return 0
+
+
+def _format_eta(seconds) -> str:
+    if seconds is None:
+        return "--"
+    seconds = float(seconds)
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def _render_status(doc: dict) -> str:
+    """Render one ``repro.obs.status/v1`` document as a text table."""
+    tiles = doc.get("tiles", {})
+    total = tiles.get("total", 0)
+    done = tiles.get("done", 0)
+    lines = [
+        f"run {doc.get('run_id') or '-'}  state {doc.get('state', '?')}  "
+        f"elapsed {_format_eta(doc.get('elapsed_s'))}",
+    ]
+    rate = doc.get("throughput_tiles_per_s")
+    lines.append(
+        f"tiles {done}/{total} ({100.0 * doc.get('progress', 0.0):.1f}%)  "
+        f"leased {tiles.get('leased') if tiles.get('leased') is not None else '-'}  "
+        f"throughput {rate if rate is not None else '--'} tiles/s  "
+        f"eta {_format_eta(doc.get('eta_s'))}"
+    )
+    lease = doc.get("lease") or {}
+    if lease:
+        lines.append(
+            "lease: granted {granted} completed {completed} "
+            "dup {duplicates} expired {expired} releases "
+            "{worker_releases} failures {failures}".format(
+                **{k: lease.get(k, 0)
+                   for k in ("granted", "completed", "duplicates",
+                             "expired", "worker_releases", "failures")}
+            )
+        )
+    workers = doc.get("workers") or []
+    if workers:
+        lines.append("")
+        lines.append(f"{'WORKER':<8}{'STATE':<7}{'TILE':>6}{'DONE':>6}"
+                     f"{'BUSY_S':>9}{'UTIL':>7}{'AGE_S':>8}")
+        for w in workers:
+            tile = w.get("tile")
+            lines.append(
+                f"{w.get('name', '?'):<8}{w.get('state', '?'):<7}"
+                f"{tile if tile is not None else '-':>6}"
+                f"{w.get('tiles_done', 0):>6}"
+                f"{w.get('busy_s', 0.0):>9.2f}"
+                f"{100.0 * w.get('utilization', 0.0):>6.0f}%"
+                f"{w.get('last_seen_age_s', 0.0):>8.1f}"
+            )
+    return "\n".join(lines)
+
+
+def _status_from_store(store) -> dict:
+    """A reduced status document read straight off a store bitmap.
+
+    The fallback view for runs with no status server (or after the
+    coordinator exited): the bitmap is the durable completion ledger,
+    so done/total/progress are exact; everything live (workers,
+    throughput, ETA) is simply absent.
+    """
+    from .dist.status import STATUS_SCHEMA
+
+    store.refresh_done()
+    progress = store.progress_summary()
+    total = int(progress["chunks_total"])
+    done = int(progress["chunks_done"])
+    return {
+        "schema": STATUS_SCHEMA,
+        "run_id": None,
+        "state": "complete" if done >= total else "running",
+        "source": "store",
+        "tiles": {"total": total, "done": done,
+                  "pending": total - done, "leased": None},
+        "progress": (done / total) if total else 1.0,
+        "throughput_tiles_per_s": None,
+        "eta_s": None,
+        "elapsed_s": None,
+        "lease": {},
+        "workers": [],
+    }
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll ``/status`` (or a store bitmap) and render a live table."""
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    if bool(args.connect) == bool(args.store):
+        raise SystemExit("top requires exactly one of --connect or --store")
+
+    if args.connect:
+        url = f"http://{args.connect}/status"
+
+        def fetch() -> dict:
+            with urllib.request.urlopen(url, timeout=5.0) as resp:
+                return json.loads(resp.read())
+
+        def cleanup() -> None:
+            pass
+    else:
+        from .io.store import SurfaceStore
+
+        try:
+            store = SurfaceStore.open(args.store, "r", ledger=False)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"--store: {exc}")
+
+        def fetch() -> dict:
+            return _status_from_store(store)
+
+        def cleanup() -> None:
+            store.close()
+
+    polled_ok = False
+    try:
+        while True:
+            try:
+                doc = fetch()
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                if polled_ok:
+                    print("status endpoint gone (run finished?)")
+                    return 0
+                raise SystemExit(f"cannot reach {args.connect}: {exc}")
+            polled_ok = True
+            body = (json.dumps(doc, indent=2) if args.json
+                    else _render_status(doc))
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+            print(body, flush=True)
+            if args.once or doc.get("state") in ("complete", "failed"):
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        cleanup()
 
 
 def _cmd_dist_worker(args: argparse.Namespace) -> int:
@@ -730,6 +900,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write spans in Chrome trace-event JSON, loadable in "
              "chrome://tracing or Perfetto (enables tracing)",
     )
+    parser.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="append structured JSONL events (run lifecycle, worker "
+             "joins/leaves, tile completions/failures) to PATH",
+    )
+    parser.add_argument(
+        "--events-level", choices=("debug", "info", "warn", "error"),
+        default="info",
+        help="minimum severity recorded by --events-out (default info; "
+             "debug includes per-tile lease/complete events)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     execution = _execution_parent()
 
@@ -744,6 +925,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write heights into an out-of-core SurfaceStore directory "
              "(chunked npy + bitmap; requires --tile; peak RSS stays "
              "O(tile), independent of --n)",
+    )
+    g.add_argument(
+        "--heartbeat", type=float, default=None, metavar="S",
+        help="dist backend: workers heartbeat the coordinator every S "
+             "seconds (progress counters + live metric deltas)",
+    )
+    g.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="dist backend: serve /metrics (Prometheus), /status "
+             "(JSON) and /health on this port (0 = OS-assigned)",
     )
     _add_output_args(g)
     g.set_defaults(func=_cmd_generate)
@@ -895,6 +1086,22 @@ def build_parser() -> argparse.ArgumentParser:
              '("tile=K[,attempt=N][,kind=raise|kill|delay][,delay=S]"; '
              "kill faults really do kill dist workers)",
     )
+    dc.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="run identifier stamped into events and /status "
+             "(default: generated)",
+    )
+    dc.add_argument(
+        "--heartbeat", type=float, default=None, metavar="S",
+        help="advertise a worker heartbeat interval of S seconds "
+             "(enables live per-worker status and staleness detection)",
+    )
+    dc.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text), /status (JSON, schema "
+             "repro.obs.status/v1) and /health on this port "
+             "(0 = OS-assigned; the bound address is printed at start)",
+    )
     dc.set_defaults(func=_cmd_dist_coordinator)
 
     dw = dsub.add_parser(
@@ -911,6 +1118,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after this many tiles (load-shedding / test hook)",
     )
     dw.set_defaults(func=_cmd_dist_worker)
+
+    t = sub.add_parser(
+        "top",
+        help="live status view of a running distributed generation",
+    )
+    t.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="a coordinator's status address (as printed by "
+             "`dist coordinator --status-port`)",
+    )
+    t.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="read progress straight off a SurfaceStore bitmap instead "
+             "(works without a status server, but shows no worker rows)",
+    )
+    t.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in seconds (default 1.0)",
+    )
+    t.add_argument(
+        "--once", action="store_true",
+        help="print a single snapshot and exit (no screen clearing)",
+    )
+    t.add_argument(
+        "--json", action="store_true",
+        help="emit the raw status document instead of the table",
+    )
+    t.set_defaults(func=_cmd_top)
 
     i = sub.add_parser("inspect", help="inspect a saved surface")
     i.add_argument("path")
@@ -963,25 +1198,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
     ``--metrics-out`` / ``--trace-out`` turn on tracing for the whole
-    command; without them the observability layer stays a no-op and the
+    command; ``--events-out`` streams the structured JSONL event log.
+    Without any of them the observability layer stays a no-op and the
     outputs are bit-identical.
     """
+    import contextlib
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not (args.metrics_out or args.trace_out):
-        return args.func(args)
-    with obs.recording() as rec:
-        with obs.trace("cli." + args.command):
+    with contextlib.ExitStack() as stack:
+        if args.events_out:
+            stack.enter_context(obs.event_logging(
+                args.events_out, level=args.events_level,
+            ))
+            obs.event("cli.start", command=args.command)
+        if not (args.metrics_out or args.trace_out):
             code = args.func(args)
-        if args.metrics_out:
-            obs.write_metrics_json(args.metrics_out, rec)
-            print(f"wrote {args.metrics_out}", file=sys.stderr)
-        if args.trace_out:
-            obs.write_chrome_trace(
-                args.trace_out, rec,
-                metadata={"command": args.command},
-            )
-            print(f"wrote {args.trace_out}", file=sys.stderr)
+        else:
+            with obs.recording() as rec:
+                with obs.trace("cli." + args.command):
+                    code = args.func(args)
+                if args.metrics_out:
+                    obs.write_metrics_json(args.metrics_out, rec)
+                    print(f"wrote {args.metrics_out}", file=sys.stderr)
+                if args.trace_out:
+                    obs.write_chrome_trace(
+                        args.trace_out, rec,
+                        metadata={"command": args.command},
+                    )
+                    print(f"wrote {args.trace_out}", file=sys.stderr)
+        if args.events_out:
+            obs.event("cli.finish", command=args.command, code=code)
     return code
 
 

@@ -31,6 +31,7 @@ from .coordinator import Coordinator
 from .executor import generate_dist
 from .lease import Lease, LeaseLedger
 from .spec import RunSpec
+from .status import STATUS_SCHEMA, RunTracker
 from .worker import run_worker
 
 __all__ = [
@@ -39,5 +40,7 @@ __all__ = [
     "Lease",
     "LeaseLedger",
     "RunSpec",
+    "RunTracker",
+    "STATUS_SCHEMA",
     "run_worker",
 ]

@@ -39,11 +39,14 @@ import numpy as np
 from .. import obs
 from ..io.store import SurfaceStore
 from ..jobs.retry import RetryPolicy
+from ..obs.events import event, new_run_id
+from ..obs.httpd import StatusServer
 from ..parallel.executor import _merge_tile_provenance
 from ..parallel.tiles import TilePlan
 from . import protocol
 from .lease import LeaseLedger
 from .spec import RunSpec
+from .status import RunTracker
 
 __all__ = ["Coordinator"]
 
@@ -77,6 +80,10 @@ class Coordinator:
         persist_every: int = 8,
         on_tile: Optional[Callable[[int, Any], None]] = None,
         clock: Callable[[], float] = time.monotonic,
+        run_id: Optional[str] = None,
+        heartbeat_s: Optional[float] = None,
+        status_port: Optional[int] = None,
+        status_host: str = "127.0.0.1",
     ) -> None:
         store.validate_plan(plan)
         if not store.owns_ledger:
@@ -110,6 +117,18 @@ class Coordinator:
         self._seconds_in_tiles = 0.0
         self.cache_delta = {"hits": 0, "misses": 0}
         self.prov_agg: Dict[str, Any] = {}
+        # -- telemetry plane (all opt-in; off = zero protocol change) --
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be positive, got {heartbeat_s}"
+            )
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.heartbeat_s = heartbeat_s
+        self.tracker = RunTracker(run_id=self.run_id,
+                                  heartbeat_s=heartbeat_s, clock=clock)
+        self._status_server: Optional[StatusServer] = None
+        self._status_port = status_port
+        self._status_host = status_host
         # welcome payload is identical for every worker; build it once
         self._spec_wire = spec.to_wire()
 
@@ -124,11 +143,29 @@ class Coordinator:
         self._host, self._port = self._listener.getsockname()[:2]
         if self.ledger.all_done():
             self._finished.set()  # resumed run with nothing left to do
+        if self._status_port is not None:
+            self._status_server = StatusServer(
+                self.status_snapshot, self.metrics_snapshot,
+                extra_gauges_fn=self._status_gauges,
+                host=self._status_host, port=self._status_port,
+            )
+            self._status_server.start()
+        event("dist.run.start", run=self.run_id,
+              tiles=len(self.tiles),
+              pending=self.ledger.pending_count(),
+              host=self._host, port=self._port)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="dist-accept", daemon=True
         )
         self._accept_thread.start()
         return (self._host, self._port)
+
+    @property
+    def status_address(self) -> Optional[Tuple[str, int]]:
+        """Bound ``(host, port)`` of the status server, or ``None``."""
+        if self._status_server is None:
+            return None
+        return self._status_server.address
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -184,9 +221,15 @@ class Coordinator:
             os.close(fd)
 
     def _shutdown(self) -> None:
+        event("dist.run.finish", run=self.run_id,
+              state="failed" if self._error is not None else "complete",
+              pending=self.ledger.pending_count())
         listener, self._listener = self._listener, None
         if listener is not None:
             listener.close()
+        server, self._status_server = self._status_server, None
+        if server is not None:
+            server.stop()
         # handlers are daemons; give orderly worker goodbyes a moment
         for t in list(self._handlers):
             t.join(timeout=5.0)
@@ -230,12 +273,18 @@ class Coordinator:
                 shard = self.ledger.shard_for(ord_)
                 with self._lock:
                     self._workers_connected += 1
+                    self.tracker.worker_connected(worker, self._clock())
                     if obs.enabled():
                         obs.set_gauge("dist.workers", self._workers_connected)
-                protocol.send_json(conn, {
+                welcome = {
                     "type": "welcome", "worker": worker, "shard": shard,
                     "spec": self._spec_wire,
-                })
+                }
+                if self.heartbeat_s is not None:
+                    welcome["heartbeat_s"] = self.heartbeat_s
+                protocol.send_json(conn, welcome)
+                event("dist.worker.join", run=self.run_id,
+                      worker=worker, shard=shard)
                 self._message_loop(conn, worker, shard)
         except (protocol.PeerGone, protocol.ProtocolError,
                 socket.timeout, OSError):
@@ -244,11 +293,15 @@ class Coordinator:
             with self._lock:
                 self._workers_connected -= 1
                 released = self.ledger.release_worker(worker, self._clock())
+                self.tracker.worker_gone(worker, self._clock())
                 if obs.enabled():
                     obs.set_gauge("dist.workers", self._workers_connected)
                     if released:
                         obs.add("dist.worker_releases")
                         obs.add("dist.leases_released", len(released))
+            event("dist.worker.leave", run=self.run_id, worker=worker,
+                  leases_released=len(released),
+                  level="warn" if released else "info")
 
     def _message_loop(self, conn: socket.socket, worker: str,
                       shard: int) -> None:
@@ -269,6 +322,8 @@ class Coordinator:
                 reply = self._handle_complete(worker, msg, heights)
             elif kind == "failed":
                 reply = self._handle_failed(worker, msg)
+            elif kind == "heartbeat":
+                reply = self._handle_heartbeat(worker, msg)
             else:
                 raise protocol.ProtocolError(
                     f"unexpected message type {kind!r} from {worker}"
@@ -281,14 +336,18 @@ class Coordinator:
         with self._lock:
             if self._error is not None:
                 return {"type": "abort", "error": repr(self._error)}
-            verdict, detail = self.ledger.request(
-                worker, shard, self._clock()
-            )
+            now = self._clock()
+            verdict, detail = self.ledger.request(worker, shard, now)
             if verdict == "grant":
+                self.tracker.lease_granted(worker, detail.index,
+                                           detail.attempt, now)
                 if obs.enabled():
                     obs.add("dist.leases_granted")
                     obs.set_gauge("dist.pending_tiles",
                                   self.ledger.pending_count())
+                event("dist.lease.grant", run=self.run_id, level="debug",
+                      worker=worker, tile=detail.index,
+                      attempt=detail.attempt)
                 return {
                     "type": "grant",
                     "tile": detail.index,
@@ -297,7 +356,35 @@ class Coordinator:
                 }
             if verdict == "complete":
                 return {"type": "done"}
+            self.tracker.heartbeat(worker, now)  # waiting worker is alive
             return {"type": "wait", "seconds": detail}
+
+    def _handle_heartbeat(self, worker: str, msg: Dict[str, Any]
+                          ) -> Dict[str, Any]:
+        """Fold one heartbeat into the live tracker; ack (or abort).
+
+        Heartbeats may carry a drained obs payload (counter deltas
+        accumulated since the last report); folding it here instead of
+        waiting for the completion report keeps ``/metrics`` live
+        during long tiles.  Drain payloads partition the counters, so
+        run totals stay deterministic whether a delta arrived in a
+        heartbeat or the final ``complete``.
+        """
+        with self._lock:
+            if self._error is not None:
+                return {"type": "abort", "error": repr(self._error)}
+            self.tracker.heartbeat(
+                worker, self._clock(),
+                tile=msg.get("tile"), attempt=msg.get("attempt"),
+                tiles_done=msg.get("tiles_done"),
+                busy_s=msg.get("busy_s"),
+            )
+            if obs.enabled():
+                obs.add("dist.heartbeats")
+                payload = msg.get("obs")
+                if payload:
+                    obs.get_recorder().merge_wire(payload)
+        return {"type": "ack"}
 
     def _handle_complete(self, worker: str, msg: Dict[str, Any],
                          heights: Optional[bytes]) -> Dict[str, Any]:
@@ -325,6 +412,10 @@ class Coordinator:
                 if obs.enabled():
                     obs.add("dist.bytes_shipped", len(heights))
             first = self.ledger.complete(idx, worker, now)
+            self.tracker.tile_completed(
+                worker, now, seconds=float(msg.get("seconds", 0.0)),
+                first=first,
+            )
             if first:
                 self._absorb_report(msg)
                 if self._on_tile is not None:
@@ -338,6 +429,9 @@ class Coordinator:
                     obs.add("dist.tiles_completed")
                     obs.set_gauge("dist.pending_tiles",
                                   self.ledger.pending_count())
+                event("dist.tile.complete", run=self.run_id, level="debug",
+                      worker=worker, tile=idx,
+                      seconds=round(float(msg.get("seconds", 0.0)), 4))
             elif obs.enabled():
                 obs.add("dist.duplicate_completions")
             if self.ledger.all_done():
@@ -361,18 +455,76 @@ class Coordinator:
                        ) -> Dict[str, Any]:
         idx = int(msg["tile"])
         error = str(msg.get("error", "unknown error"))
+        event("dist.tile.failed", run=self.run_id, level="warn",
+              worker=worker, tile=idx, error=error)
         with self._lock:
             if self._error is not None:
                 return {"type": "abort", "error": repr(self._error)}
             if obs.enabled():
                 obs.add("dist.tile_failures")
+            self.tracker.heartbeat(worker, self._clock())
             try:
                 self.ledger.fail(idx, worker, error, self._clock())
             except BaseException as exc:
                 self._error = exc
                 self._finished.set()
+                event("dist.run.abort", run=self.run_id, level="error",
+                      error=repr(exc))
                 return {"type": "abort", "error": repr(exc)}
         return {"type": "ack"}
+
+    # -- telemetry read side ----------------------------------------------
+    def status_snapshot(self) -> Dict[str, Any]:
+        """The live ``repro.obs.status/v1`` document (HTTP ``/status``).
+
+        Tile counts come from the store bitmap — the durable ledger —
+        not from any counter the tracker keeps, so a scrape and a
+        resume always agree on what is actually done.
+        """
+        with self._lock:
+            if self._error is not None:
+                state = "failed"
+            elif self.ledger.all_done():
+                state = "complete"
+            else:
+                state = "running"
+            return self.tracker.snapshot(
+                tiles_total=len(self.tiles),
+                tiles_done=int(self.store.done.sum()),
+                leased=len(self.ledger.leases),
+                lease_summary=self.ledger.summary(),
+                state=state,
+                now=self._clock(),
+            )
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The installed recorder's registry (HTTP ``/metrics`` body).
+
+        With recording off this is the null recorder's empty registry;
+        ``/metrics`` still carries run progress via the derived gauges
+        in :meth:`_status_gauges`.
+        """
+        return obs.get_recorder().metrics.as_dict()
+
+    def _status_gauges(self) -> Dict[str, float]:
+        """Derived samples exposed on ``/metrics`` even when obs is off."""
+        doc = self.status_snapshot()
+        gauges = {
+            "dist.status.tiles_total": float(doc["tiles"]["total"]),
+            "dist.status.tiles_done": float(doc["tiles"]["done"]),
+            "dist.status.tiles_pending": float(doc["tiles"]["pending"]),
+            "dist.status.tiles_leased": float(doc["tiles"]["leased"]),
+            "dist.status.progress": float(doc["progress"]),
+            "dist.status.elapsed_s": float(doc["elapsed_s"]),
+            "dist.status.workers": float(len(doc["workers"])),
+        }
+        if doc["throughput_tiles_per_s"] is not None:
+            gauges["dist.status.throughput_tiles_per_s"] = float(
+                doc["throughput_tiles_per_s"]
+            )
+        if doc["eta_s"] is not None:
+            gauges["dist.status.eta_s"] = float(doc["eta_s"])
+        return gauges
 
     # -- accounting --------------------------------------------------------
     def summary(self) -> Dict[str, Any]:

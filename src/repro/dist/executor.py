@@ -81,6 +81,9 @@ def generate_dist(
     persist_every: int = 8,
     on_tile: Optional[Callable[[int, Any], None]] = None,
     host: str = "127.0.0.1",
+    run_id: Optional[str] = None,
+    heartbeat_s: Optional[float] = None,
+    status_port: Optional[int] = None,
 ) -> Surface:
     """Generate ``plan`` into ``store`` with ``workers`` local worker
     processes scheduled by a lease coordinator.
@@ -121,6 +124,7 @@ def generate_dist(
         policy=policy, lease_timeout_s=lease_timeout_s,
         n_shards=workers, host=host,
         persist_every=persist_every, on_tile=on_tile,
+        run_id=run_id, heartbeat_s=heartbeat_s, status_port=status_port,
     )
     bound_host, port = coordinator.start()
     supervisor = _Supervisor(
@@ -157,6 +161,8 @@ def generate_dist(
             "shards": summary["shards"],
             "workers_seen": summary["workers_seen"],
             "seconds_in_tiles": summary["seconds_in_tiles"],
+            "run_id": coordinator.run_id,
+            "heartbeat_s": heartbeat_s,
         },
         "store": store.progress_summary(),
     }

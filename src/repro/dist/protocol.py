@@ -19,7 +19,8 @@ Message vocabulary (JSON frames; ``type`` discriminates)::
 
     worker -> coordinator            coordinator -> worker
     ---------------------            ---------------------
-    hello {protocol}                 welcome {worker, spec}
+    hello {protocol}                 welcome {worker, spec
+                                              [, heartbeat_s]}
     lease {worker}                   grant {tile, attempt, deadline_s}
                                      wait {seconds}
                                      done {}
@@ -28,6 +29,14 @@ Message vocabulary (JSON frames; ``type`` discriminates)::
               seconds, prov, cache,
               obs, heights_follow}
     failed {tile, attempt, error}    ack {} | abort {error}
+    heartbeat {tile, attempt,        ack {} | abort {error}
+               tiles_done, busy_s,
+               obs}
+
+Heartbeats are opt-in per run: the coordinator advertises the interval
+as ``heartbeat_s`` in its welcome, and a worker that received no
+interval never sends one — a telemetry-off run exchanges exactly the
+frames this protocol exchanged before heartbeats existed.
 
 The protocol version travels in ``hello`` and a mismatch is rejected
 before any work is leased, so a stale worker binary can never write

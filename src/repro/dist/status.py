@@ -1,0 +1,215 @@
+"""Live run status: per-worker health, EWMA throughput, ETA.
+
+The coordinator owns one :class:`RunTracker` and feeds it every
+protocol event it already handles (connect, grant, heartbeat, complete,
+disconnect); the tracker turns that stream into the
+``repro.obs.status/v1`` document served at ``/status`` and rendered by
+``repro top``.  It is deliberately *derived* state: losing it loses a
+progress bar, never a tile — the store bitmap remains the only durable
+completion ledger.
+
+Schema ``repro.obs.status/v1``::
+
+    {
+      "schema": "repro.obs.status/v1",
+      "run_id": "r-7f3a...",
+      "state": "running" | "complete" | "failed",
+      "elapsed_s": 12.3,
+      "tiles": {"total": 256, "done": 41, "pending": 210, "leased": 5},
+      "progress": 0.16,
+      "throughput_tiles_per_s": 3.4,        # EWMA; null before 2 completions
+      "eta_s": 61.8,                        # pending / throughput; null too
+      "lease": { ... LeaseLedger.summary() ... },
+      "heartbeat_s": 0.5,                   # null when heartbeats are off
+      "workers": [
+        {"name": "w0", "state": "busy" | "idle" | "stale" | "gone",
+         "tile": 17, "attempt": 1, "tiles_done": 21, "busy_s": 6.1,
+         "utilization": 0.51, "last_seen_age_s": 0.2}, ...
+      ]
+    }
+
+Threading: the tracker has no lock of its own — every mutator and
+:meth:`snapshot` must run under the coordinator lock, which is already
+the serialisation point for all the state this summarises.
+
+Staleness: a worker that has not been heard from for
+``STALE_HEARTBEATS`` consecutive heartbeat intervals is flagged
+``stale`` (likely wedged or partitioned; its leases will expire on the
+normal lease clock).  Without heartbeats there is no deadline to miss,
+so workers never go stale — only ``gone`` on disconnect.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["RunTracker", "STATUS_SCHEMA", "STALE_HEARTBEATS"]
+
+STATUS_SCHEMA = "repro.obs.status/v1"
+
+#: Missed-heartbeat deadline, in heartbeat intervals.  3 tolerates one
+#: lost frame plus scheduling jitter without flagging a healthy worker.
+STALE_HEARTBEATS = 3.0
+
+#: EWMA smoothing for the inter-completion interval; 0.2 ~ the last
+#: ten or so completions dominate, so the ETA tracks phase changes
+#: (cold caches warming, a worker dying) within a few tiles.
+EWMA_ALPHA = 0.2
+
+
+class _WorkerState:
+    __slots__ = ("name", "connected_at", "last_seen", "tile", "attempt",
+                 "tiles_done", "busy_s", "gone")
+
+    def __init__(self, name: str, now: float) -> None:
+        self.name = name
+        self.connected_at = now
+        self.last_seen = now
+        self.tile: Optional[int] = None
+        self.attempt: Optional[int] = None
+        self.tiles_done = 0
+        self.busy_s = 0.0
+        self.gone = False
+
+
+class RunTracker:
+    """Fold coordinator-side protocol events into live run status."""
+
+    def __init__(self, *, run_id: str, heartbeat_s: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.run_id = run_id
+        self.heartbeat_s = heartbeat_s
+        self._clock = clock
+        self.started_at = clock()
+        self._workers: Dict[str, _WorkerState] = {}
+        self._rate: Optional[float] = None  # EWMA tiles/s
+        self._last_completion_at: Optional[float] = None
+
+    # -- event feed (coordinator lock held) ----------------------------
+    def worker_connected(self, name: str, now: float) -> None:
+        self._workers[name] = _WorkerState(name, now)
+
+    def worker_gone(self, name: str, now: float) -> None:
+        w = self._workers.get(name)
+        if w is not None:
+            w.gone = True
+            w.last_seen = now
+            w.tile = None
+            w.attempt = None
+
+    def lease_granted(self, name: str, tile: int, attempt: int,
+                      now: float) -> None:
+        w = self._touch(name, now)
+        w.tile = tile
+        w.attempt = attempt
+
+    def heartbeat(self, name: str, now: float, *,
+                  tile: Optional[int] = None,
+                  attempt: Optional[int] = None,
+                  tiles_done: Optional[int] = None,
+                  busy_s: Optional[float] = None) -> None:
+        w = self._touch(name, now)
+        if tile is not None:
+            w.tile = int(tile)
+        if attempt is not None:
+            w.attempt = int(attempt)
+        if tiles_done is not None:
+            w.tiles_done = int(tiles_done)
+        if busy_s is not None:
+            w.busy_s = max(w.busy_s, float(busy_s))
+
+    def tile_completed(self, name: str, now: float, *,
+                       seconds: float = 0.0, first: bool = True) -> None:
+        w = self._touch(name, now)
+        w.tile = None
+        w.attempt = None
+        w.tiles_done += 1
+        w.busy_s += float(seconds)
+        if not first:
+            return  # duplicates advance no progress; keep the rate honest
+        last = self._last_completion_at
+        self._last_completion_at = now
+        if last is None:
+            return  # first completion: no interval yet
+        interval = max(now - last, 1e-9)
+        inst = 1.0 / interval
+        self._rate = (inst if self._rate is None
+                      else EWMA_ALPHA * inst + (1 - EWMA_ALPHA) * self._rate)
+
+    def _touch(self, name: str, now: float) -> _WorkerState:
+        w = self._workers.get(name)
+        if w is None:
+            w = _WorkerState(name, now)
+            self._workers[name] = w
+        w.last_seen = now
+        w.gone = False
+        return w
+
+    # -- read side -----------------------------------------------------
+    @property
+    def stale_after_s(self) -> Optional[float]:
+        if self.heartbeat_s is None:
+            return None
+        return STALE_HEARTBEATS * self.heartbeat_s
+
+    def throughput(self) -> Optional[float]:
+        return self._rate
+
+    def worker_rows(self, now: Optional[float] = None
+                    ) -> List[Dict[str, Any]]:
+        now = self._clock() if now is None else now
+        deadline = self.stale_after_s
+        rows = []
+        for name in sorted(self._workers):
+            w = self._workers[name]
+            age = max(0.0, now - w.last_seen)
+            if w.gone:
+                state = "gone"
+            elif deadline is not None and age > deadline:
+                state = "stale"
+            elif w.tile is not None:
+                state = "busy"
+            else:
+                state = "idle"
+            alive_s = max(now - w.connected_at, 1e-9)
+            rows.append({
+                "name": name,
+                "state": state,
+                "tile": w.tile,
+                "attempt": w.attempt,
+                "tiles_done": w.tiles_done,
+                "busy_s": round(w.busy_s, 3),
+                "utilization": round(min(w.busy_s / alive_s, 1.0), 4),
+                "last_seen_age_s": round(age, 3),
+            })
+        return rows
+
+    def snapshot(self, *, tiles_total: int, tiles_done: int,
+                 leased: int, lease_summary: Dict[str, Any],
+                 state: str = "running",
+                 now: Optional[float] = None) -> Dict[str, Any]:
+        """The full ``repro.obs.status/v1`` document."""
+        now = self._clock() if now is None else now
+        pending = max(tiles_total - tiles_done, 0)
+        rate = self._rate
+        eta = (pending / rate) if (rate and pending) else None
+        return {
+            "schema": STATUS_SCHEMA,
+            "run_id": self.run_id,
+            "state": state,
+            "elapsed_s": round(now - self.started_at, 3),
+            "tiles": {
+                "total": tiles_total,
+                "done": tiles_done,
+                "pending": pending,
+                "leased": leased,
+            },
+            "progress": (tiles_done / tiles_total) if tiles_total else 1.0,
+            "throughput_tiles_per_s": (round(rate, 4)
+                                       if rate is not None else None),
+            "eta_s": round(eta, 1) if eta is not None else None,
+            "lease": dict(lease_summary),
+            "heartbeat_s": self.heartbeat_s,
+            "workers": self.worker_rows(now),
+        }

@@ -25,6 +25,7 @@ never correctness.
 from __future__ import annotations
 
 import socket
+import threading
 import time
 from typing import Any, Dict, Optional, Tuple
 
@@ -100,6 +101,8 @@ def run_worker(
                 f"expected welcome, got {welcome.get('type')!r}"
             )
         spec = RunSpec.from_wire(welcome["spec"])
+        heartbeat_s = welcome.get("heartbeat_s")
+        busy_total = 0.0
         generator, noise, tiles = _materialise(spec)
         fault_plan = (FaultPlan.from_dicts(spec.faults)
                       if spec.faults else None)
@@ -127,11 +130,25 @@ def run_worker(
             attempt = int(msg.get("attempt", 1))
             tile = tiles[idx]
             try:
-                if fault_plan is not None:
-                    fault_plan.fire(idx, attempt)
-                before = plan_cache.stats()
-                heights, prov, seconds = _traced_tile(generator, noise, tile)
-                after = plan_cache.stats()
+                if heartbeat_s:
+                    outcome = _compute_with_heartbeats(
+                        sock, generator, noise, tile, fault_plan,
+                        idx, attempt, heartbeat_s,
+                        tiles_done=computed, busy_total=busy_total,
+                    )
+                    if isinstance(outcome, str):
+                        reason = outcome  # coordinator aborted mid-tile
+                        break
+                    heights, prov, seconds, before, after = outcome
+                else:
+                    if fault_plan is not None:
+                        fault_plan.fire(idx, attempt)
+                    before = plan_cache.stats()
+                    heights, prov, seconds = _traced_tile(
+                        generator, noise, tile
+                    )
+                    after = plan_cache.stats()
+                busy_total += seconds
             except BaseException as exc:
                 failures += 1
                 protocol.send_json(sock, {
@@ -187,6 +204,77 @@ def run_worker(
             store.close()  # non-owner handle: fsyncs data, leaves ledger
         sock.close()
     return {"tiles": computed, "failures": failures, "reason": reason}
+
+
+def _compute_with_heartbeats(
+    sock: socket.socket,
+    generator: Any,
+    noise: BlockNoise,
+    tile: Any,
+    fault_plan: Optional[FaultPlan],
+    idx: int,
+    attempt: int,
+    heartbeat_s: float,
+    *,
+    tiles_done: int,
+    busy_total: float,
+):
+    """Compute one tile while heartbeating the coordinator.
+
+    The tile runs in a background thread; this (socket-owning) thread
+    wakes every ``heartbeat_s`` and sends a ``heartbeat`` frame with
+    the worker's progress counters and a drained obs payload (counter
+    deltas since the last report), expecting ``ack``.  The computation
+    itself is byte-for-byte the inline path — only the thread it runs
+    on changes, and the engine is a pure function of its inputs, so
+    heartbeating can never change the surface.
+
+    Returns ``(heights, prov, seconds, cache_before, cache_after)``, or
+    the abort reason string if the coordinator aborted mid-tile.
+    Re-raises the tile's compute exception (the caller reports it as
+    ``failed``, exactly like the inline path).
+    """
+    box: Dict[str, Any] = {}
+
+    def compute() -> None:
+        try:
+            if fault_plan is not None:
+                fault_plan.fire(idx, attempt)
+            before = plan_cache.stats()
+            heights, prov, seconds = _traced_tile(generator, noise, tile)
+            after = plan_cache.stats()
+            box["value"] = (heights, prov, seconds, before, after)
+        except BaseException as exc:  # delivered to the caller below
+            box["error"] = exc
+
+    worker = threading.Thread(
+        target=compute, name=f"dist-tile-{idx}", daemon=True
+    )
+    t0 = time.monotonic()
+    worker.start()
+    while True:
+        worker.join(heartbeat_s)
+        if not worker.is_alive():
+            break
+        rec = obs.get_recorder()
+        protocol.send_json(sock, {
+            "type": "heartbeat",
+            "tile": idx,
+            "attempt": attempt,
+            "tiles_done": tiles_done,
+            "busy_s": busy_total + (time.monotonic() - t0),
+            "obs": rec.drain() if rec.enabled else None,
+        })
+        reply = protocol.recv_json(sock)
+        if reply.get("type") == "abort":
+            return f"abort: {reply.get('error')}"
+        if reply.get("type") != "ack":
+            raise protocol.ProtocolError(
+                f"expected heartbeat ack, got {reply.get('type')!r}"
+            )
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
 
 
 def _materialise(spec: RunSpec) -> Tuple[Any, BlockNoise, list]:

@@ -87,6 +87,12 @@ def _execute(
 
     if obs.enabled():
         obs.add("jobs.resumes" if resumed else "jobs.runs")
+    obs.event(
+        "jobs.run.start",
+        kind=ckpt.manifest["kind"], backend=backend,
+        resumed=resumed, tiles_skipped=len(skip),
+        checkpoint=str(ckpt.path),
+    )
     span = obs.trace("jobs.run", {
         "kind": ckpt.manifest["kind"], "backend": backend,
         "resumed": resumed, "tiles_skipped": len(skip),
@@ -103,10 +109,20 @@ def _execute(
     except BaseException as exc:
         ckpt.manifest["error"] = repr(exc)
         ckpt.write(status="failed")
+        obs.event(
+            "jobs.run.failed", level="error",
+            kind=ckpt.manifest["kind"], backend=backend,
+            error=repr(exc), checkpoint=str(ckpt.path),
+        )
         raise
     ckpt.manifest["error"] = None
     ckpt.manifest["resilience"] = surface.provenance.get("resilience")
     ckpt.write(status="complete")
+    obs.event(
+        "jobs.run.finish",
+        kind=ckpt.manifest["kind"], backend=backend,
+        resumed=resumed, checkpoint=str(ckpt.path),
+    )
     surface.provenance["job"] = {
         "checkpoint": str(ckpt.path),
         "resumed": resumed,

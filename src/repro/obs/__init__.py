@@ -27,6 +27,19 @@ m.json generate ...``.  See ``docs/OBSERVABILITY.md`` for the span and
 metric naming scheme and the overhead budget.
 """
 
+from .events import (
+    EVENT_LEVELS,
+    EventLog,
+    event,
+    event_log_enabled,
+    event_logging,
+    get_event_log,
+    install_event_log,
+    new_run_id,
+    uninstall_event_log,
+)
+from .export import prometheus_name, prometheus_text
+from .httpd import StatusServer
 from .metrics import DEFAULT_TIME_BUCKETS, Histogram, Metrics
 from .recorder import (
     NULL_RECORDER,
@@ -75,4 +88,16 @@ __all__ = [
     "timings_summary",
     "write_chrome_trace",
     "write_metrics_json",
+    "EVENT_LEVELS",
+    "EventLog",
+    "StatusServer",
+    "event",
+    "event_log_enabled",
+    "event_logging",
+    "get_event_log",
+    "install_event_log",
+    "new_run_id",
+    "prometheus_name",
+    "prometheus_text",
+    "uninstall_event_log",
 ]

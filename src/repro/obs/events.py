@@ -1,0 +1,247 @@
+"""Structured JSONL event log: leveled, non-blocking, run-scoped.
+
+Where spans and metrics answer "where did the time go", events answer
+"what happened, in what order": worker joined, lease granted, tile
+failed, run aborted.  Each event is one JSON object on its own line::
+
+    {"ts": 1754640000.123, "mono_ns": 8243001234, "run": "r-7f3a",
+     "lvl": "info", "event": "dist.worker.join", "worker": "w0"}
+
+``ts`` is wall-clock epoch seconds (for humans and cross-host joins),
+``mono_ns`` is ``time.monotonic_ns`` (for intra-process ordering that
+survives clock steps).  The writer is a daemon thread draining a
+*bounded* queue: emitters never block and never raise — when the queue
+is full the event is dropped and counted, so a stalled disk can cost
+visibility but never throughput.  That mirrors the recorder's
+span-retention contract: truncation is visible, not silent.
+
+Like the tracing switchboard in :mod:`repro.obs.recorder`, the module
+keeps one installed log; the free function :func:`event` is a no-op
+when none is installed, so instrumented code pays one attribute check
+when logging is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+import uuid
+from typing import Any, Dict, IO, Optional, Union
+
+__all__ = [
+    "EVENT_LEVELS",
+    "EventLog",
+    "event",
+    "event_log_enabled",
+    "get_event_log",
+    "install_event_log",
+    "uninstall_event_log",
+    "event_logging",
+    "new_run_id",
+]
+
+#: Severity order; a log configured at ``level`` drops anything below it.
+EVENT_LEVELS = ("debug", "info", "warn", "error")
+_RANK = {name: i for i, name in enumerate(EVENT_LEVELS)}
+
+#: Queue bound: deep enough for any burst the coordinator produces
+#: between disk writes, small enough that a wedged writer cannot hold
+#: gigabytes of pending lines.
+DEFAULT_MAX_QUEUE = 10_000
+
+
+def new_run_id() -> str:
+    """A short unique run identifier (``r-`` + 8 hex chars)."""
+    return "r-" + uuid.uuid4().hex[:8]
+
+
+class EventLog:
+    """Append JSONL events to ``path`` from a background writer thread.
+
+    Parameters
+    ----------
+    path:
+        File to append to (parent directories are created).  Pass an
+        open text file object instead to write into an existing stream
+        (tests; the log then does not close it).
+    run_id:
+        Stamped into every line as ``run``; generated when omitted.
+    level:
+        Minimum severity recorded (one of :data:`EVENT_LEVELS`).
+    max_queue:
+        Bound on buffered events; past it :meth:`emit` drops (counted
+        in :attr:`dropped`) rather than blocking the emitting thread.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike, IO[str]], *,
+                 run_id: Optional[str] = None, level: str = "info",
+                 max_queue: int = DEFAULT_MAX_QUEUE) -> None:
+        if level not in _RANK:
+            raise ValueError(
+                f"level must be one of {EVENT_LEVELS}, got {level!r}"
+            )
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.level = level
+        self._min_rank = _RANK[level]
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue(
+            maxsize=max(1, int(max_queue))
+        )
+        self._dropped = 0
+        self._drop_lock = threading.Lock()
+        self._closed = False
+        if hasattr(path, "write"):
+            self._file: IO[str] = path  # type: ignore[assignment]
+            self._owns_file = False
+            self.path: Optional[str] = getattr(path, "name", None)
+        else:
+            p = os.fspath(path)
+            parent = os.path.dirname(p)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._file = open(p, "a", encoding="utf-8")
+            self._owns_file = True
+            self.path = p
+        self._thread = threading.Thread(
+            target=self._drain, name="obs-events", daemon=True
+        )
+        self._thread.start()
+
+    # -- write side ----------------------------------------------------
+    def emit(self, name: str, *, level: str = "info",
+             **fields: Any) -> None:
+        """Queue one event; never blocks, never raises on a full queue."""
+        rank = _RANK.get(level)
+        if rank is None:
+            raise ValueError(
+                f"level must be one of {EVENT_LEVELS}, got {level!r}"
+            )
+        if rank < self._min_rank or self._closed:
+            return
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "mono_ns": time.monotonic_ns(),
+            "run": self.run_id,
+            "lvl": level,
+            "event": name,
+        }
+        record.update(fields)
+        try:
+            line = json.dumps(record, separators=(",", ":"), default=str)
+        except (TypeError, ValueError):
+            # an unserialisable field must not take the event with it
+            record = {k: repr(v) for k, v in record.items()}
+            line = json.dumps(record, separators=(",", ":"))
+        try:
+            self._queue.put_nowait(line)
+        except queue.Full:
+            with self._drop_lock:
+                self._dropped += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the queue was full."""
+        with self._drop_lock:
+            return self._dropped
+
+    # -- writer thread -------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            line = self._queue.get()
+            if line is None:
+                break
+            try:
+                self._file.write(line + "\n")
+                # flush per line: event logs exist for live tailing and
+                # post-crash forensics; a buffered tail defeats both
+                self._file.flush()
+            except (OSError, ValueError):
+                with self._drop_lock:
+                    self._dropped += 1
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Drain the queue, stop the writer, close an owned file."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)  # sentinel after all queued lines
+        self._thread.join(timeout=10.0)
+        if self._owns_file:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Module-level switchboard (mirrors the recorder switchboard)
+# ---------------------------------------------------------------------------
+_current: Optional[EventLog] = None
+_install_lock = threading.Lock()
+
+
+def get_event_log() -> Optional[EventLog]:
+    """The installed event log, or ``None`` when logging is off."""
+    return _current
+
+
+def event_log_enabled() -> bool:
+    return _current is not None
+
+
+def install_event_log(log: EventLog) -> None:
+    """Make ``log`` the process-wide event target."""
+    global _current
+    with _install_lock:
+        _current = log
+
+
+def uninstall_event_log() -> None:
+    global _current
+    with _install_lock:
+        _current = None
+
+
+def event(name: str, *, level: str = "info", **fields: Any) -> None:
+    """Emit on the installed log (no-op when event logging is off)."""
+    log = _current
+    if log is not None:
+        log.emit(name, level=level, **fields)
+
+
+class event_logging:
+    """Install an :class:`EventLog` for a ``with`` block.
+
+    >>> from repro.obs import events
+    >>> with events.event_logging("run.jsonl") as log:   # doctest: +SKIP
+    ...     events.event("job.start", n=4096)
+    """
+
+    def __init__(self, path: Union[str, os.PathLike, IO[str]], *,
+                 run_id: Optional[str] = None, level: str = "info",
+                 max_queue: int = DEFAULT_MAX_QUEUE) -> None:
+        self.log = EventLog(path, run_id=run_id, level=level,
+                            max_queue=max_queue)
+        self._previous: Optional[EventLog] = None
+
+    def __enter__(self) -> EventLog:
+        self._previous = get_event_log()
+        install_event_log(self.log)
+        return self.log
+
+    def __exit__(self, *exc) -> bool:
+        global _current
+        with _install_lock:
+            _current = self._previous
+        self.log.close()
+        return False

@@ -1,0 +1,108 @@
+"""Prometheus text-format exposition of a :class:`Metrics` snapshot.
+
+Renders the ``Metrics.as_dict()`` interchange form (the same payload
+the recorder drains, merges and writes as JSON) as Prometheus text
+format 0.0.4, the lingua franca every scrape agent understands:
+
+* counters  -> ``# TYPE <name> counter`` + a single sample;
+* gauges    -> ``# TYPE <name> gauge``;
+* histograms -> cumulative ``_bucket{le="..."}`` samples (Prometheus
+  buckets are cumulative; ours are per-bin, so this module does the
+  running sum) plus the ``_sum`` and ``_count`` conventions.
+
+Dotted repro metric names (``dist.tiles_completed``) become legal
+Prometheus identifiers by swapping every illegal character for ``_``
+and prefixing the namespace (``repro_dist_tiles_completed``).  The
+mapping is deliberately lossy-but-stable: two distinct dotted names
+never collide unless they already differed only in punctuation.
+
+Stdlib only, like everything under ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["prometheus_name", "prometheus_text"]
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Map a dotted repro metric name to a Prometheus identifier."""
+    flat = _ILLEGAL.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _fmt(value: float) -> str:
+    """Format a sample value (Prometheus accepts +Inf/-Inf/NaN tokens)."""
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _histogram_lines(name: str, hist: Mapping[str, Any]
+                     ) -> Iterable[str]:
+    yield f"# TYPE {name} histogram"
+    bounds = list(hist.get("bounds", ()))
+    counts = list(hist.get("counts", ()))
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += int(count)
+        yield f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+    # the overflow bin (counts has one more entry than bounds)
+    if len(counts) > len(bounds):
+        cumulative += int(counts[len(bounds)])
+    yield f'{name}_bucket{{le="+Inf"}} {cumulative}'
+    yield f"{name}_sum {_fmt(hist.get('sum', 0.0))}"
+    yield f"{name}_count {int(hist.get('count', 0))}"
+
+
+def prometheus_text(
+    metrics: Mapping[str, Any],
+    *,
+    prefix: str = "repro",
+    extra_gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render one ``Metrics.as_dict()`` payload as Prometheus text.
+
+    ``extra_gauges`` lets callers expose derived values that live
+    outside the registry (run progress, ETA) without first round-
+    tripping them through a recorder; they render as gauges under the
+    same prefix.  Output is sorted by metric name so scrapes diff
+    cleanly and tests can pin exact bodies.
+    """
+    sections: Dict[str, Tuple[str, ...]] = {}
+    for raw, value in (metrics.get("counters") or {}).items():
+        name = prometheus_name(raw, prefix)
+        sections[name] = (
+            f"# TYPE {name} counter",
+            f"{name} {_fmt(value)}",
+        )
+    gauges = dict(metrics.get("gauges") or {})
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    for raw, value in gauges.items():
+        name = prometheus_name(raw, prefix)
+        sections[name] = (
+            f"# TYPE {name} gauge",
+            f"{name} {_fmt(value)}",
+        )
+    for raw, hist in (metrics.get("histograms") or {}).items():
+        name = prometheus_name(raw, prefix)
+        sections[name] = tuple(_histogram_lines(name, hist))
+    lines = []
+    for name in sorted(sections):
+        lines.extend(sections[name])
+    return "\n".join(lines) + ("\n" if lines else "")

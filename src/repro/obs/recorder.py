@@ -227,13 +227,20 @@ class Recorder:
         The worker-side half of per-worker collection: the returned
         payload is plain picklable data (the same slim shape as the
         plan-cache deltas riding the result pipe).
+
+        The payload also carries this recorder's retention bound
+        (``max_spans``) so the receiving side can tell "the worker sent
+        everything" from "the worker was already truncating" — the
+        worker's own ``obs.spans_dropped`` counter rides along inside
+        ``metrics`` and sums into the run total on merge.
         """
         with self._lock:
             spans, self._spans = self._spans, []
             stats, self._span_stats = self._span_stats, {}
         metrics = self.metrics.as_dict()
         self.metrics.clear()
-        return {"spans": spans, "span_stats": stats, "metrics": metrics}
+        return {"spans": spans, "span_stats": stats, "metrics": metrics,
+                "max_spans": self.max_spans}
 
     def merge(self, payload: Dict[str, Any]) -> None:
         """Fold a :meth:`drain` payload (e.g. from a worker) into this one.
@@ -268,9 +275,20 @@ class Recorder:
         JSON round-tripping turns :data:`SpanRecord` tuples into lists
         and knows nothing of our shapes, so this validates before
         delegating to :meth:`merge`: non-dict payloads are rejected and
-        malformed span records are dropped (counted in
+        malformed span records or aggregates are dropped (counted in
         ``obs.spans_dropped``) rather than poisoning the trace.  Metric
-        dicts survive JSON unchanged, so they merge as-is.
+        dicts survive JSON unchanged, so they merge as-is — including
+        the sender's own ``obs.spans_dropped`` counter, which sums into
+        the run total so worker-side truncation stays visible in
+        coordinator-side aggregates.  Two extra keys carry recorder
+        state across the wire:
+
+        * ``spans_dropped`` — drops the sender counted *outside* its
+          metrics registry (e.g. a queue-bound shipper); folded into
+          the counter;
+        * ``max_spans`` — the sender's retention bound, kept as the
+          ``obs.worker_max_spans`` gauge (max-merged, like every
+          gauge) so a truncating worker's bound is inspectable.
         """
         if not isinstance(payload, dict):
             raise TypeError(
@@ -281,9 +299,23 @@ class Recorder:
                 if isinstance(s, (list, tuple)) and len(s) == 6]
         if len(good) != len(spans):
             self.metrics.inc("obs.spans_dropped", len(spans) - len(good))
+        stats = payload.get("span_stats", {}) or {}
+        good_stats = {
+            name: agg for name, agg in stats.items()
+            if (isinstance(agg, (list, tuple)) and len(agg) == 4
+                and all(isinstance(x, (int, float)) for x in agg))
+        } if isinstance(stats, dict) else {}
+        dropped = payload.get("spans_dropped", 0)
+        if isinstance(dropped, (int, float)) and dropped > 0:
+            self.metrics.inc("obs.spans_dropped", int(dropped))
+        bound = payload.get("max_spans")
+        if isinstance(bound, (int, float)) and bound > 0:
+            self.metrics.merge(
+                {"gauges": {"obs.worker_max_spans": float(bound)}}
+            )
         self.merge({
             "spans": good,
-            "span_stats": payload.get("span_stats", {}) or {},
+            "span_stats": good_stats,
             "metrics": payload.get("metrics", {}) or {},
         })
 

@@ -648,6 +648,7 @@ def generate_tiled(
     skip: Optional[Iterable[int]] = None,
     on_tile: Optional[Callable[[int, Tile], None]] = None,
     rebuild: Optional[dict] = None,
+    telemetry: Optional[dict] = None,
 ) -> Surface:
     """Generate a large surface tile-by-tile.
 
@@ -710,6 +711,13 @@ def generate_tiled(
         the ``dist`` backend, whose workers rebuild the generator in
         their own processes instead of receiving this one.  Ignored by
         the single-host backends.
+    telemetry:
+        ``dist``-backend live-telemetry options forwarded to
+        :func:`repro.dist.executor.generate_dist`: ``run_id``,
+        ``heartbeat_s`` (periodic worker heartbeat frames) and
+        ``status_port`` (coordinator HTTP ``/metrics``/``/status``/
+        ``/health``).  Rejected for the single-host backends, which
+        have no coordinator to serve it.
 
     Returns
     -------
@@ -749,6 +757,12 @@ def generate_tiled(
             rebuild, noise, plan, out,
             workers=workers or 2, retry=retry,
             fault_plan=fault_plan, on_tile=on_tile,
+            **(telemetry or {}),
+        )
+    if telemetry:
+        raise ValueError(
+            "telemetry= (heartbeats/status server) is a dist-backend "
+            f"option; backend {backend!r} has no coordinator to serve it"
         )
     grid = generator.grid  # type: ignore[attr-defined]
     # Duck-typed out-of-core target (repro.io.store.SurfaceStore): the

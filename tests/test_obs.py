@@ -122,6 +122,104 @@ class TestRecorder:
 
 
 # ---------------------------------------------------------------------------
+# wire merge edge cases (dist worker payloads after a JSON round-trip)
+# ---------------------------------------------------------------------------
+class TestMergeWire:
+    def _wire(self, recorder):
+        """A drain payload as it arrives off the dist socket."""
+        return json.loads(json.dumps(recorder.drain()))
+
+    def test_empty_payload_is_harmless(self):
+        parent = obs.Recorder()
+        parent.merge_wire({})
+        assert parent.spans() == []
+        assert parent.metrics.counters() == {}
+
+    def test_non_dict_payload_is_rejected(self):
+        parent = obs.Recorder()
+        with pytest.raises(TypeError, match="dict"):
+            parent.merge_wire(["not", "a", "payload"])
+
+    def test_drain_carries_the_retention_bound(self):
+        rec = obs.Recorder(max_spans=7)
+        assert rec.drain()["max_spans"] == 7
+
+    def test_worker_bound_becomes_a_max_merged_gauge(self):
+        parent = obs.Recorder()
+        small = obs.Recorder(max_spans=10)
+        large = obs.Recorder(max_spans=500)
+        parent.merge_wire(self._wire(small))
+        parent.merge_wire(self._wire(large))
+        parent.merge_wire(self._wire(obs.Recorder(max_spans=10)))
+        assert parent.metrics.gauge("obs.worker_max_spans") == 500.0
+
+    def test_toplevel_spans_dropped_folds_into_counter(self):
+        parent = obs.Recorder()
+        parent.merge_wire({"spans_dropped": 4})
+        parent.merge_wire({"spans_dropped": 2})
+        assert parent.metrics.counter("obs.spans_dropped") == 6
+        # non-positive / non-numeric values are ignored, not summed
+        parent.merge_wire({"spans_dropped": -3})
+        parent.merge_wire({"spans_dropped": "many"})
+        assert parent.metrics.counter("obs.spans_dropped") == 6
+
+    def test_worker_drop_counter_rides_metrics_and_sums(self):
+        """A worker that truncated its own span buffer reports it via
+        its metrics counter; the run total sums both workers."""
+        parent = obs.Recorder()
+        for _ in range(2):
+            w = obs.Recorder(max_spans=1)
+            with obs.recording(w):
+                for _ in range(3):
+                    with obs.trace("t"):
+                        pass
+            parent.merge_wire(self._wire(w))
+        assert parent.metrics.counter("obs.spans_dropped") == 4
+        assert len(parent.spans()) == 2
+
+    def test_overlapping_span_names_aggregate_across_workers(self):
+        parent = obs.Recorder()
+        for _ in range(2):
+            w = obs.Recorder()
+            with obs.recording(w):
+                with obs.trace("executor.tile"):
+                    pass
+                with obs.trace("executor.tile"):
+                    pass
+            # the JSON round-trip turned tuples and aggregates to lists
+            parent.merge_wire(self._wire(w))
+        stats = parent.span_stats()["executor.tile"]
+        assert stats["count"] == 4
+        assert stats["min_s"] <= stats["mean_s"] <= stats["max_s"]
+        assert len(parent.spans()) == 4
+
+    def test_malformed_spans_and_stats_are_dropped_not_fatal(self):
+        parent = obs.Recorder()
+        parent.merge_wire({
+            "spans": [
+                ["good", 0, 10, 1, 1, None],       # valid 6-list
+                ["short", 0, 10],                   # wrong arity: dropped
+                "not-a-span",                       # wrong type: dropped
+            ],
+            "span_stats": {
+                "good": [1, 10, 10, 10],
+                "bad_arity": [1, 10],
+                "bad_types": [1, "x", 10, 10],
+            },
+            "metrics": {"counters": {"w.count": 1}},
+        })
+        assert len(parent.spans()) == 1
+        assert parent.metrics.counter("obs.spans_dropped") == 2
+        assert list(parent.span_stats()) == ["good"]
+        assert parent.metrics.counter("w.count") == 1
+
+    def test_non_dict_span_stats_is_ignored(self):
+        parent = obs.Recorder()
+        parent.merge_wire({"span_stats": [1, 2, 3]})
+        assert parent.span_stats() == {}
+
+
+# ---------------------------------------------------------------------------
 # Metrics registry
 # ---------------------------------------------------------------------------
 class TestMetrics:
