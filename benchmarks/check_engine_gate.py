@@ -67,6 +67,18 @@ single-core machines the speedup is recorded as context only, matching
 the parallel bench's convention.  Recorded in
 ``benchmarks/out/dist_scaling.json``; ``--skip-dist`` skips it.
 
+Also measures the serve front door's shared-spectrum batching: 8
+concurrent small (512^2) requests drawing on the same noise plane with
+4 distinct spectrum heights, run through the
+``repro.serve.batch.Batcher`` (one noise read + one forward-FFT set
+shared across the group, value-equal kernels deduplicated) vs the same
+8 requests generated sequentially one solo windowed pass at a time.
+Fails when the batched throughput falls below
+``--min-serve-batch-speedup`` (default 1.5x) or any batched reply is
+not bit-identical to its solo counterpart (always enforced — batching
+may never change the bytes).  Recorded in
+``benchmarks/out/serve_batching.json``; ``--skip-serve`` skips it.
+
 Finally measures the circulant-embedding oracle's throughput against
 the convolution method on a 512^2 window (fields per second; the
 circulant sampler yields two independent fields per torus FFT) and
@@ -118,6 +130,9 @@ DEFAULT_DIST_RESULTS = (
 )
 DEFAULT_TELEMETRY_RESULTS = (
     Path(__file__).resolve().parent / "out" / "telemetry_overhead.json"
+)
+DEFAULT_SERVE_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "serve_batching.json"
 )
 
 # Overhead-measurement scenario: the engine bench's homogeneous FFT
@@ -697,6 +712,139 @@ def measure_telemetry_overhead() -> dict:
     }
 
 
+def measure_serve_batching() -> dict:
+    """Throughput of batched vs sequential shared-spectrum serving.
+
+    The serving workload this row models: 8 clients concurrently
+    request small (512^2) windows of the same noise plane (same seed,
+    same window) under 4 distinct spectrum heights — the
+    many-realisations / parameter-sweep pattern the serve front door
+    batches.  "Batched" runs all 8 through one
+    :class:`repro.serve.batch.Batcher` group (one noise read, one
+    forward-FFT set shared across the group, value-equal kernels
+    collapsed); "sequential" generates the same 8 replies one solo
+    ``generate_window`` pass at a time, each reading its own noise —
+    what serving would cost without the batcher.  Speedup is the median
+    of per-pair ratios over order-alternated back-to-back runs, and
+    every batched reply is compared byte-for-byte against its solo
+    counterpart: batching may change wall time, never bytes.
+    """
+    import threading
+
+    _import_repro()
+    import numpy as np
+
+    from repro.core.convolution import ConvolutionGenerator
+    from repro.core.grid import Grid2D
+    from repro.core.rng import BlockNoise
+    from repro.core.spectra import GaussianSpectrum
+    from repro.serve.batch import Batcher, BatchItem
+
+    n = 512
+    seed = 67
+    requests = 8
+    h_values = (0.5, 1.0, 1.5, 2.0)
+    grid = Grid2D(nx=256, ny=256, lx=256.0, ly=256.0)  # dx = 1
+    gens = [
+        ConvolutionGenerator(
+            GaussianSpectrum(h=h_values[i % len(h_values)],
+                             clx=24.0, cly=24.0),
+            grid, truncation=OBS_TRUNC, engine="fft",
+        )
+        for i in range(requests)
+    ]
+
+    def run_sequential():
+        t0 = time.perf_counter()
+        outs = [
+            np.asarray(g.generate_window(BlockNoise(seed=seed), 0, 0, n, n))
+            for g in gens
+        ]
+        return time.perf_counter() - t0, outs
+
+    def run_batched():
+        batcher = Batcher(linger_s=0.25, max_batch=requests)
+        batcher.start()
+        results: list = [None] * requests
+        errors: list = []
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def make_callbacks(i):
+            def on_done(heights, meta):
+                with lock:
+                    results[i] = (np.asarray(heights), meta)
+                    if all(r is not None for r in results):
+                        done.set()
+
+            def on_error(exc):
+                with lock:
+                    errors.append(exc)
+                    done.set()
+
+            return on_done, on_error
+
+        try:
+            t0 = time.perf_counter()
+            for i, g in enumerate(gens):
+                on_done, on_error = make_callbacks(i)
+                batcher.submit(BatchItem(
+                    generator=g, seed=seed, noise_block=None,
+                    window=(0, 0, n, n),
+                    on_done=on_done, on_error=on_error,
+                ))
+            if not done.wait(120.0):
+                raise RuntimeError("batched serve run timed out")
+            elapsed = time.perf_counter() - t0
+        finally:
+            batcher.stop()
+        if errors:
+            raise errors[0]
+        return elapsed, results
+
+    # warm: kernel plans, FFT workspaces, both execution paths
+    run_sequential()
+    _, warm = run_batched()
+    batched_with = warm[0][1]["batched_with"]
+    distinct_kernels = warm[0][1]["distinct_kernels"]
+
+    times_seq, times_batched, ratios = [], [], []
+    identical = True
+    for k in range(OVERHEAD_REPEATS):
+        if k % 2 == 0:
+            (ts, outs), (tb, got) = run_sequential(), run_batched()
+        else:
+            (tb, got), (ts, outs) = run_batched(), run_sequential()
+        times_seq.append(ts)
+        times_batched.append(tb)
+        ratios.append(ts / tb)
+        identical = identical and all(
+            got[i][0].tobytes() == outs[i].tobytes()
+            for i in range(requests)
+        )
+    speedup = sorted(ratios)[len(ratios) // 2]
+    return {
+        "claim": "serve batching: 8 concurrent same-noise 512^2 requests "
+                 ">= 1.5x throughput over sequential solo generation, "
+                 "every reply bit-identical to its solo counterpart",
+        "window": [n, n],
+        "requests": requests,
+        "h_values": list(h_values),
+        "kernel": list(gens[0].footprint),
+        "batched_with": batched_with,
+        "distinct_kernels": distinct_kernels,
+        "repeats": OVERHEAD_REPEATS,
+        "timings_s": {
+            "sequential_best": min(times_seq),
+            "batched_best": min(times_batched),
+            "sequential_all": times_seq,
+            "batched_all": times_batched,
+        },
+        "speedup_batched_vs_sequential": speedup,
+        "bit_identical_per_request": identical,
+    }
+
+
 def measure_circulant_throughput() -> dict:
     """Field throughput of the circulant oracle vs the convolution path.
 
@@ -908,6 +1056,18 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-telemetry", action="store_true",
                         help="skip the live telemetry-overhead "
                              "measurement")
+    parser.add_argument("--min-serve-batch-speedup", type=float,
+                        default=1.5,
+                        help="required batched-vs-sequential throughput "
+                             "speedup for 8 concurrent same-noise small "
+                             "requests through the serve batcher "
+                             "(default 1.5)")
+    parser.add_argument("--serve-results", type=Path,
+                        default=DEFAULT_SERVE_RESULTS,
+                        help="where to record the serve-batching row "
+                             "(default: benchmarks/out/serve_batching.json)")
+    parser.add_argument("--skip-serve", action="store_true",
+                        help="skip the serve-batching measurement")
     parser.add_argument("--max-eig-clipped-mass", type=float, default=1e-12,
                         help="allowed clipped-eigenvalue mass in the "
                              "circulant oracle's embedding (default 1e-12)")
@@ -1042,6 +1202,30 @@ def main(argv=None) -> int:
                 f"telemetry overhead {tel_row['overhead'] * 100:.2f}% "
                 f"exceeds the {args.max_telemetry_overhead * 100:.1f}% "
                 f"budget"
+            )
+
+    if not args.skip_serve:
+        serve_row = measure_serve_batching()
+        _write_row(args.serve_results, serve_row)
+        print(
+            f"serve gate: sequential "
+            f"{serve_row['timings_s']['sequential_best']:.3f}s, batched "
+            f"{serve_row['timings_s']['batched_best']:.3f}s, speedup "
+            f"{serve_row['speedup_batched_vs_sequential']:.2f}x "
+            f"({serve_row['batched_with']} requests/"
+            f"{serve_row['distinct_kernels']} kernels), bit-identical: "
+            f"{serve_row['bit_identical_per_request']}"
+        )
+        if not serve_row["bit_identical_per_request"]:
+            failures.append(
+                "serve batching produced bytes different from solo "
+                "generation — batching must never change the surface"
+            )
+        speedup = serve_row["speedup_batched_vs_sequential"]
+        if not speedup >= args.min_serve_batch_speedup:  # catches NaN too
+            failures.append(
+                f"serve batching speedup {speedup:.2f}x is below the "
+                f"required {args.min_serve_batch_speedup:.2f}x"
             )
 
     if not args.skip_circulant:

@@ -46,7 +46,7 @@ def test_bench_e3_coherent_attenuation(benchmark, record):
     hs = [0.02, 0.05, 0.10, 0.15, 0.20]
     h_arr, measured, analytic = benchmark.pedantic(
         lambda: coherent_attenuation_curve(
-            _gen, hs, LENGTH / N, K, THETA_I, n_realisations=24
+            _gen, hs, dx=LENGTH / N, k=K, theta_i=THETA_I, n_realisations=24
         ),
         rounds=1, iterations=1,
     )
@@ -73,13 +73,15 @@ def test_bench_e3_incoherent_shape(benchmark, record):
         profiles = [_gen(h, 500 + s) for s in range(n_real)]
         if not timed_once:
             ens = benchmark.pedantic(
-                lambda p=profiles: run_ensemble(p, LENGTH / N, K, THETA_I,
-                                                thetas),
+                lambda p=profiles: run_ensemble(p, dx=LENGTH / N, k=K,
+                                                theta_i=THETA_I,
+                                                theta_s=thetas),
                 rounds=1, iterations=1,
             )
             timed_once = True
         else:
-            ens = run_ensemble(profiles, LENGTH / N, K, THETA_I, thetas)
+            ens = run_ensemble(profiles, dx=LENGTH / N, k=K, theta_i=THETA_I,
+                               theta_s=thetas)
         mc = ens.incoherent_intensity
         ka = ka_incoherent_nrcs_gaussian(K, h, CL, THETA_I, thetas)
 

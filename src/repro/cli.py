@@ -25,9 +25,14 @@ Subcommands
     Export a saved surface as a Wavefront OBJ mesh.
 ``profile1d``
     Generate a 1D rough profile (direct 1D convolution method).
+``serve``
+    Surface-as-a-service: an asyncio HTTP front door that accepts
+    versioned ``GenerationSpec`` documents (POST /v1/jobs), batches
+    concurrent small same-spectrum requests onto one engine pass, and
+    range-serves big surfaces chunk-by-chunk from a ``SurfaceStore``.
 ``top``
-    Live status view of a running distributed generation: polls a
-    coordinator's ``/status`` endpoint (or falls back to reading a
+    Live status view of a running distributed generation or serve
+    endpoint: polls a ``/status`` endpoint (or falls back to reading a
     ``SurfaceStore`` bitmap directly) and renders a refreshing
     progress/worker table.
 
@@ -230,6 +235,55 @@ def _store_from_args(args: argparse.Namespace, grid,
         raise SystemExit(f"--store: {exc}")
 
 
+def _load_spec(path: str):
+    """Read a ``repro.spec/v1`` document for ``--spec`` flags."""
+    from .core.spec import GenerationSpec, SpecError
+
+    try:
+        return GenerationSpec.from_json(Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"--spec: {exc}")
+    except (SpecError, ValueError) as exc:
+        raise SystemExit(f"--spec: {exc}")
+
+
+def _spec_from_args(args: argparse.Namespace, rebuild: dict):
+    """The :class:`GenerationSpec` equivalent of a flag-built command.
+
+    This is what ``--dump-spec`` prints: one JSON document that
+    reproduces the exact same surface through ``generate --spec``,
+    ``job run --spec``, the dist backend, or a served POST.
+    """
+    from .core.spec import GenerationSpec
+
+    plan = None
+    if getattr(args, "tile", None):
+        plan = {"total_nx": args.n, "total_ny": args.n,
+                "tile_nx": args.tile, "tile_ny": args.tile,
+                "origin_x": 0, "origin_y": 0}
+    store = getattr(args, "store", None)
+    fault_plan = _fault_plan_from_args(args)
+    return GenerationSpec(
+        generator=rebuild,
+        seed=args.seed,
+        plan=plan,
+        store_path=str(Path(store).resolve()) if store else None,
+        faults=fault_plan.to_dicts() if fault_plan is not None else [],
+    )
+
+
+def _generate_rebuild(args: argparse.Namespace, spectrum: Spectrum) -> dict:
+    return {
+        "kind": "convolution",
+        "spectrum": spectrum.to_dict(),
+        "grid": {"nx": args.n, "ny": args.n,
+                 "lx": args.domain, "ly": args.domain},
+        "truncation": args.truncation,
+        "engine": args.engine,
+        "dtype": args.dtype,
+    }
+
+
 def _emit_surface(surface: Surface, args: argparse.Namespace) -> None:
     if obs.enabled():
         # Saved alongside the surface so ``inspect --timings`` can render
@@ -259,9 +313,72 @@ def _emit_surface(surface: Surface, args: argparse.Namespace) -> None:
         print(ascii_preview(surface))
 
 
+def _generate_from_spec(args: argparse.Namespace) -> int:
+    """``generate --spec FILE``: the spec document drives everything.
+
+    Spectrum/grid/seed flags are ignored; only execution knobs
+    (``--backend/--workers``) and output flags apply.  The heights are
+    bit-identical to every other consumer of the same document.
+    """
+    spec = _load_spec(args.spec)
+    gen = spec.build_generator()
+    if spec.plan is None:
+        if args.backend == "dist":
+            raise SystemExit("--backend dist requires a spec with a plan "
+                             "and a store_path")
+        heights = gen.generate(seed=spec.seed)
+        surface = Surface(
+            heights=np.asarray(heights), grid=gen.grid,
+            provenance={"method": spec.generator.get("kind"),
+                        "spec": spec.to_dict(), "seed": spec.seed},
+        )
+        _emit_surface(surface, args)
+        return 0
+    from .parallel.executor import generate_tiled
+
+    plan = spec.tile_plan()
+    store = None
+    if spec.store_path:
+        from .io.store import SurfaceStore
+
+        try:
+            store = SurfaceStore.create(
+                spec.store_path,
+                shape=(plan.total_nx, plan.total_ny),
+                chunk=(plan.tile_nx, plan.tile_ny),
+                dx=gen.grid.dx, dy=gen.grid.dy,
+                meta={"seed": spec.seed},
+            )
+        except (FileExistsError, ValueError) as exc:
+            raise SystemExit(f"spec store_path: {exc}")
+    if args.backend == "dist" and store is None:
+        raise SystemExit("--backend dist requires the spec to carry a "
+                         "store_path (the bitmap is the completion ledger)")
+    surface = generate_tiled(
+        gen, spec.noise(), plan,
+        backend=args.backend, workers=args.workers,
+        out=store, rebuild=spec.generator,
+    )
+    surface.provenance["spec"] = spec.to_dict()
+    surface.provenance["seed"] = spec.seed
+    _emit_surface(surface, args)
+    if store is not None:
+        store.close()
+        print(f"wrote store {store.path}")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.spec and args.dump_spec:
+        raise SystemExit("--spec and --dump-spec are mutually exclusive")
+    if args.spec:
+        return _generate_from_spec(args)
     grid = Grid2D(nx=args.n, ny=args.n, lx=args.domain, ly=args.domain)
     spectrum = _spectrum_from_args(args)
+    if args.dump_spec:
+        print(_spec_from_args(args, _generate_rebuild(args, spectrum))
+              .to_json(indent=2))
+        return 0
     gen = ConvolutionGenerator(
         spectrum, grid, truncation=args.truncation, engine=args.engine,
         dtype=args.dtype,
@@ -297,15 +414,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 "--heartbeat/--status-port require --backend dist "
                 "(single-host backends have no coordinator to serve them)"
             )
-        rebuild = {
-            "kind": "convolution",
-            "spectrum": spectrum.to_dict(),
-            "grid": {"nx": args.n, "ny": args.n,
-                     "lx": args.domain, "ly": args.domain},
-            "truncation": args.truncation,
-            "engine": args.engine,
-            "dtype": args.dtype,
-        }
+        rebuild = _generate_rebuild(args, spectrum)
         surface = generate_tiled(
             gen, BlockNoise(seed=args.seed), plan,
             backend=args.backend, workers=args.workers,
@@ -442,10 +551,56 @@ def _job_failed(exc: Exception, checkpoint: str) -> "SystemExit":
     )
 
 
+def _job_run_from_spec(args: argparse.Namespace) -> int:
+    """``job run --spec FILE``: checkpointed execution of one document."""
+    import dataclasses
+
+    from .core.spec import SpecError
+    from .jobs import (FailureBudgetExceeded, PoolRespawnLimit,
+                       TileFailedError, run_spec)
+
+    if args.mode != "tiled":
+        raise SystemExit("--spec only supports tiled mode (the plan in "
+                         "the document is a tile plan)")
+    spec = _load_spec(args.spec)
+    if getattr(args, "store", None):
+        # the CLI flag wins over the document's store_path
+        spec = dataclasses.replace(
+            spec, store_path=str(Path(args.store).resolve())
+        )
+    try:
+        surface = run_spec(
+            spec,
+            checkpoint=args.checkpoint,
+            backend=args.backend,
+            workers=args.workers,
+            retry=_retry_policy_from_args(args),
+            fault_plan=_fault_plan_from_args(args),
+            checkpoint_every=args.checkpoint_every,
+        )
+    except SpecError as exc:
+        raise SystemExit(f"--spec: {exc}")
+    except FileExistsError as exc:
+        raise SystemExit(str(exc))
+    except (TileFailedError, FailureBudgetExceeded, PoolRespawnLimit) as exc:
+        raise _job_failed(exc, args.checkpoint)
+    surface.provenance["seed"] = spec.seed
+    _emit_surface(surface, args)
+    return 0
+
+
 def _cmd_job_run(args: argparse.Namespace) -> int:
     from .jobs import (FailureBudgetExceeded, PoolRespawnLimit,
                        TileFailedError, run_strips, run_tiled)
 
+    if args.spec and args.dump_spec:
+        raise SystemExit("--spec and --dump-spec are mutually exclusive")
+    if args.dump_spec:
+        _gen, rebuild = _job_generator_and_rebuild(args)
+        print(_spec_from_args(args, rebuild).to_json(indent=2))
+        return 0
+    if args.spec:
+        return _job_run_from_spec(args)
     if args.tile is None or args.tile <= 0:
         raise SystemExit(
             "job run requires a positive --tile (tile edge for tiled "
@@ -535,7 +690,8 @@ def _cmd_dist_coordinator(args: argparse.Namespace) -> int:
     run completes and prints the run summary as JSON.  Re-running on an
     existing store resumes off its bitmap.
     """
-    from .dist import Coordinator, RunSpec
+    from .core.spec import GenerationSpec
+    from .dist import Coordinator
     from .io.store import SurfaceStore
     from .jobs import (FailureBudgetExceeded, PoolRespawnLimit,
                        TileFailedError)
@@ -558,9 +714,9 @@ def _cmd_dist_coordinator(args: argparse.Namespace) -> int:
             dx=grid.dx, dy=grid.dy, meta={"seed": args.seed},
         )
     fault_plan = _fault_plan_from_args(args)
-    spec = RunSpec(
-        rebuild=rebuild,
-        noise_seed=args.seed,
+    spec = GenerationSpec(
+        generator=rebuild,
+        seed=args.seed,
         plan={"total_nx": args.n, "total_ny": args.n,
               "tile_nx": args.tile, "tile_ny": args.tile,
               "origin_x": 0, "origin_y": 0},
@@ -654,6 +810,23 @@ def _render_status(doc: dict) -> str:
                 f"{100.0 * w.get('utilization', 0.0):>6.0f}%"
                 f"{w.get('last_seen_age_s', 0.0):>8.1f}"
             )
+    serve = doc.get("serve") or {}
+    if serve:
+        jobs = serve.get("jobs") or {}
+        lines.append(
+            "jobs: " + "  ".join(
+                f"{state} {jobs.get(state, 0)}"
+                for state in ("queued", "running", "complete", "failed")
+            )
+        )
+        tenants = serve.get("tenants") or {}
+        if tenants:
+            lines.append("")
+            lines.append(f"{'TENANT':<16}{'JOBS':>6}{'INFLIGHT':>10}")
+            for name in sorted(tenants):
+                t = tenants[name]
+                lines.append(f"{name:<16}{t.get('jobs', 0):>6}"
+                             f"{t.get('inflight', 0):>10}")
     return "\n".join(lines)
 
 
@@ -742,6 +915,53 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 0
     finally:
         cleanup()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the surface-as-a-service front door until interrupted.
+
+    Prints the bound address on the first line (machine-parsable:
+    ``serve listening on HOST:PORT``) so launchers and tests can use an
+    OS-assigned port.  ``repro-rrs top --connect HOST:PORT`` works
+    against it directly — ``/status`` speaks the same schema as a dist
+    coordinator.
+    """
+    import asyncio
+
+    from .serve import ServeConfig, SurfaceService, start_server
+
+    config = ServeConfig(
+        data_dir=Path(args.data_dir),
+        tenant_max_active=args.tenant_max_active,
+        tenant_max_queued=args.tenant_max_queued,
+        retry_after_s=args.retry_after,
+        batch_linger_s=args.batch_linger,
+        batch_max=args.batch_max,
+        workers=args.job_workers,
+        backend=args.backend,
+        inner_workers=args.workers,
+    )
+    service = SurfaceService(config)
+
+    async def run() -> None:
+        server = await start_server(service, host=args.host, port=args.port)
+        print(f"serve listening on {server.host}:{server.port}", flush=True)
+        print("POST /v1/jobs; GET /v1/jobs/{id}[/status|/chunks/N|/heights"
+              "|/result]; /status /metrics /health", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
 
 
 def _cmd_dist_worker(args: argparse.Namespace) -> int:
@@ -936,6 +1156,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="dist backend: serve /metrics (Prometheus), /status "
              "(JSON) and /health on this port (0 = OS-assigned)",
     )
+    g.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="run a repro.spec/v1 GenerationSpec JSON document; "
+             "spectrum/grid/seed flags are ignored (only "
+             "--backend/--workers and output flags apply)",
+    )
+    g.add_argument(
+        "--dump-spec", action="store_true",
+        help="print this command line as a GenerationSpec JSON document "
+             "and exit without generating (feed it back via --spec, "
+             "`job run --spec`, or POST it to a serve endpoint)",
+    )
     _add_output_args(g)
     g.set_defaults(func=_cmd_generate)
 
@@ -995,6 +1227,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-degrade", action="store_true",
         help="fail instead of degrading process->thread->serial when "
              "the worker pool keeps breaking",
+    )
+    jr.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="run a repro.spec/v1 GenerationSpec JSON document (must "
+             "carry a plan); spectrum/grid/seed flags are ignored",
+    )
+    jr.add_argument(
+        "--dump-spec", action="store_true",
+        help="print this command line as a GenerationSpec JSON document "
+             "and exit without running the job",
     )
     _add_output_args(jr)
     jr.set_defaults(func=_cmd_job_run)
@@ -1119,14 +1361,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dw.set_defaults(func=_cmd_dist_worker)
 
+    sv = sub.add_parser(
+        "serve",
+        help="surface-as-a-service: async HTTP front door accepting "
+             "GenerationSpec documents",
+    )
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="interface to listen on")
+    sv.add_argument(
+        "--port", type=int, default=0,
+        help="port to listen on (0 = OS-assigned; the bound address is "
+             "printed on the first output line)",
+    )
+    sv.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="root for per-job checkpoints and auto-assigned stores",
+    )
+    sv.add_argument(
+        "--tenant-max-active", type=_positive_int, default=2,
+        help="concurrently executing jobs per tenant (X-Tenant header)",
+    )
+    sv.add_argument(
+        "--tenant-max-queued", type=int, default=8,
+        help="additionally queued jobs per tenant before submissions "
+             "get 429 + Retry-After",
+    )
+    sv.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="S",
+        help="backoff advertised in the Retry-After header on 429",
+    )
+    sv.add_argument(
+        "--batch-linger", type=float, default=0.005, metavar="S",
+        help="window for piling concurrent small same-spectrum requests "
+             "onto one batched engine pass",
+    )
+    sv.add_argument(
+        "--batch-max", type=_positive_int, default=64,
+        help="largest single batched engine pass",
+    )
+    sv.add_argument(
+        "--job-workers", type=_positive_int, default=2,
+        help="thread-pool size for big (checkpointed) jobs",
+    )
+    sv.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="serial",
+        help="inner execution backend for big jobs",
+    )
+    sv.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="inner pool size for the thread/process big-job backends",
+    )
+    sv.set_defaults(func=_cmd_serve)
+
     t = sub.add_parser(
         "top",
         help="live status view of a running distributed generation",
     )
     t.add_argument(
         "--connect", default=None, metavar="HOST:PORT",
-        help="a coordinator's status address (as printed by "
-             "`dist coordinator --status-port`)",
+        help="a status address: a dist coordinator's (as printed by "
+             "`dist coordinator --status-port`) or a serve endpoint's "
+             "(as printed by `serve`) — both speak repro.obs.status/v1",
     )
     t.add_argument(
         "--store", default=None, metavar="DIR",

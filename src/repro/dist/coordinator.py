@@ -1,7 +1,7 @@
 """The dist coordinator: lease server + completion ledger over a store.
 
 One coordinator owns one run: it listens on a TCP address, hands every
-connecting worker the :class:`~repro.dist.spec.RunSpec`, leases tiles
+connecting worker the :class:`~repro.core.spec.GenerationSpec`, leases tiles
 through a :class:`~repro.dist.lease.LeaseLedger`, and is the *only*
 process that marks and persists the store's chunk bitmap.  Workers are
 stateless and interchangeable; all run state that matters lives in the
@@ -43,9 +43,9 @@ from ..obs.events import event, new_run_id
 from ..obs.httpd import StatusServer
 from ..parallel.executor import _merge_tile_provenance
 from ..parallel.tiles import TilePlan
+from ..core.spec import GenerationSpec
 from . import protocol
 from .lease import LeaseLedger
-from .spec import RunSpec
 from .status import RunTracker
 
 __all__ = ["Coordinator"]
@@ -68,7 +68,7 @@ class Coordinator:
 
     def __init__(
         self,
-        spec: RunSpec,
+        spec: GenerationSpec,
         plan: TilePlan,
         store: SurfaceStore,
         *,

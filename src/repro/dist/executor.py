@@ -40,8 +40,8 @@ from ..io.store import SurfaceStore
 from ..jobs.retry import RetryPolicy
 from ..parallel.executor import PoolRespawnLimit
 from ..parallel.tiles import TilePlan
+from ..core.spec import GenerationSpec
 from .coordinator import Coordinator
-from .spec import RunSpec
 
 __all__ = ["generate_dist", "worker_command", "worker_environment"]
 
@@ -105,9 +105,9 @@ def generate_dist(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     policy = retry if retry is not None else RetryPolicy()
-    spec = RunSpec(
-        rebuild=rebuild,
-        noise_seed=noise.seed,
+    spec = GenerationSpec(
+        generator=rebuild,
+        seed=noise.seed,
         noise_block=getattr(noise, "block", None),
         plan={
             "total_nx": plan.total_nx, "total_ny": plan.total_ny,

@@ -1,70 +1,81 @@
-"""The run specification a coordinator ships to every worker.
+"""Deprecation shim: ``RunSpec`` is now ``repro.core.spec.GenerationSpec``.
 
-A :class:`RunSpec` is everything a fresh process on any host needs to
-compute tiles bit-identically to the single-host path: the generator's
-``rebuild`` recipe (the same JSON recipe :mod:`repro.jobs` checkpoints),
-the noise plane's seed/block, the tile plan geometry, where finished
-heights go, and the observability / fault-injection switches.  It is
-deliberately *descriptive* — no live objects cross the wire, so the
-worker can run on a different host (or a different Python) as long as it
-speaks the protocol and shares the store when ``access == "shared"``.
+The run specification started life here as the dist wire's private
+document; PR 9 promoted it to :class:`repro.core.spec.GenerationSpec`,
+the one canonical "what to generate" encoding shared by the CLI, the
+jobs layer, the dist protocol and ``repro.serve``.  This module keeps
+the old constructor signature (``rebuild=``/``noise_seed=``) and the
+old, laxer validation working for existing callers, with a
+``DeprecationWarning`` pointing at the new home.
 
-Two height-delivery modes:
-
-``shared``
-    Worker opens the store path itself (same host or a shared
-    filesystem) with ``ledger=False`` and writes windows directly;
-    only completion reports cross the socket.
-``ship``
-    Worker has no store access; finished heights ride the socket as a
-    binary frame after each ``complete`` message and the coordinator
-    writes them.  Slower, but host-agnostic with no shared filesystem.
+The wire document itself is unchanged: ``GenerationSpec.to_wire()``
+emits exactly the frames deployed workers already parse (see
+``repro.dist/v1``), so old and new processes interoperate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Any, Dict, List, Optional
+
+from ..core.spec import ACCESS_MODES, GenerationSpec, SpecError
 
 __all__ = ["RunSpec", "ACCESS_MODES"]
 
-ACCESS_MODES = ("shared", "ship")
+
+def _warn() -> None:
+    warnings.warn(
+        "repro.dist.spec.RunSpec is deprecated; use "
+        "repro.core.spec.GenerationSpec (fields: generator=, seed=)",
+        DeprecationWarning, stacklevel=3,
+    )
 
 
-@dataclass(frozen=True)
-class RunSpec:
-    """Wire-serialisable description of one distributed run."""
+class RunSpec(GenerationSpec):
+    """Wire-serialisable description of one distributed run.
 
-    rebuild: Dict[str, Any]
-    noise_seed: int
-    plan: Dict[str, int]
-    store_path: Optional[str]
-    access: str = "shared"
-    noise_block: Optional[int] = None
-    obs: bool = False
-    faults: List[Dict[str, Any]] = field(default_factory=list)
+    Deprecated alias of :class:`repro.core.spec.GenerationSpec` keeping
+    the historical ``rebuild``/``noise_seed`` constructor arguments and
+    attribute names.
+    """
 
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        rebuild: Dict[str, Any],
+        noise_seed: int,
+        plan: Dict[str, int],
+        store_path: Optional[str],
+        access: str = "shared",
+        noise_block: Optional[int] = None,
+        obs: bool = False,
+        faults: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        _warn()
+        GenerationSpec.__init__(
+            self, generator=rebuild, seed=int(noise_seed), plan=plan,
+            noise_block=noise_block, store_path=store_path, access=access,
+            obs=obs, faults=list(faults or []),
+        )
+
+    # Historical RunSpec accepted any recipe dict carrying a 'kind';
+    # keep that contract for the shim instead of the strict v1 checks.
+    def validate(self) -> None:
         if self.access not in ACCESS_MODES:
             raise ValueError(
                 f"access must be one of {ACCESS_MODES}, got {self.access!r}"
             )
         if self.access == "shared" and not self.store_path:
             raise ValueError("shared access requires a store path")
-        if not isinstance(self.rebuild, dict) or "kind" not in self.rebuild:
+        if not isinstance(self.generator, dict) or "kind" not in self.generator:
             raise ValueError("rebuild recipe must be a dict with a 'kind'")
 
-    def to_wire(self) -> Dict[str, Any]:
-        return {
-            "rebuild": self.rebuild,
-            "noise_seed": self.noise_seed,
-            "noise_block": self.noise_block,
-            "plan": self.plan,
-            "store_path": self.store_path,
-            "access": self.access,
-            "obs": self.obs,
-            "faults": list(self.faults),
-        }
+    @property
+    def rebuild(self) -> Dict[str, Any]:
+        return self.generator
+
+    @property
+    def noise_seed(self) -> int:
+        return self.seed
 
     @classmethod
     def from_wire(cls, data: Dict[str, Any]) -> "RunSpec":
@@ -73,7 +84,8 @@ class RunSpec:
                 rebuild=data["rebuild"],
                 noise_seed=int(data["noise_seed"]),
                 noise_block=(int(data["noise_block"])
-                             if data.get("noise_block") is not None else None),
+                             if data.get("noise_block") is not None
+                             else None),
                 plan={k: int(v) for k, v in data["plan"].items()},
                 store_path=data.get("store_path"),
                 access=data.get("access", "shared"),
@@ -81,4 +93,6 @@ class RunSpec:
                 faults=list(data.get("faults") or []),
             )
         except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, SpecError):
+                raise
             raise ValueError(f"malformed run spec: {exc!r}") from exc

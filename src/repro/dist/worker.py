@@ -37,9 +37,8 @@ from ..core.rng import BlockNoise
 from ..io.store import SurfaceStore
 from ..jobs.faults import FaultPlan
 from ..parallel.executor import _slim_provenance, _traced_tile
-from ..parallel.tiles import TilePlan
+from ..core.spec import GenerationSpec
 from . import protocol
-from .spec import RunSpec
 
 __all__ = ["run_worker", "connect"]
 
@@ -100,7 +99,7 @@ def run_worker(
             raise protocol.ProtocolError(
                 f"expected welcome, got {welcome.get('type')!r}"
             )
-        spec = RunSpec.from_wire(welcome["spec"])
+        spec = GenerationSpec.from_wire(welcome["spec"])
         heartbeat_s = welcome.get("heartbeat_s")
         busy_total = 0.0
         generator, noise, tiles = _materialise(spec)
@@ -277,14 +276,7 @@ def _compute_with_heartbeats(
     return box["value"]
 
 
-def _materialise(spec: RunSpec) -> Tuple[Any, BlockNoise, list]:
+def _materialise(spec: GenerationSpec) -> Tuple[Any, BlockNoise, list]:
     """Rebuild the generator/noise/tiles a run spec describes."""
-    from ..jobs.runner import generator_from_rebuild  # local: avoid cycle
-
-    generator = generator_from_rebuild(spec.rebuild)
-    kwargs: Dict[str, Any] = {"seed": spec.noise_seed}
-    if spec.noise_block is not None:
-        kwargs["block"] = spec.noise_block
-    noise = BlockNoise(**kwargs)
-    plan = TilePlan(**spec.plan)
-    return generator, noise, plan.tiles()
+    generator = spec.build_generator()
+    return generator, spec.noise(), spec.tile_plan().tiles()

@@ -40,7 +40,8 @@ from ..parallel.executor import (
 from .checkpoint import FORMAT_VERSION, JobCheckpoint, generator_fingerprint
 from .faults import FaultPlan, FaultSpec, InjectedFault
 from .retry import RetryPolicy
-from .runner import resume, run_strips, run_tiled, status, strip_plan
+from .runner import (resume, run_spec, run_strips, run_tiled, status,
+                     strip_plan)
 
 __all__ = [
     "RetryPolicy",
@@ -52,6 +53,7 @@ __all__ = [
     "FORMAT_VERSION",
     "run_tiled",
     "run_strips",
+    "run_spec",
     "resume",
     "status",
     "strip_plan",

@@ -39,7 +39,7 @@ from .checkpoint import JobCheckpoint, generator_fingerprint
 from .faults import FaultPlan
 from .retry import RetryPolicy
 
-__all__ = ["run_tiled", "run_strips", "resume", "status",
+__all__ = ["run_tiled", "run_strips", "run_spec", "resume", "status",
            "generator_from_rebuild"]
 
 PathLike = Union[str, Path]
@@ -57,6 +57,7 @@ def _execute(
     fault_plan: Optional[FaultPlan],
     checkpoint_every: int,
     resumed: bool,
+    on_tile: Optional[Any] = None,
 ) -> Surface:
     """Run ``plan`` against the checkpoint, persisting progress.
 
@@ -77,13 +78,17 @@ def _execute(
     skip = ckpt.done_indices()
     since_write = 0
 
-    def on_tile(index: int, _tile) -> None:
+    def record_tile(index: int, tile) -> None:
         nonlocal since_write
         ckpt.mark_done(index)
         since_write += 1
         if since_write >= checkpoint_every:
             ckpt.write()
             since_write = 0
+        if on_tile is not None:
+            # caller's progress hook (serve job trackers); fires after
+            # the tile is durably recorded, in the parent process
+            on_tile(index, tile)
 
     if obs.enabled():
         obs.add("jobs.resumes" if resumed else "jobs.runs")
@@ -103,7 +108,7 @@ def _execute(
                 generator, noise, plan,
                 backend=backend, workers=workers,
                 retry=policy, fault_plan=fault_plan,
-                out=ckpt.out_target, skip=skip, on_tile=on_tile,
+                out=ckpt.out_target, skip=skip, on_tile=record_tile,
                 rebuild=ckpt.manifest.get("rebuild"),
             )
     except BaseException as exc:
@@ -145,6 +150,7 @@ def run_tiled(
     checkpoint_every: int = 1,
     rebuild: Optional[dict] = None,
     store: Optional[Any] = None,
+    on_tile: Optional[Any] = None,
 ) -> Surface:
     """Checkpointed tiled generation (resilient ``generate_tiled``).
 
@@ -169,7 +175,7 @@ def run_tiled(
         ckpt, generator, noise, plan,
         backend=backend, workers=workers, retry=policy,
         fault_plan=fault_plan, checkpoint_every=checkpoint_every,
-        resumed=False,
+        resumed=False, on_tile=on_tile,
     )
 
 
@@ -201,6 +207,7 @@ def run_strips(
     checkpoint_every: int = 1,
     rebuild: Optional[dict] = None,
     store: Optional[Any] = None,
+    on_tile: Optional[Any] = None,
 ) -> Surface:
     """Checkpointed strip-stream generation.
 
@@ -227,7 +234,7 @@ def run_strips(
         ckpt, generator, noise, plan,
         backend=backend, workers=workers, retry=policy,
         fault_plan=fault_plan, checkpoint_every=checkpoint_every,
-        resumed=False,
+        resumed=False, on_tile=on_tile,
     )
     surface.provenance["strips"] = len(plan)
     return surface
@@ -296,6 +303,58 @@ def generator_from_rebuild(rebuild: Optional[dict]) -> Any:
 _generator_from_rebuild = generator_from_rebuild
 
 
+def run_spec(
+    spec: Any,
+    *,
+    checkpoint: PathLike,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_every: int = 1,
+    store: Optional[Any] = None,
+    on_tile: Optional[Any] = None,
+) -> Surface:
+    """Execute a :class:`~repro.core.spec.GenerationSpec` as a
+    checkpointed tiled job.
+
+    The spec is the single source of truth: generator, noise plane and
+    tile plan are all materialised from it, its recipe is recorded as
+    the checkpoint's ``rebuild``, and — when ``store`` is not passed
+    explicitly — a ``spec.store_path`` creates the out-of-core
+    :class:`~repro.io.store.SurfaceStore` sink.  Any two calls with an
+    equal spec produce bit-identical heights on every backend; this is
+    the entry point the CLI's ``--spec`` flag and the ``repro.serve``
+    front door share.
+    """
+    from ..core.spec import SpecError
+
+    if spec.plan is None:
+        raise SpecError("plan", "spec-driven jobs are tiled; give the "
+                                "spec a plan (or a 'tile' shorthand)")
+    generator = spec.build_generator()
+    noise = spec.noise()
+    plan = spec.tile_plan()
+    if store is None and spec.store_path:
+        from ..io.store import SurfaceStore
+
+        grid = generator.grid
+        store = SurfaceStore.create(
+            spec.store_path, shape=(plan.total_nx, plan.total_ny),
+            chunk=(plan.tile_nx, plan.tile_ny),
+            dx=grid.dx, dy=grid.dy, meta={"seed": spec.seed},
+        )
+    if fault_plan is None and spec.faults:
+        fault_plan = FaultPlan.from_dicts(spec.faults)
+    return run_tiled(
+        generator, noise, plan,
+        checkpoint=checkpoint, backend=backend, workers=workers,
+        retry=retry, fault_plan=fault_plan,
+        checkpoint_every=checkpoint_every,
+        rebuild=spec.generator, store=store, on_tile=on_tile,
+    )
+
+
 def resume(
     path: PathLike,
     generator: Any = None,
@@ -306,6 +365,7 @@ def resume(
     fault_plan: Optional[FaultPlan] = None,
     checkpoint_every: int = 1,
     check_generator: bool = True,
+    on_tile: Optional[Any] = None,
 ) -> Surface:
     """Finish a checkpointed job; bit-identical to an uninterrupted run.
 
@@ -338,7 +398,7 @@ def resume(
         workers=workers if workers is not None
         else ckpt.manifest.get("workers"),
         retry=retry, fault_plan=fault_plan,
-        checkpoint_every=checkpoint_every, resumed=True,
+        checkpoint_every=checkpoint_every, resumed=True, on_tile=on_tile,
     )
 
 

@@ -75,7 +75,8 @@ def evaluate_link(
     surfaces automatically produce position-dependent links).
     """
     profile = extract_profile(
-        surface, start, end, tx_height, rx_height, n_samples
+        surface, start, end, tx_height=tx_height, rx_height=rx_height,
+        n_samples=n_samples,
     )
     d = profile.length
     fs = float(free_space_loss_db(np.array(d), frequency_hz))

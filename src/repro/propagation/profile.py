@@ -11,27 +11,64 @@ cites as ref. [7]).
 A :class:`PathProfile` is the terrain height sampled along the straight
 line between a transmitter and receiver, with antenna heights *above
 local ground*.  Profiles are extracted from any
-:class:`~repro.core.surface.Surface` by bilinear interpolation.
+:class:`~repro.core.surface.Surface` — or any
+:class:`~repro.core.api.HeightField` the unified generators return,
+given a grid — by bilinear interpolation, and carry the source's
+provenance forward so a link study can always be traced back to the
+spectrum/seed that produced its terrain.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..core.api import absorb_legacy_positionals
+from ..core.grid import Grid2D
 from ..core.surface import Surface
 
 __all__ = ["PathProfile", "extract_profile", "bilinear_sample"]
 
 
-def bilinear_sample(surface: Surface, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+def _as_surface(source: Any, grid: Optional[Grid2D],
+                origin: Tuple[float, float]) -> Surface:
+    """Normalise a terrain source to a :class:`Surface`.
+
+    Accepts a ``Surface`` directly, or a :class:`HeightField`/bare 2D
+    array plus an explicit ``grid`` (generator outputs know their
+    provenance but not their physical spacing).
+    """
+    if isinstance(source, Surface):
+        return source
+    heights = np.asarray(source, dtype=float)
+    if heights.ndim != 2:
+        raise ValueError(
+            f"terrain source must be a Surface or a 2D height field; "
+            f"got ndim={heights.ndim}"
+        )
+    if grid is None:
+        raise ValueError(
+            "sampling a HeightField needs grid= (a Grid2D giving the "
+            "physical spacing); Surface sources carry their own"
+        )
+    return Surface(
+        heights=heights, grid=grid, origin=origin,
+        provenance=dict(getattr(source, "provenance", None) or {}),
+    )
+
+
+def bilinear_sample(surface: Any, px: np.ndarray, py: np.ndarray, *,
+                    grid: Optional[Grid2D] = None,
+                    origin: Tuple[float, float] = (0.0, 0.0)) -> np.ndarray:
     """Bilinearly interpolated heights at physical coordinates.
 
-    Coordinates must lie within the surface extent (no extrapolation);
-    out-of-range queries raise.
+    ``surface`` is a :class:`Surface`, or a ``HeightField``/array with
+    ``grid=`` supplied.  Coordinates must lie within the surface extent
+    (no extrapolation); out-of-range queries raise.
     """
+    surface = _as_surface(surface, grid, origin)
     px = np.asarray(px, dtype=float)
     py = np.asarray(py, dtype=float)
     gx = (px - surface.origin[0]) / surface.grid.dx
@@ -71,6 +108,10 @@ class PathProfile:
     ground: np.ndarray
     tx_height: float
     rx_height: float
+    #: Provenance carried over from the source surface (spectrum, seed,
+    #: engine, ...) plus the extraction geometry — empty for hand-built
+    #: profiles.
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         d = np.asarray(self.distances, dtype=float)
@@ -116,20 +157,43 @@ class PathProfile:
 
 
 def extract_profile(
-    surface: Surface,
+    surface: Any,
     start: Tuple[float, float],
     end: Tuple[float, float],
-    tx_height: float,
-    rx_height: float,
+    *legacy: Any,
+    tx_height: Optional[float] = None,
+    rx_height: Optional[float] = None,
     n_samples: int = 256,
+    grid: Optional[Grid2D] = None,
+    origin: Tuple[float, float] = (0.0, 0.0),
 ) -> PathProfile:
     """Extract the terrain profile along the segment ``start -> end``.
 
-    Samples the surface by bilinear interpolation at ``n_samples`` evenly
-    spaced points (inclusive of both ends).
+    ``surface`` is a :class:`Surface` or any
+    :class:`~repro.core.api.HeightField`/2D array with ``grid=``
+    supplied.  Samples by bilinear interpolation at ``n_samples`` evenly
+    spaced points (inclusive of both ends); the result's ``provenance``
+    carries the source's record plus the extraction geometry.
+
+    ``tx_height``/``rx_height`` are keyword-only; the seed-era
+    positional shape ``extract_profile(s, a, b, tx, rx[, n])`` still
+    works with a :class:`DeprecationWarning`.
     """
+    if legacy:
+        absorbed = absorb_legacy_positionals(
+            "extract_profile", legacy,
+            ("tx_height", "rx_height", "n_samples"),
+        )
+        tx_height = absorbed.get("tx_height", tx_height)
+        rx_height = absorbed.get("rx_height", rx_height)
+        n_samples = absorbed.get("n_samples", n_samples)
+    if tx_height is None or rx_height is None:
+        raise TypeError(
+            "extract_profile() requires tx_height= and rx_height="
+        )
     if n_samples < 2:
         raise ValueError("need at least 2 samples")
+    surface = _as_surface(surface, grid, origin)
     x0, y0 = start
     x1, y1 = end
     total = float(np.hypot(x1 - x0, y1 - y0))
@@ -139,9 +203,15 @@ def extract_profile(
     px = x0 + t * (x1 - x0)
     py = y0 + t * (y1 - y0)
     ground = bilinear_sample(surface, px, py)
+    provenance = dict(surface.provenance or {})
+    provenance["path"] = {
+        "start": [float(x0), float(y0)], "end": [float(x1), float(y1)],
+        "n_samples": int(n_samples),
+    }
     return PathProfile(
         distances=t * total,
         ground=ground,
         tx_height=tx_height,
         rx_height=rx_height,
+        provenance=provenance,
     )

@@ -28,11 +28,12 @@ incoherent (diffuse) intensity compared against the KA series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.api import absorb_legacy_positionals
 from .kirchhoff import coherent_reflection_coefficient, ka_angular_kernel
 
 __all__ = [
@@ -105,6 +106,10 @@ class ScatteringEnsemble:
     mean_amplitude: np.ndarray     # <A>
     mean_intensity: np.ndarray     # <|A|^2>
     n_realisations: int
+    #: Provenance of the profiles that built the ensemble (from the
+    #: first :class:`~repro.core.api.HeightField`, when profiles carry
+    #: one) plus the experiment geometry.
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def coherent_intensity(self) -> np.ndarray:
@@ -117,17 +122,47 @@ class ScatteringEnsemble:
 
 def run_ensemble(
     profiles: Sequence[np.ndarray],
-    dx: float,
-    k: float,
-    theta_i: float,
-    theta_s: np.ndarray,
+    *legacy: Any,
+    dx: Optional[float] = None,
+    k: Optional[float] = None,
+    theta_i: Optional[float] = None,
+    theta_s: Optional[np.ndarray] = None,
 ) -> ScatteringEnsemble:
-    """Amplitude ensemble over a set of generated profiles."""
+    """Amplitude ensemble over a set of generated profiles.
+
+    Profiles may be bare arrays or the :class:`~repro.core.api.
+    HeightField` results of :class:`~repro.core.oned.ProfileGenerator`:
+    when ``dx`` is omitted it is read from the first field's provenance
+    (the unified generators stamp it), and the first field's provenance
+    is carried into the returned ensemble.
+
+    Everything after ``profiles`` is keyword-only; the seed-era
+    positional shape ``run_ensemble(profiles, dx, k, theta_i, theta_s)``
+    still works with a :class:`DeprecationWarning`.
+    """
+    if legacy:
+        absorbed = absorb_legacy_positionals(
+            "run_ensemble", legacy, ("dx", "k", "theta_i", "theta_s"),
+        )
+        dx = absorbed.get("dx", dx)
+        k = absorbed.get("k", k)
+        theta_i = absorbed.get("theta_i", theta_i)
+        theta_s = absorbed.get("theta_s", theta_s)
     profiles = list(profiles)
     if not profiles:
         raise ValueError("need at least one profile")
+    source_prov = dict(getattr(profiles[0], "provenance", None) or {})
+    if dx is None:
+        dx = source_prov.get("dx")
+        if dx is None:
+            raise TypeError(
+                "run_ensemble() requires dx= (the first profile carries "
+                "no provenance to infer it from)"
+            )
+    if k is None or theta_i is None or theta_s is None:
+        raise TypeError("run_ensemble() requires k=, theta_i= and theta_s=")
     n = profiles[0].size
-    x = np.arange(n) * dx
+    x = np.arange(n) * float(dx)
     taper = tukey_taper(n, 0.5)
     mean_a = np.zeros(np.asarray(theta_s).size, dtype=complex)
     mean_i = np.zeros(np.asarray(theta_s).size)
@@ -139,35 +174,70 @@ def run_ensemble(
         mean_a += a
         mean_i += np.abs(a) ** 2
     m = len(profiles)
+    provenance = source_prov
+    provenance["experiment"] = {
+        "kind": "ka-ensemble", "k": float(k),
+        "theta_i": float(theta_i), "n_realisations": m,
+    }
     return ScatteringEnsemble(
         theta_s=np.asarray(theta_s, dtype=float),
         mean_amplitude=mean_a / m,
         mean_intensity=mean_i / m,
         n_realisations=m,
+        provenance=provenance,
     )
 
 
 def coherent_attenuation_curve(
     generate: Callable[[float, int], np.ndarray],
     h_values: Sequence[float],
-    dx: float,
-    k: float,
-    theta_i: float,
+    *legacy: Any,
+    dx: Optional[float] = None,
+    k: Optional[float] = None,
+    theta_i: Optional[float] = None,
     n_realisations: int = 24,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Measured vs analytic coherent attenuation over a roughness sweep.
 
     ``generate(h, seed)`` must return a profile of fixed length with
-    height std ``h``.  Returns ``(h_values, measured, analytic)`` where
-    both curves are normalised to the flat-surface (h -> 0) response at
-    the specular angle — the cleanest KA validity check (Thorsos ref
-    [1] uses exactly this normalisation).
+    height std ``h`` — a bare array or a unified-API
+    :class:`~repro.core.api.HeightField` (whose provenance supplies
+    ``dx`` when the keyword is omitted).  Returns ``(h_values,
+    measured, analytic)`` where both curves are normalised to the
+    flat-surface (h -> 0) response at the specular angle — the cleanest
+    KA validity check (Thorsos ref [1] uses exactly this
+    normalisation).
+
+    Parameters after ``h_values`` are keyword-only; the seed-era
+    positional shape ``(generate, hs, dx, k, theta_i[, m])`` still
+    works with a :class:`DeprecationWarning`.
     """
+    if legacy:
+        absorbed = absorb_legacy_positionals(
+            "coherent_attenuation_curve", legacy,
+            ("dx", "k", "theta_i", "n_realisations"),
+        )
+        dx = absorbed.get("dx", dx)
+        k = absorbed.get("k", k)
+        theta_i = absorbed.get("theta_i", theta_i)
+        n_realisations = absorbed.get("n_realisations", n_realisations)
     h_values = np.asarray(list(h_values), dtype=float)
+    # flat reference (provenance, when present, can supply dx)
+    probe = generate(0.0, 0)
+    if dx is None:
+        dx = (getattr(probe, "provenance", None) or {}).get("dx")
+        if dx is None:
+            raise TypeError(
+                "coherent_attenuation_curve() requires dx= (the "
+                "generated profiles carry no provenance to infer it)"
+            )
+    if k is None or theta_i is None:
+        raise TypeError(
+            "coherent_attenuation_curve() requires k= and theta_i="
+        )
     theta_spec = np.array([theta_i])
-    # flat reference
-    flat = generate(0.0, 0) * 0.0
-    x = np.arange(flat.size) * dx
+    flat = np.asarray(probe, dtype=float) * 0.0
+    x = np.arange(flat.size) * float(dx)
     a_flat = scattering_amplitude(x, flat, k, theta_i, theta_spec)
     ref = abs(a_flat[0])
     measured = np.empty(h_values.size)
@@ -175,7 +245,8 @@ def coherent_attenuation_curve(
     for i, h in enumerate(h_values):
         profiles = [generate(float(h), 1000 * i + s)
                     for s in range(n_realisations)]
-        ens = run_ensemble(profiles, dx, k, theta_i, theta_spec)
+        ens = run_ensemble(profiles, dx=float(dx), k=k, theta_i=theta_i,
+                           theta_s=theta_spec)
         measured[i] = abs(ens.mean_amplitude[0]) / ref
         analytic[i] = coherent_reflection_coefficient(k, float(h), theta_i)
     return h_values, measured, analytic

@@ -1,0 +1,179 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the serve front door.
+
+The repo's exposition endpoints (:mod:`repro.obs.httpd`) use stdlib
+``http.server`` on a thread per scrape, which is right for a couple of
+Prometheus pollers but not for a request front door that must multiplex
+many slow readers (range-reads of multi-GB stores) over a few threads.
+This module is the asyncio counterpart: a hand-rolled, dependency-free
+request reader and response writer speaking enough HTTP/1.1 for the
+serve API — request line, headers, ``Content-Length`` bodies,
+keep-alive, and byte ranges.
+
+Deliberately *not* here: chunked transfer encoding, TLS, pipelining,
+compression.  A production deployment puts a reverse proxy in front;
+this speaks exactly what ``curl``, ``urllib`` and the test-suite need.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["HttpError", "Request", "read_request", "response_head",
+           "parse_range", "STATUS_REASONS"]
+
+#: Largest accepted request body (a spec document is a few KB; anything
+#: bigger is a client error, not a workload).
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted request line + header block.
+MAX_HEAD_BYTES = 1 << 16
+
+STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    206: "Partial Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    416: "Range Not Satisfiable",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An error reply with a status code and a JSON-able message.
+
+    ``headers`` lets raisers attach reply headers — the tenant
+    backpressure path uses it for ``Retry-After``.
+    """
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None,
+                 **extra) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+        self.extra = extra
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = (self.header("connection") or "").lower()
+        if conn == "close":
+            return False
+        return True  # HTTP/1.1 default
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` (400/413) on malformed input — the caller
+    replies and closes — and ``asyncio.IncompleteReadError`` when the
+    peer vanishes mid-request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request head too large")
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_text!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes exceeds "
+                                 f"the {MAX_BODY_BYTES} byte limit")
+        body = await reader.readexactly(length)
+    return Request(method=method.upper(), path=path, query=query,
+                   headers=headers, body=body)
+
+
+def response_head(status: int, headers: Dict[str, str]) -> bytes:
+    """Serialise the status line + headers (callers append the body)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def parse_range(header: Optional[str], size: int) -> Optional[Tuple[int, int]]:
+    """Resolve a ``Range: bytes=`` header against ``size`` total bytes.
+
+    Returns ``(offset, length)`` for a single satisfiable range,
+    ``None`` when no range was requested (serve the whole entity), and
+    raises ``HttpError(416)`` for unsatisfiable or multi-part ranges
+    (multi-part is deliberately unsupported: chunk endpoints give
+    clients aligned reads for free).
+    """
+    if header is None:
+        return None
+    if not header.startswith("bytes="):
+        raise HttpError(416, f"unsupported range unit in {header!r}")
+    spec = header[len("bytes="):]
+    if "," in spec:
+        raise HttpError(416, "multi-part ranges are not supported")
+    start_text, sep, end_text = spec.partition("-")
+    if not sep:
+        raise HttpError(416, f"malformed range {header!r}")
+    try:
+        if not start_text:
+            # suffix form: last N bytes
+            length = int(end_text)
+            if length <= 0:
+                raise HttpError(416, f"empty range {header!r}")
+            start = max(0, size - length)
+            end = size - 1
+        else:
+            start = int(start_text)
+            end = int(end_text) if end_text else size - 1
+    except ValueError:
+        raise HttpError(416, f"malformed range {header!r}")
+    if start >= size or end < start:
+        raise HttpError(416, f"range {header!r} outside entity "
+                             f"of {size} bytes")
+    end = min(end, size - 1)
+    return start, end - start + 1

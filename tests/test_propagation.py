@@ -122,10 +122,47 @@ class TestProfile:
 
     def test_extract_validation(self, flat_surface):
         with pytest.raises(ValueError):
-            extract_profile(flat_surface, (0.0, 0.0), (0.0, 0.0), 1.0, 1.0)
+            extract_profile(flat_surface, (0.0, 0.0), (0.0, 0.0),
+                            tx_height=1.0, rx_height=1.0)
         with pytest.raises(ValueError):
-            extract_profile(flat_surface, (0.0, 0.0), (10.0, 0.0), 1.0, 1.0,
-                            n_samples=1)
+            extract_profile(flat_surface, (0.0, 0.0), (10.0, 0.0),
+                            tx_height=1.0, rx_height=1.0, n_samples=1)
+        with pytest.raises(TypeError, match="tx_height"):
+            extract_profile(flat_surface, (0.0, 0.0), (10.0, 0.0))
+
+    def test_extract_legacy_positional_warns(self, flat_surface):
+        with pytest.warns(DeprecationWarning, match="tx_height, rx_height"):
+            p = extract_profile(flat_surface, (100.0, 256.0),
+                                (1900.0, 256.0), 5.0, 5.0)
+        assert p.tx_height == 5.0 and p.rx_height == 5.0
+
+    def test_extract_preserves_provenance(self, hill_surface):
+        hill_surface.provenance["seed"] = 42
+        p = extract_profile(hill_surface, (100.0, 256.0), (1900.0, 256.0),
+                            tx_height=10.0, rx_height=2.0)
+        assert p.provenance["seed"] == 42
+        assert p.provenance["path"]["start"] == [100.0, 256.0]
+        assert p.provenance["path"]["n_samples"] == 256
+
+    def test_extract_from_heightfield(self, hill_surface):
+        # a unified-API generator result: HeightField + explicit grid
+        from repro.core.api import HeightField
+
+        field = HeightField.wrap(hill_surface.heights,
+                                 {"method": "convolution", "seed": 9})
+        p = extract_profile(field, (100.0, 256.0), (1900.0, 256.0),
+                            tx_height=10.0, rx_height=2.0,
+                            grid=hill_surface.grid)
+        ref = extract_profile(hill_surface, (100.0, 256.0), (1900.0, 256.0),
+                              tx_height=10.0, rx_height=2.0)
+        assert p.ground == pytest.approx(ref.ground)
+        assert p.provenance["seed"] == 9
+
+    def test_heightfield_without_grid_rejected(self, hill_surface):
+        with pytest.raises(ValueError, match="grid"):
+            extract_profile(np.asarray(hill_surface.heights),
+                            (100.0, 256.0), (1900.0, 256.0),
+                            tx_height=10.0, rx_height=2.0)
 
 
 class TestDeygout:

@@ -129,7 +129,8 @@ class TestEnsemble:
     def test_decomposition_identity(self):
         profiles, dx = self._profiles(0.1, 8)
         thetas = np.deg2rad(np.linspace(-40, 60, 51))
-        ens = run_ensemble(profiles, dx, K, THETA_I, thetas)
+        ens = run_ensemble(profiles, dx=dx, k=K, theta_i=THETA_I,
+                           theta_s=thetas)
         assert np.all(ens.incoherent_intensity >= 0.0)
         assert np.allclose(
             ens.coherent_intensity + ens.incoherent_intensity,
@@ -142,21 +143,24 @@ class TestEnsemble:
         # enough realisations and a ratio the residual cannot reach.
         profiles, dx = self._profiles(0.5, 48)
         thetas = np.array([THETA_I])
-        ens = run_ensemble(profiles, dx, K, THETA_I, thetas)
+        ens = run_ensemble(profiles, dx=dx, k=K, theta_i=THETA_I,
+                           theta_s=thetas)
         assert ens.incoherent_intensity[0] > 4.0 * ens.coherent_intensity[0]
 
     def test_smooth_surface_mostly_coherent(self):
         profiles, dx = self._profiles(0.02, 12)  # g << 1
         thetas = np.array([THETA_I])
-        ens = run_ensemble(profiles, dx, K, THETA_I, thetas)
+        ens = run_ensemble(profiles, dx=dx, k=K, theta_i=THETA_I,
+                           theta_s=thetas)
         assert ens.coherent_intensity[0] > 5.0 * ens.incoherent_intensity[0]
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            run_ensemble([], 0.1, K, THETA_I, np.array([0.0]))
+            run_ensemble([], dx=0.1, k=K, theta_i=THETA_I,
+                         theta_s=np.array([0.0]))
         with pytest.raises(ValueError):
-            run_ensemble([np.zeros(8), np.zeros(9)], 0.1, K, THETA_I,
-                         np.array([0.0]))
+            run_ensemble([np.zeros(8), np.zeros(9)], dx=0.1, k=K,
+                         theta_i=THETA_I, theta_s=np.array([0.0]))
 
 
 class TestCoherentCurve:
@@ -171,8 +175,78 @@ class TestCoherentCurve:
             return g.generate(seed=seed)
 
         hs, measured, analytic = coherent_attenuation_curve(
-            gen, [0.05, 0.10, 0.15], dx, K, THETA_I, n_realisations=12
+            gen, [0.05, 0.10, 0.15], dx=dx, k=K, theta_i=THETA_I,
+            n_realisations=12
         )
         assert np.all(np.abs(measured - analytic) < 0.08)
         # monotone decay
         assert measured[0] > measured[1] > measured[2]
+
+
+class TestUnifiedApi:
+    """The PR 9 port onto the SurfaceGenerator/HeightField protocol."""
+
+    def _fields(self, n_prof, n=512, length=50.0):
+        gen = ProfileGenerator(Gaussian1D(h=0.1, cl=2.0), n, length)
+        return [gen.generate(seed=s) for s in range(n_prof)], length / n
+
+    def test_dx_inferred_from_heightfield_provenance(self):
+        fields, dx = self._fields(4)
+        assert fields[0].provenance["dx"] == pytest.approx(dx)
+        thetas = np.array([THETA_I])
+        inferred = run_ensemble(fields, k=K, theta_i=THETA_I, theta_s=thetas)
+        explicit = run_ensemble(fields, dx=dx, k=K, theta_i=THETA_I,
+                                theta_s=thetas)
+        assert inferred.mean_amplitude == pytest.approx(
+            explicit.mean_amplitude)
+
+    def test_ensemble_preserves_provenance(self):
+        fields, dx = self._fields(3)
+        ens = run_ensemble(fields, k=K, theta_i=THETA_I,
+                           theta_s=np.array([THETA_I]))
+        assert ens.provenance["method"] == "convolution-1d"
+        assert ens.provenance["experiment"]["n_realisations"] == 3
+        assert ens.provenance["experiment"]["k"] == pytest.approx(K)
+
+    def test_bare_arrays_require_dx(self):
+        with pytest.raises(TypeError, match="dx"):
+            run_ensemble([np.zeros(64)], k=K, theta_i=THETA_I,
+                         theta_s=np.array([0.0]))
+
+    def test_legacy_positional_shape_warns_and_matches(self):
+        fields, dx = self._fields(3)
+        thetas = np.array([THETA_I])
+        with pytest.warns(DeprecationWarning, match="dx, k, theta_i"):
+            legacy = run_ensemble(fields, dx, K, THETA_I, thetas)
+        modern = run_ensemble(fields, dx=dx, k=K, theta_i=THETA_I,
+                              theta_s=thetas)
+        assert legacy.mean_amplitude == pytest.approx(modern.mean_amplitude)
+
+    def test_curve_legacy_positional_shape_warns(self):
+        n, length = 256, 25.0
+        gen = ProfileGenerator(Gaussian1D(h=0.05, cl=2.0), n, length)
+
+        def make(h, seed):
+            return np.zeros(n) if h == 0.0 else gen.generate(seed=seed)
+
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            coherent_attenuation_curve(make, [0.05], length / n, K, THETA_I,
+                                       4)
+
+    def test_curve_accepts_heightfield_generator(self):
+        n, length = 256, 25.0
+
+        def make(h, seed):
+            if h == 0.0:
+                return ProfileGenerator(
+                    Gaussian1D(h=0.05, cl=2.0), n, length
+                ).generate(seed=0) * 0.0
+            return ProfileGenerator(
+                Gaussian1D(h=h, cl=2.0), n, length
+            ).generate(seed=seed)
+
+        # dx comes from the HeightField provenance, no keyword needed
+        hs, measured, analytic = coherent_attenuation_curve(
+            make, [0.05], k=K, theta_i=THETA_I, n_realisations=4
+        )
+        assert measured.shape == analytic.shape == (1,)

@@ -1,0 +1,460 @@
+"""End-to-end and unit tests for the ``repro.serve`` front door.
+
+Tier-1 (``serve`` marker): exercises the asyncio HTTP server over real
+sockets — submit a spec, poll the job, range-read the result — plus the
+HTTP-free :class:`~repro.serve.service.SurfaceService` core and the
+shared-spectrum batcher.  All assertions are on determinism (served
+bytes == direct generation bytes), never timing.
+"""
+
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.spec import GenerationSpec
+from repro.dist.status import STATUS_SCHEMA
+from repro.parallel.executor import generate_tiled
+from repro.serve import (
+    HttpError,
+    ServeConfig,
+    SurfaceService,
+    TenantBusy,
+    parse_range,
+    start_server,
+)
+
+pytestmark = pytest.mark.serve
+
+DEADLINE_S = 60.0
+
+
+def spec_doc(h=1.0, seed=5, n=64, tile=None, **extra):
+    doc = {
+        "schema": "repro.spec/v1",
+        "generator": {
+            "kind": "convolution",
+            "spectrum": {"kind": "gaussian", "h": h, "clx": 8.0, "cly": 8.0},
+            "grid": {"nx": n, "ny": n, "lx": float(n), "ly": float(n)},
+            "truncation": 0.9999,
+            "engine": "auto",
+            "dtype": "float64",
+        },
+        "seed": seed,
+    }
+    if tile is not None:
+        doc["tile"] = tile
+    doc.update(extra)
+    return doc
+
+
+def reference_window(doc):
+    """Direct solo generation of the spec's (normalised) window."""
+    spec = GenerationSpec.from_dict(doc)
+    gen = spec.build_generator()
+    nx, ny = spec.grid_shape
+    return np.asarray(gen.generate_window(spec.noise(), 0, 0, nx, ny))
+
+
+def wait_complete(get_doc, job_id):
+    deadline = time.monotonic() + DEADLINE_S
+    while time.monotonic() < deadline:
+        doc = get_doc(job_id)
+        if doc["state"] in ("complete", "failed"):
+            return doc
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} did not finish in {DEADLINE_S}s")
+
+
+class TestParseRange:
+    def test_no_header(self):
+        assert parse_range(None, 100) is None
+
+    @pytest.mark.parametrize("header, size, expect", [
+        ("bytes=0-127", 1000, (0, 128)),
+        ("bytes=500-", 1000, (500, 500)),
+        ("bytes=-100", 1000, (900, 100)),
+        ("bytes=-2000", 1000, (0, 1000)),     # suffix longer than entity
+        ("bytes=0-99999", 100, (0, 100)),     # end clamped
+        ("bytes=99-99", 100, (99, 1)),
+    ])
+    def test_satisfiable(self, header, size, expect):
+        assert parse_range(header, size) == expect
+
+    @pytest.mark.parametrize("header", [
+        "items=0-1",            # unknown unit
+        "bytes=0-1,5-6",        # multipart
+        "bytes=5",              # no dash
+        "bytes=abc-def",
+        "bytes=100-",           # at/after end
+        "bytes=9-5",            # inverted
+        "bytes=-0",             # empty suffix
+    ])
+    def test_unsatisfiable_raises_416(self, header):
+        with pytest.raises(HttpError) as exc:
+            parse_range(header, 100)
+        assert exc.value.status == 416
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SurfaceService(ServeConfig(data_dir=tmp_path / "serve"))
+    yield svc
+    svc.close()
+
+
+class TestService:
+    def test_small_job_bit_identical(self, service):
+        doc = spec_doc(seed=11)
+        job = service.submit(doc)
+        assert job["state"] in ("queued", "running", "complete")
+        done = wait_complete(service.job_doc, job["id"])
+        assert done["state"] == "complete", done["error"]
+        assert done["result"]["kind"] == "inline"
+        body = service.result_npy(job["id"])
+        served = np.load(io.BytesIO(body))
+        assert served.tobytes() == reference_window(doc).tobytes()
+
+    def test_invalid_spec_names_field(self, service):
+        from repro.core.spec import SpecError
+
+        doc = spec_doc()
+        doc["generator"]["grid"]["nx"] = 0
+        with pytest.raises(SpecError) as exc:
+            service.submit(doc)
+        assert exc.value.field == "generator.grid.nx"
+
+    def test_faults_rejected(self, service):
+        from repro.core.spec import SpecError
+
+        with pytest.raises(SpecError, match="fault"):
+            service.submit(spec_doc(faults=[{"kind": "crash"}]))
+
+    def test_unknown_job_raises_keyerror(self, service):
+        with pytest.raises(KeyError):
+            service.job_doc("nope")
+
+    def test_status_doc_schema(self, service):
+        doc = service.status_doc()
+        assert doc["schema"] == STATUS_SCHEMA
+        assert doc["source"] == "serve"
+        assert set(doc["serve"]["jobs"]) == {"queued", "running",
+                                             "complete", "failed"}
+
+
+class TestTenantLimits:
+    def test_zero_limit_rejects_with_retry_after(self, tmp_path):
+        svc = SurfaceService(ServeConfig(
+            data_dir=tmp_path / "serve",
+            tenant_max_active=0, tenant_max_queued=0, retry_after_s=2.5,
+        ))
+        try:
+            with pytest.raises(TenantBusy) as exc:
+                svc.submit(spec_doc())
+            assert exc.value.retry_after_s == 2.5
+            assert exc.value.tenant == "public"
+        finally:
+            svc.close()
+
+    def test_limits_are_per_tenant(self, tmp_path):
+        # long linger keeps small jobs "running", pinning the inflight
+        # count without any timing assumptions
+        svc = SurfaceService(ServeConfig(
+            data_dir=tmp_path / "serve", batch_linger_s=30.0,
+            tenant_max_active=1, tenant_max_queued=0,
+        ))
+        try:
+            svc.submit(spec_doc(seed=1), tenant="alice")
+            with pytest.raises(TenantBusy):
+                svc.submit(spec_doc(seed=2), tenant="alice")
+            # a different tenant is admitted despite alice being full
+            svc.submit(spec_doc(seed=3), tenant="bob")
+            doc = svc.status_doc()
+            assert doc["serve"]["tenants"]["alice"]["inflight"] == 1
+            assert doc["serve"]["tenants"]["bob"]["inflight"] == 1
+        finally:
+            svc.close()
+
+
+class TestBatching:
+    def test_shared_spectrum_requests_batch_and_match_solo(self, tmp_path):
+        """8 concurrent same-noise requests -> one engine pass, and every
+        reply is bit-identical to solo windowed generation."""
+        svc = SurfaceService(ServeConfig(
+            data_dir=tmp_path / "serve", batch_linger_s=0.5,
+            tenant_max_active=8, tenant_max_queued=8,
+        ))
+        try:
+            h_values = [0.5, 1.0, 1.5, 2.0]
+            docs = [spec_doc(h=h_values[i % 4], seed=7) for i in range(8)]
+            ids = [svc.submit(doc)["id"] for doc in docs]
+            done = [wait_complete(svc.job_doc, i) for i in ids]
+            for doc in done:
+                assert doc["state"] == "complete", doc["error"]
+            # all 8 landed in one group (same seed/window/footprint),
+            # and value-equal kernels collapsed to 4 distinct passes
+            for doc in done:
+                assert doc["result"]["batched_with"] == 8
+                assert doc["result"]["distinct_kernels"] == 4
+            for req, job_id in zip(docs, ids):
+                served = np.load(io.BytesIO(svc.result_npy(job_id)))
+                assert served.tobytes() == reference_window(req).tobytes()
+        finally:
+            svc.close()
+
+    def test_different_seeds_do_not_share_bytes(self, tmp_path):
+        svc = SurfaceService(ServeConfig(
+            data_dir=tmp_path / "serve", batch_linger_s=0.2,
+        ))
+        try:
+            a = svc.submit(spec_doc(seed=1))["id"]
+            b = svc.submit(spec_doc(seed=2))["id"]
+            wait_complete(svc.job_doc, a)
+            wait_complete(svc.job_doc, b)
+            assert (service_bytes(svc, a) != service_bytes(svc, b))
+        finally:
+            svc.close()
+
+
+def service_bytes(svc, job_id):
+    return np.load(io.BytesIO(svc.result_npy(job_id))).tobytes()
+
+
+# -- HTTP end-to-end ----------------------------------------------------
+
+
+class _Harness:
+    """Run the asyncio server on a background loop; client via urllib."""
+
+    def __init__(self, config):
+        import asyncio
+
+        self.service = SurfaceService(config)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever,
+                                       daemon=True)
+        self.thread.start()
+        self.server = asyncio.run_coroutine_threadsafe(
+            start_server(self.service), self.loop
+        ).result(10)
+        self.url = f"http://{self.server.host}:{self.server.port}"
+
+    def close(self):
+        import asyncio
+
+        asyncio.run_coroutine_threadsafe(
+            self.server.close(), self.loop
+        ).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+        self.service.close()
+
+    def request(self, path, method="GET", body=None, headers=None):
+        req = urllib.request.Request(
+            self.url + path, data=body, method=method,
+            headers=headers or {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            with exc:
+                return exc.code, dict(exc.headers), exc.read()
+
+    def get_json(self, path):
+        status, _, body = self.request(path)
+        return status, json.loads(body)
+
+    def submit(self, doc, tenant=None):
+        headers = {"Content-Type": "application/json"}
+        if tenant:
+            headers["X-Tenant"] = tenant
+        return self.request("/v1/jobs", method="POST",
+                            body=json.dumps(doc).encode(), headers=headers)
+
+    def poll(self, job_id):
+        def get_doc(i):
+            status, doc = self.get_json(f"/v1/jobs/{i}")
+            assert status == 200
+            return doc
+        return wait_complete(get_doc, job_id)
+
+
+@pytest.fixture
+def harness(tmp_path):
+    h = _Harness(ServeConfig(data_dir=tmp_path / "serve",
+                             store_threshold_elems=0))
+    yield h
+    h.close()
+
+
+class TestHttp:
+    def test_health(self, harness):
+        status, doc = harness.get_json("/health")
+        assert (status, doc) == (200, {"ok": True})
+
+    def test_unknown_route_404(self, harness):
+        status, _, _ = harness.request("/nope")
+        assert status == 404
+        status, _, _ = harness.request("/v1/jobs/zzz")
+        assert status == 404
+
+    def test_method_gate(self, harness):
+        status, _, _ = harness.request("/health", method="PUT")
+        assert status == 405
+        status, _, _ = harness.request("/status", method="POST",
+                                       body=b"{}")
+        assert status == 405
+
+    def test_submit_poll_result_roundtrip(self, harness):
+        doc = spec_doc(seed=21)
+        status, headers, body = harness.submit(doc)
+        assert status == 202
+        job = json.loads(body)
+        final = harness.poll(job["id"])
+        assert final["state"] == "complete", final["error"]
+        status, _, npy = harness.request(f"/v1/jobs/{job['id']}/result")
+        assert status == 200
+        served = np.load(io.BytesIO(npy))
+        assert served.tobytes() == reference_window(doc).tobytes()
+
+    def test_submit_bad_spec_is_400_with_field(self, harness):
+        doc = spec_doc()
+        doc["generator"]["grid"]["nx"] = 0
+        status, _, body = harness.submit(doc)
+        assert status == 400
+        err = json.loads(body)
+        assert err["field"] == "generator.grid.nx"
+
+    def test_submit_garbage_is_400(self, harness):
+        status, _, _ = harness.request("/v1/jobs", method="POST",
+                                       body=b"{nope")
+        assert status == 400
+        status, _, _ = harness.request("/v1/jobs", method="POST")
+        assert status == 400
+
+    def test_store_job_chunks_bit_identical(self, harness):
+        """Multi-tile job streams through a store; the chunks reassemble
+        to exactly the generate_tiled bytes."""
+        doc = spec_doc(seed=33, tile=32)
+        status, _, body = harness.submit(doc)
+        assert status == 202
+        job = json.loads(body)
+        final = harness.poll(job["id"])
+        assert final["state"] == "complete", final["error"]
+        assert final["result"]["kind"] == "store"
+
+        status, meta = harness.get_json(f"/v1/jobs/{job['id']}/chunks")
+        assert status == 200
+        assert meta["shape"] == [64, 64]
+        assert meta["chunks_total"] == 4
+
+        out = np.zeros((64, 64))
+        for index in range(meta["chunks_total"]):
+            status, headers, raw = harness.request(
+                f"/v1/jobs/{job['id']}/chunks/{index}"
+            )
+            assert status == 200
+            x0 = int(headers["X-Chunk-X0"])
+            y0 = int(headers["X-Chunk-Y0"])
+            nx = int(headers["X-Chunk-NX"])
+            ny = int(headers["X-Chunk-NY"])
+            chunk = np.frombuffer(raw, dtype="<f8").reshape(nx, ny)
+            out[x0:x0 + nx, y0:y0 + ny] = chunk
+
+        spec = GenerationSpec.from_dict(doc)
+        ref = generate_tiled(spec.build_generator(), spec.noise(),
+                             spec.tile_plan())
+        assert out.tobytes() == np.asarray(ref.heights).tobytes()
+
+        # /result refuses to materialise store-backed jobs
+        status, _, body = harness.request(f"/v1/jobs/{job['id']}/result")
+        assert status == 404
+        assert "chunks" in json.loads(body)["error"]
+
+    def test_heights_range_read(self, harness):
+        doc = spec_doc(seed=34, tile=32)
+        _, _, body = harness.submit(doc)
+        job = json.loads(body)
+        harness.poll(job["id"])
+
+        status, headers, full = harness.request(
+            f"/v1/jobs/{job['id']}/heights"
+        )
+        assert status == 200
+        assert full.startswith(b"\x93NUMPY")  # raw heights.npy
+
+        status, headers, part = harness.request(
+            f"/v1/jobs/{job['id']}/heights",
+            headers={"Range": "bytes=0-127"},
+        )
+        assert status == 206
+        assert headers["Content-Range"] == f"bytes 0-127/{len(full)}"
+        assert part == full[:128]
+
+        status, headers, tail = harness.request(
+            f"/v1/jobs/{job['id']}/heights",
+            headers={"Range": "bytes=-64"},
+        )
+        assert status == 206
+        assert tail == full[-64:]
+
+        status, _, _ = harness.request(
+            f"/v1/jobs/{job['id']}/heights",
+            headers={"Range": f"bytes={len(full)}-"},
+        )
+        assert status == 416
+
+    def test_chunk_of_incomplete_job_is_409(self, harness):
+        # chunks endpoint on an inline (storeless) job 404s instead
+        doc = spec_doc(seed=35)
+        _, _, body = harness.submit(doc)
+        job = json.loads(body)
+        harness.poll(job["id"])
+        status, _, _ = harness.request(f"/v1/jobs/{job['id']}/chunks")
+        assert status == 404
+
+    def test_tenant_flood_gets_429(self, tmp_path):
+        h = _Harness(ServeConfig(
+            data_dir=tmp_path / "serve",
+            tenant_max_active=0, tenant_max_queued=0, retry_after_s=3.0,
+        ))
+        try:
+            status, headers, body = h.submit(spec_doc(), tenant="flood")
+            assert status == 429
+            assert headers["Retry-After"] == "3"
+            err = json.loads(body)
+            assert err["tenant"] == "flood"
+        finally:
+            h.close()
+
+    def test_status_metrics_and_list(self, harness):
+        doc = spec_doc(seed=36)
+        _, _, body = harness.submit(doc)
+        job = json.loads(body)
+        harness.poll(job["id"])
+
+        status, sdoc = harness.get_json("/status")
+        assert status == 200
+        assert sdoc["schema"] == STATUS_SCHEMA
+        assert sdoc["serve"]["jobs"]["complete"] >= 1
+
+        status, jdoc = harness.get_json(f"/v1/jobs/{job['id']}/status")
+        assert status == 200
+        assert jdoc["schema"] == STATUS_SCHEMA
+        assert jdoc["source"] == "serve"
+        assert jdoc["state"] == "complete"
+
+        status, listing = harness.get_json("/v1/jobs")
+        assert status == 200
+        assert any(j["id"] == job["id"] for j in listing["jobs"])
+
+        status, _, text = harness.request("/metrics")
+        assert status == 200
+        assert b"repro_serve_jobs_complete" in text
