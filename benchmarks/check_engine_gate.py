@@ -88,6 +88,13 @@ oracle is silently approximate).  Recorded in
 ``benchmarks/out/circulant_throughput.json``; ``--skip-circulant``
 skips it.
 
+Also measures the ``repro.verify`` streaming verification pass against
+the 4096^2 store-backed self-affine generation run it gates and fails
+when verification costs more than ``--max-verify-overhead`` (default
+10%) of the generation wall time, or when the reference surface fails
+its own verification report.  Recorded in
+``benchmarks/out/verify_overhead.json``; ``--skip-verify`` skips it.
+
 Usage (CI tier-2, after running the benches)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engine_fft.py \\
@@ -133,6 +140,9 @@ DEFAULT_TELEMETRY_RESULTS = (
 )
 DEFAULT_SERVE_RESULTS = (
     Path(__file__).resolve().parent / "out" / "serve_batching.json"
+)
+DEFAULT_VERIFY_RESULTS = (
+    Path(__file__).resolve().parent / "out" / "verify_overhead.json"
 )
 
 # Overhead-measurement scenario: the engine bench's homogeneous FFT
@@ -939,6 +949,100 @@ def check(results: dict, max_slowdown: float, min_speedup: float,
     return failures
 
 
+def measure_verify_overhead() -> dict:
+    """Time ``repro.verify`` against the generation run it gates.
+
+    The verification subsystem is pitched as cheap enough to run on
+    every generated surface, so the gate holds its streaming pass
+    (radially averaged Welch PSD, ACF, RMS gates, Hurst fit) to a small
+    fraction of the generation wall time it certifies.  Workload: the
+    4096^2 store-backed self-affine run — the spectrum family with the
+    most expensive verification (it adds the log-log Hurst slope fit
+    and the roll-off plateau check on top of the common gates).
+    Verification cost is held ~constant in surface area by the default
+    ``VerifyConfig.max_windows`` window sampling, so this ratio tracks
+    the verifier's fixed costs, not a lucky surface size.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    _import_repro()
+    from repro.core.convolution import ConvolutionGenerator
+    from repro.core.grid import Grid2D
+    from repro.core.rng import BlockNoise
+    from repro.core.spectra_ext import SelfAffineSpectrum
+    from repro.io.store import SurfaceStore
+    from repro.parallel.executor import generate_tiled
+    from repro.parallel.tiles import TilePlan
+    from repro.verify import verify_store
+
+    os.sync()  # see measure_store_overhead
+
+    surface_n = 4096
+    seed = 42
+    grid = Grid2D(nx=256, ny=256, lx=256.0, ly=256.0)  # dx = 1
+    spec = SelfAffineSpectrum(sigma=1.0, hurst=0.8, qr=0.4)
+    gen = ConvolutionGenerator(spec, grid, truncation=OBS_TRUNC,
+                               engine="fft")
+    noise = BlockNoise(seed=seed)
+    plan = TilePlan(total_nx=surface_n, total_ny=surface_n,
+                    tile_nx=OBS_TILE, tile_ny=OBS_TILE)
+
+    scratch = tempfile.mkdtemp(prefix="verify-gate-")
+    store_path = Path(scratch) / "s"
+
+    def run_generate() -> float:
+        shutil.rmtree(store_path, ignore_errors=True)
+        store = SurfaceStore.create(
+            store_path, shape=(surface_n, surface_n),
+            chunk=(OBS_TILE, OBS_TILE),
+            meta={"seed": seed, "spectrum": spec.to_dict()},
+        )
+        t0 = time.perf_counter()
+        generate_tiled(gen, noise, plan, backend="serial", out=store)
+        elapsed = time.perf_counter() - t0
+        store.close()
+        return elapsed
+
+    def run_verify():
+        t0 = time.perf_counter()
+        report = verify_store(store_path)
+        return time.perf_counter() - t0, report
+
+    # Warm the plan cache, FFT workspaces and the page cache, then time
+    # generation (expensive: best of a few full runs) and verification
+    # (cheap: median of several passes over the final store).
+    gen.generate_window(noise, 0, 0, OBS_TILE, OBS_TILE)
+    times_generate = [run_generate() for _ in range(3)]
+    run_verify()
+    times_verify, report = [], None
+    for _ in range(5):
+        t, report = run_verify()
+        times_verify.append(t)
+    shutil.rmtree(scratch, ignore_errors=True)
+
+    gen_best = min(times_generate)
+    verify_median = sorted(times_verify)[len(times_verify) // 2]
+    return {
+        "claim": "streaming verification costs <=10% of the generation "
+                 "wall time it gates at 4096^2",
+        "surface": [surface_n, surface_n],
+        "tile": [OBS_TILE, OBS_TILE],
+        "spectrum": spec.to_dict(),
+        "segment": report.config["segment"],
+        "stride": report.config["stride"],
+        "report_passed": bool(report.passed),
+        "timings_s": {
+            "generate_best": gen_best,
+            "verify_median": verify_median,
+            "generate_all": times_generate,
+            "verify_all": times_verify,
+        },
+        "overhead": verify_median / gen_best,
+    }
+
+
 def check_inhomo(results: dict, min_batch_speedup: float,
                  max_deviation: float, max_homog_slowdown: float) -> list:
     """Gate failures for the batched multi-region bench row."""
@@ -1079,6 +1183,17 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-circulant", action="store_true",
                         help="skip the circulant-vs-convolution "
                              "throughput measurement")
+    parser.add_argument("--max-verify-overhead", type=float, default=0.10,
+                        help="max repro.verify cost as a fraction of the "
+                             "generation wall time it gates "
+                             "(default: 0.10)")
+    parser.add_argument("--verify-results", type=Path,
+                        default=DEFAULT_VERIFY_RESULTS,
+                        help="where to record the verify overhead row "
+                             "(default: benchmarks/out/"
+                             "verify_overhead.json)")
+    parser.add_argument("--skip-verify", action="store_true",
+                        help="skip the verification-overhead measurement")
     args = parser.parse_args(argv)
 
     failures = []
@@ -1245,6 +1360,30 @@ def main(argv=None) -> int:
                 f"circulant embedding needed eigenvalue repair: clipped "
                 f"mass {mass:.3e} > {args.max_eig_clipped_mass:.1e} — the "
                 f"oracle is no longer exact on the bench configuration"
+            )
+
+    if not args.skip_verify:
+        verify_row = measure_verify_overhead()
+        _write_row(args.verify_results, verify_row)
+        print(
+            f"verify gate: generate "
+            f"{verify_row['timings_s']['generate_best']:.3f}s, verify "
+            f"{verify_row['timings_s']['verify_median']:.3f}s, ratio "
+            f"{verify_row['overhead'] * 100:.2f}% (segment "
+            f"{verify_row['segment']}, stride {verify_row['stride']}), "
+            f"report passed: {verify_row['report_passed']}"
+        )
+        if not verify_row["report_passed"]:
+            failures.append(
+                "the reference self-affine surface failed its own "
+                "verification report — the generator and the verifier "
+                "disagree about the requested spectrum"
+            )
+        if not verify_row["overhead"] <= args.max_verify_overhead:  # NaN
+            failures.append(
+                f"verification costs {verify_row['overhead'] * 100:.2f}% "
+                f"of the generation wall time, over the "
+                f"{args.max_verify_overhead * 100:.1f}% budget"
             )
 
     try:

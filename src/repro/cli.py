@@ -75,6 +75,7 @@ from .core.spectra import (
     PowerLawSpectrum,
     Spectrum,
 )
+from .core.spectra_ext import SelfAffineSpectrum
 from .core.surface import Surface
 from .figures import FIGURES, figure_surface
 from .io.npzio import load_surface, save_surface
@@ -106,6 +107,10 @@ def _positive_int(text: str) -> int:
 
 
 def _spectrum_from_args(args: argparse.Namespace) -> Spectrum:
+    if args.spectrum == "self-affine":
+        if args.hurst is None:
+            raise SystemExit("--spectrum self-affine requires --hurst")
+        return SelfAffineSpectrum(sigma=args.h, hurst=args.hurst, qr=args.qr)
     clx = args.clx if args.clx is not None else args.cl
     cly = args.cly if args.cly is not None else args.cl
     if clx is None or cly is None:
@@ -122,16 +127,26 @@ def _spectrum_from_args(args: argparse.Namespace) -> Spectrum:
 def _add_spectrum_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--spectrum",
-        choices=("gaussian", "power_law", "exponential"),
+        choices=("gaussian", "power_law", "exponential", "self-affine"),
         default="gaussian",
-        help="spectral family (paper Section 2.1)",
+        help="spectral family (paper Section 2.1, plus the self-affine "
+        "q^(-2-2H) PSD of artificial_surf.m)",
     )
-    p.add_argument("--h", type=float, default=1.0, help="height std")
+    p.add_argument("--h", type=float, default=1.0,
+                   help="height std (sigma/Rq for self-affine)")
     p.add_argument("--cl", type=float, default=None, help="isotropic correlation length")
     p.add_argument("--clx", type=float, default=None, help="x correlation length")
     p.add_argument("--cly", type=float, default=None, help="y correlation length")
     p.add_argument(
         "--order", type=float, default=2.0, help="power-law order N (> 1)"
+    )
+    p.add_argument(
+        "--hurst", type=float, default=None,
+        help="Hurst exponent H in (0, 1] (self-affine only)",
+    )
+    p.add_argument(
+        "--qr", type=float, default=None,
+        help="roll-off wavevector: PSD plateaus below qr (self-affine only)",
     )
 
 
@@ -577,6 +592,7 @@ def _job_run_from_spec(args: argparse.Namespace) -> int:
             retry=_retry_policy_from_args(args),
             fault_plan=_fault_plan_from_args(args),
             checkpoint_every=args.checkpoint_every,
+            verify=getattr(args, "verify", False),
         )
     except SpecError as exc:
         raise SystemExit(f"--spec: {exc}")
@@ -586,7 +602,31 @@ def _job_run_from_spec(args: argparse.Namespace) -> int:
         raise _job_failed(exc, args.checkpoint)
     surface.provenance["seed"] = spec.seed
     _emit_surface(surface, args)
+    if getattr(args, "verify", False):
+        return _print_verify_outcome(surface.provenance.get("verify"))
     return 0
+
+
+def _print_verify_outcome(doc) -> int:
+    """Summarise a ``repro.verify/v1`` document; non-zero on a red gate."""
+    from .verify import VerifyReport
+
+    if not doc:
+        raise SystemExit("verify: no report produced")
+    report = VerifyReport.from_dict(doc)
+    _print_verify_report(report)
+    return 0 if report.passed else 1
+
+
+def _print_verify_report(report) -> None:
+    for m in report.metrics:
+        state = {True: "pass", False: "FAIL", None: "info"}[m.passed]
+        meas = "-" if m.measured is None else f"{m.measured:.6g}"
+        targ = "-" if m.target is None else f"{m.target:.6g}"
+        tol = "-" if m.tolerance is None else f"{m.tolerance:.3g}"
+        print(f"  {m.name:<14} {state:<4} measured={meas:<12} "
+              f"target={targ:<12} tol={tol}")
+    print(f"verify: {'PASS' if report.passed else 'FAIL'}")
 
 
 def _cmd_job_run(args: argparse.Namespace) -> int:
@@ -611,11 +651,14 @@ def _cmd_job_run(args: argparse.Namespace) -> int:
     # strips mode schedules one full-width chunk per strip, so the
     # store bitmap indexes strips exactly like the tiled bitmap
     # indexes tiles
+    store_meta = {"seed": args.seed}
+    if isinstance(rebuild, dict) and isinstance(rebuild.get("spectrum"), dict):
+        store_meta["spectrum"] = rebuild["spectrum"]
     store = _store_from_args(
         args, gen.grid,
         chunk=((args.tile, args.n) if args.mode == "strips"
                else (args.tile, args.tile)),
-        meta={"seed": args.seed},
+        meta=store_meta,
     )
     common = dict(
         checkpoint=args.checkpoint,
@@ -645,10 +688,28 @@ def _cmd_job_run(args: argparse.Namespace) -> int:
         raise _job_failed(exc, args.checkpoint)
     surface.provenance["seed"] = args.seed
     _emit_surface(surface, args)
+    rc = 0
+    if getattr(args, "verify", False):
+        from .core.spectra import spectrum_from_dict
+        from .verify import (REPORT_NAME, verify_heights, verify_store,
+                             write_report)
+
+        spectrum = None
+        if isinstance(rebuild, dict) and isinstance(
+                rebuild.get("spectrum"), dict):
+            spectrum = spectrum_from_dict(rebuild["spectrum"])
+        if store is not None:
+            report = verify_store(store, spectrum)
+        else:
+            report = verify_heights(surface.heights, spectrum,
+                                    dx=gen.grid.dx, dy=gen.grid.dy)
+        write_report(report, Path(args.checkpoint) / REPORT_NAME)
+        _print_verify_report(report)
+        rc = 0 if report.passed else 1
     if store is not None:
         store.close()
         print(f"wrote store {store.path}")
-    return 0
+    return rc
 
 
 def _cmd_job_resume(args: argparse.Namespace) -> int:
@@ -1036,6 +1097,55 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify <store|job>``: gate a surface against its spectrum."""
+    from .io.store import StoreCorrupt
+    from .verify import (REPORT_NAME, VerifyConfig, VerifyError, verify_job,
+                         verify_store, write_report)
+
+    target = Path(args.target)
+    manifest_path = target / "manifest.json"
+    if not manifest_path.is_file():
+        raise SystemExit(f"verify: no manifest.json under {target}")
+    try:
+        fmt = json.loads(manifest_path.read_text()).get("format")
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"verify: unreadable manifest: {exc}")
+
+    spectrum = None
+    if args.spec:
+        spec = _load_spec(args.spec)
+        recipe = (spec.generator or {}).get("spectrum")
+        if not isinstance(recipe, dict):
+            raise SystemExit("verify: --spec document carries no spectrum")
+        from .core.spectra import spectrum_from_dict
+
+        spectrum = spectrum_from_dict(recipe)
+
+    config = VerifyConfig(segment=args.segment, psd_bins=args.psd_bins,
+                          n_sigma=args.n_sigma)
+    try:
+        if fmt == "repro.store/v1":
+            report = verify_store(target, spectrum, config=config)
+        elif fmt == "repro.jobs/v1":
+            report = verify_job(target, spectrum=spectrum, config=config)
+            write_report(report, target / REPORT_NAME)
+        else:
+            raise SystemExit(
+                f"verify: {target} is neither a repro.store/v1 store nor a "
+                f"repro.jobs/v1 checkpoint (format={fmt!r})"
+            )
+    except (VerifyError, StoreCorrupt, FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"verify: {exc}")
+    if args.output:
+        write_report(report, args.output)
+    if args.json:
+        print(report.to_json())
+    else:
+        _print_verify_report(report)
+    return 0 if report.passed else 1
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from .stats.fitting import classify_family
 
@@ -1214,6 +1324,12 @@ def build_parser() -> argparse.ArgumentParser:
     jr.add_argument(
         "--checkpoint-every", type=int, default=1, metavar="K",
         help="flush durable state every K completed tiles",
+    )
+    jr.add_argument(
+        "--verify", action="store_true",
+        help="after generation, stream a repro.verify pass gating the "
+             "surface against its requested spectrum; the report is "
+             "checkpointed as verify.json and a red gate exits non-zero",
     )
     jr.add_argument("--max-attempts", type=int, default=3,
                     help="per-tile attempt limit")
@@ -1459,6 +1575,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the complete validation report (all families, "
                         "all verification layers)")
     v.set_defaults(func=_cmd_validate)
+
+    vf = sub.add_parser(
+        "verify",
+        help="gate a generated store or job against its requested "
+             "spectrum (streaming, out-of-core)",
+    )
+    vf.add_argument("target", metavar="STORE_OR_CKPT",
+                    help="a repro.store/v1 directory or a repro.jobs/v1 "
+                         "checkpoint directory")
+    vf.add_argument("--spec", default=None, metavar="FILE",
+                    help="repro.spec/v1 document supplying the target "
+                         "spectrum (overrides the recorded recipe)")
+    vf.add_argument("--segment", type=int, default=None,
+                    help="Welch segment edge (default: auto, 256 max)")
+    vf.add_argument("--psd-bins", type=int, default=48,
+                    help="radial PSD bins")
+    vf.add_argument("--n-sigma", type=float, default=4.0,
+                    help="gate width in ensemble standard deviations")
+    vf.add_argument("--output", default=None, metavar="FILE",
+                    help="also write the report JSON here")
+    vf.add_argument("--json", action="store_true",
+                    help="print the full repro.verify/v1 document")
+    vf.set_defaults(func=_cmd_verify)
 
     c = sub.add_parser("classify", help="fit spectral families to a surface")
     c.add_argument("path")

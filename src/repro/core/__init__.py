@@ -81,6 +81,8 @@ from .spectra_ext import (
     CompositeSpectrum,
     PiersonMoskowitzSpectrum,
     RotatedSpectrum,
+    SelfAffineSpectrum,
+    fourier_synthesis,
 )
 from .surface import Surface
 from .transform import (
@@ -140,6 +142,7 @@ __all__ = [
     "Surface",
     # extended spectra
     "RotatedSpectrum", "CompositeSpectrum", "PiersonMoskowitzSpectrum",
+    "SelfAffineSpectrum", "fourier_synthesis",
     # 1D profiles
     "Spectrum1D", "Gaussian1D", "Exponential1D", "Matern1D",
     "TabulatedSpectrum1D", "marginal_of_2d", "weight_vector",

@@ -38,6 +38,8 @@ __all__ = [
     "RotatedSpectrum",
     "CompositeSpectrum",
     "PiersonMoskowitzSpectrum",
+    "SelfAffineSpectrum",
+    "fourier_synthesis",
     "GRAVITY",
 ]
 
@@ -337,6 +339,301 @@ class PiersonMoskowitzSpectrum(Spectrum):
         )
 
 
+class SelfAffineSpectrum(Spectrum):
+    """Isotropic self-affine (fractal) roughness spectrum with roll-off.
+
+    The standard description of machined, fractured and deposited
+    surfaces (and the spec implemented by the ``artificial_surf.m``
+    exemplar): a power-law PSD governed by the Hurst exponent ``H``
+    (fractal dimension ``D = 3 - H``), optionally flattened into a
+    roll-off plateau below the roll-off wavevector ``qr``,
+
+    .. math::
+
+        W(q) = C \\Big(\\frac{\\max(q, q_r)}{q_r}\\Big)^{-2-2H},
+        \\qquad
+        C = \\frac{\\sigma^2 H}{\\pi\\, q_r^2\\, (1 + H)},
+
+    normalised so that :math:`\\iint W\\, d\\mathbf K = \\sigma^2` — the
+    plateau is what makes the total variance finite, exactly as in the
+    exemplar.  Without a roll-off (``qr=None``) the surface has no
+    outer scale and infinite total variance; we then adopt the
+    convention :math:`W(q) = (\\sigma^2 H / \\pi)\\, q^{-2-2H}` (with
+    ``W(0) = 0``), i.e. ``sigma`` is the rms roughness carried by
+    wavevectors above ``q = 1``; the realised rms on any grid depends
+    on the resolved band, and :meth:`autocorrelation` is undefined
+    (it raises).
+
+    The autocorrelation for ``qr`` set is the exact isotropic Hankel
+    transform
+
+    .. math::
+
+        \\rho(r) = 2\\pi C \\Big[ \\frac{q_r J_1(q_r r)}{r}
+            + q_r^2 (q_r r)^{2H} G(q_r r) \\Big],
+        \\qquad G(a) = \\int_a^\\infty u^{-1-2H} J_0(u)\\, du,
+
+    evaluated through a dense cached quadrature table for ``G`` (the
+    plateau term is closed-form).  ``rho(0) = sigma**2`` holds exactly.
+
+    Parameters
+    ----------
+    sigma:
+        RMS roughness (the base-class ``h``).
+    hurst:
+        Hurst exponent ``H`` in ``(0, 1]``.  Small ``H`` means rough at
+        every scale (slowly decaying PSD tail).
+    qr:
+        Roll-off wavevector (rad per unit length), or ``None`` for no
+        plateau.  ``2*pi/qr`` is the roll-off wavelength; the nominal
+        correlation length exposed as ``clx``/``cly`` is ``1/qr``.
+    """
+
+    def __init__(self, sigma: float, hurst: float, qr: float | None = None):
+        if not np.isfinite(sigma) or sigma < 0:
+            raise ValueError(f"sigma must be finite and >= 0, got {sigma}")
+        if not np.isfinite(hurst) or not (0.0 < hurst <= 1.0):
+            raise ValueError(
+                f"Hurst exponent must lie in (0, 1], got {hurst}"
+            )
+        if qr is not None and (not np.isfinite(qr) or qr <= 0):
+            raise ValueError(f"roll-off wavevector qr must be > 0, got {qr}")
+        object.__setattr__(self, "sigma", float(sigma))
+        object.__setattr__(self, "hurst", float(hurst))
+        object.__setattr__(self, "qr", None if qr is None else float(qr))
+        object.__setattr__(self, "h", float(sigma))
+        nominal_cl = 1.0 if qr is None else 1.0 / float(qr)
+        object.__setattr__(self, "clx", nominal_cl)
+        object.__setattr__(self, "cly", nominal_cl)
+        object.__setattr__(self, "kind", "self_affine")
+        object.__setattr__(self, "_tail_cache", {})
+
+    # -- PSD ------------------------------------------------------------
+    def _amplitude(self) -> float:
+        """The plateau level ``C`` (or the ``q=1`` level when no roll-off)."""
+        s2, hu = self.sigma**2, self.hurst
+        if self.qr is None:
+            return s2 * hu / math.pi
+        return s2 * hu / (math.pi * self.qr**2 * (1.0 + hu))
+
+    def spectrum(self, kx: np.ndarray, ky: np.ndarray) -> np.ndarray:
+        kx = np.asarray(kx, dtype=float)
+        ky = np.asarray(ky, dtype=float)
+        q = np.hypot(kx, ky)
+        c = self._amplitude()
+        exponent = -2.0 - 2.0 * self.hurst
+        if self.qr is not None:
+            return c * (np.maximum(q, self.qr) / self.qr) ** exponent
+        with np.errstate(divide="ignore"):
+            out = c * q**exponent
+        return np.where(q > 0, out, 0.0)
+
+    # -- ACF ------------------------------------------------------------
+    #: quadrature extent of the cached tail table G(a); beyond it the
+    #: first asymptotic term of J0 closes the integral analytically.
+    _U_MAX = 6000.0
+
+    def _tail_table(self):
+        """Dense table of ``G(a) = int_a^inf u^(-1-2H) J0(u) du``.
+
+        Built once per instance: log-spaced nodes resolve the
+        ``u^(-2H)`` singularity below 1 (tabulating the *smooth
+        remainder* ``G - a^(-2H)/(2H)`` there so interpolation stays
+        accurate), linear phase-resolving nodes handle the oscillatory
+        stretch up to ``_U_MAX``.
+        """
+        cached = self._tail_cache.get("table")
+        if cached is not None:
+            return cached
+        hu = self.hurst
+        u_lo = np.geomspace(1e-8, 1.0, 4001)
+        u_hi = np.arange(1.0, self._U_MAX + 0.02, 0.02)
+        u = np.concatenate([u_lo[:-1], u_hi])
+        f = u ** (-1.0 - 2.0 * hu) * special.j0(u)
+        # trapezoid segments, accumulated from the top down
+        seg = 0.5 * (f[1:] + f[:-1]) * np.diff(u)
+        tail = -math.sqrt(2.0 / math.pi) * self._U_MAX ** (
+            -1.5 - 2.0 * hu
+        ) * math.sin(self._U_MAX - 0.25 * math.pi)
+        g = np.concatenate([
+            (tail + np.cumsum(seg[::-1]))[::-1], [tail],
+        ])
+        # smooth remainder below u = 1 for singularity-free interpolation
+        n_lo = u_lo.size - 1
+        r_lo = g[: n_lo + 1] - u[: n_lo + 1] ** (-2.0 * hu) / (2.0 * hu)
+        table = (u, g, n_lo, r_lo)
+        self._tail_cache["table"] = table
+        return table
+
+    def _tail_integral(self, a: np.ndarray) -> np.ndarray:
+        """``G(a)`` for ``a > 0`` (vectorised, table-interpolated)."""
+        u, g, n_lo, r_lo = self._tail_table()
+        hu = self.hurst
+        a = np.asarray(a, dtype=float)
+        out = np.empty(a.shape)
+        sing = a ** (-2.0 * hu) / (2.0 * hu)
+        below = a < 1.0
+        # below 1: exact singular part + interpolated smooth remainder
+        # (np.interp clamps, so a < 1e-8 reuses the leftmost remainder —
+        # exact to O(a^(2-2H)) since J0 -> 1 there)
+        out[below] = sing[below] + np.interp(a[below], u[: n_lo + 1], r_lo)
+        high = ~below
+        out[high] = np.interp(a[high], u[n_lo:], g[n_lo:])
+        beyond = a >= self._U_MAX
+        if np.any(beyond):
+            ab = a[beyond]
+            out[beyond] = -math.sqrt(2.0 / math.pi) * ab ** (
+                -1.5 - 2.0 * hu
+            ) * np.sin(ab - 0.25 * math.pi)
+        return out
+
+    def autocorrelation(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        if self.qr is None:
+            raise ValueError(
+                "a self-affine spectrum without a roll-off (qr=None) has "
+                "infinite variance: the autocorrelation is undefined; set "
+                "qr to give the surface an outer scale"
+            )
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        r = np.hypot(x, y)
+        shape = r.shape
+        r = np.atleast_1d(r)
+        qr, hu = self.qr, self.hurst
+        a = qr * r
+        small = a < 1e-9
+        safe_r = np.where(small, 1.0, r)
+        # plateau term: int_0^qr J0(q r) q dq = qr J1(qr r) / r
+        plateau = np.where(
+            small, 0.5 * qr**2, qr * special.j1(a) / safe_r
+        )
+        # power-law tail via the substitution u = q r
+        tail = np.empty_like(a)
+        tail[small] = qr**2 / (2.0 * hu)
+        ns = ~small
+        tail[ns] = qr**2 * a[ns] ** (2.0 * hu) * self._tail_integral(a[ns])
+        rho = 2.0 * math.pi * self._amplitude() * (plateau + tail)
+        rho = rho.reshape(shape)
+        return rho if shape else float(rho)
+
+    # -- plumbing --------------------------------------------------------
+    def with_params(self, **kwargs) -> "SelfAffineSpectrum":
+        """Copy with parameters replaced; ``h`` aliases ``sigma``.
+
+        Supporting ``with_params(h=1.0)`` lets ``resolve_kernel`` give
+        self-affine kernels a unit-amplitude plan-cache identity, so
+        spectra differing only in ``sigma`` share one FFT plan exactly
+        like the paper families share across ``h``.
+        """
+        params = {"sigma": self.sigma, "hurst": self.hurst, "qr": self.qr}
+        if "h" in kwargs:
+            params["sigma"] = kwargs.pop("h")
+        unknown = set(kwargs) - set(params)
+        if unknown:
+            raise TypeError(
+                f"unknown self-affine parameters {sorted(unknown)}"
+            )
+        params.update(kwargs)
+        return SelfAffineSpectrum(**params)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "self_affine",
+            "sigma": self.sigma,
+            "hurst": self.hurst,
+            "qr": self.qr,
+        }
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SelfAffineSpectrum)
+            and other.sigma == self.sigma
+            and other.hurst == self.hurst
+            and other.qr == self.qr
+        )
+
+    def __hash__(self) -> int:
+        return hash(("self_affine", self.sigma, self.hurst, self.qr))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SelfAffineSpectrum(sigma={self.sigma:g}, "
+            f"hurst={self.hurst:g}, qr={self.qr!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fourier-coefficient-statistics synthesis (de Castro et al.)
+# ---------------------------------------------------------------------------
+def fourier_synthesis(
+    spectrum: Spectrum,
+    grid,
+    seed=None,
+    *,
+    amplitude: str = "gaussian",
+    phase: str = "random",
+    zero_mean: bool = True,
+) -> np.ndarray:
+    """Direct spectral synthesis with switchable coefficient statistics.
+
+    de Castro et al. study how the *statistics of the Fourier
+    coefficients* — not just their mean power — shape fractional
+    Brownian surfaces.  This implements both canonical choices on any
+    :class:`~repro.core.spectra.Spectrum` (the ``artificial_surf.m``
+    exemplar is the ``amplitude="deterministic"`` case):
+
+    ``amplitude="gaussian"``
+        Complex-Gaussian coefficients (Rayleigh amplitudes, uniform
+        phases) — statistically identical to the convolution/DFT
+        method; every realisation's periodogram scatters exponentially
+        about the target.
+    ``amplitude="deterministic"``
+        Coefficient magnitudes pinned to ``sqrt(w)`` exactly; only the
+        phases are random.  Every realisation then has *exactly* the
+        target discrete power spectrum (and, with ``zero_mean``, mean
+        square exactly ``sum(w) - w[0,0]``).
+
+    ``phase`` is ``"random"`` (uniform, from the phases of a seeded
+    white-noise DFT so Hermitian symmetry is automatic) or ``"zero"``
+    (deterministic all-zero phases; only valid with deterministic
+    amplitudes — it yields the centred kernel-like surface).
+
+    Returns the ``grid.shape`` float64 height field.
+    """
+    from .weights import weight_array
+
+    if amplitude not in ("gaussian", "deterministic"):
+        raise ValueError(
+            f"amplitude must be 'gaussian' or 'deterministic', got "
+            f"{amplitude!r}"
+        )
+    if phase not in ("random", "zero"):
+        raise ValueError(f"phase must be 'random' or 'zero', got {phase!r}")
+    if amplitude == "gaussian" and phase == "zero":
+        raise ValueError(
+            "gaussian coefficient amplitudes imply random phases; use "
+            "amplitude='deterministic' with phase='zero'"
+        )
+    w = weight_array(spectrum, grid)
+    if zero_mean:
+        w = w.copy()
+        w[0, 0] = 0.0
+    root_w = np.sqrt(w)
+    n_total = grid.size
+    if phase == "zero":
+        coef = n_total * root_w.astype(complex)
+    else:
+        noise = np.random.default_rng(seed).standard_normal(grid.shape)
+        big_f = np.fft.fft2(noise)
+        if amplitude == "gaussian":
+            coef = math.sqrt(n_total) * big_f * root_w
+        else:
+            mag = np.abs(big_f)
+            unit = np.where(mag > 0, big_f / np.where(mag > 0, mag, 1.0), 1.0)
+            coef = n_total * unit * root_w
+    return np.fft.ifft2(coef).real
+
+
 # ---------------------------------------------------------------------------
 # Serialisation loaders
 # ---------------------------------------------------------------------------
@@ -360,6 +657,13 @@ def _load_pm(spec: Dict) -> PiersonMoskowitzSpectrum:
     )
 
 
+def _load_self_affine(spec: Dict) -> SelfAffineSpectrum:
+    return SelfAffineSpectrum(
+        sigma=spec["sigma"], hurst=spec["hurst"], qr=spec.get("qr"),
+    )
+
+
 register_spectrum_loader("rotated", _load_rotated)
 register_spectrum_loader("composite", _load_composite)
 register_spectrum_loader("pierson_moskowitz", _load_pm)
+register_spectrum_loader("self_affine", _load_self_affine)

@@ -153,6 +153,7 @@ class SurfaceStore:
         self.owns_ledger = owns_ledger
         self._fh: Optional[Any] = None
         self._lock = threading.Lock()
+        self._mm_r: Optional[np.ndarray] = None
 
     # -- lifecycle ---------------------------------------------------------
     @classmethod
@@ -305,6 +306,7 @@ class SurfaceStore:
 
     def close(self) -> None:
         """Flush (when writable) and release the write handle."""
+        self._mm_r = None
         if self._fh is not None:
             if self.mode == "r+":
                 self.flush()
@@ -528,7 +530,18 @@ class SurfaceStore:
 
     # -- reading -----------------------------------------------------------
     def heights(self, mode: str = "r") -> np.ndarray:
-        """The full height field as a memmap (read-only by default)."""
+        """The full height field as a memmap (read-only by default).
+
+        The read-only mapping is cached on the handle: it is a shared
+        mapping of the same pages ``write_window`` pwrites through, so
+        it stays coherent with concurrent writes, and repeated
+        window reads (e.g. the streaming verifier's) skip the per-call
+        header parse.
+        """
+        if mode == "r":
+            if self._mm_r is None:
+                self._mm_r = np.load(self.heights_path, mmap_mode="r")
+            return self._mm_r
         return np.load(self.heights_path, mmap_mode=mode)
 
     def read_window(self, x0: int, y0: int, nx: int, ny: int) -> np.ndarray:

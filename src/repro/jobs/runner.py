@@ -314,6 +314,7 @@ def run_spec(
     checkpoint_every: int = 1,
     store: Optional[Any] = None,
     on_tile: Optional[Any] = None,
+    verify: bool = False,
 ) -> Surface:
     """Execute a :class:`~repro.core.spec.GenerationSpec` as a
     checkpointed tiled job.
@@ -326,6 +327,13 @@ def run_spec(
     equal spec produce bit-identical heights on every backend; this is
     the entry point the CLI's ``--spec`` flag and the ``repro.serve``
     front door share.
+
+    ``verify=True`` runs the :mod:`repro.verify` streaming pass after
+    generation, gating the surface against the spec's spectrum.  The
+    ``repro.verify/v1`` report is checkpointed as ``verify.json`` next
+    to the job manifest and attached to ``surface.provenance["verify"]``;
+    a failing report does not raise — callers decide what a red gate
+    means (the CLI exits non-zero, serve surfaces it per job).
     """
     from ..core.spec import SpecError
 
@@ -335,24 +343,51 @@ def run_spec(
     generator = spec.build_generator()
     noise = spec.noise()
     plan = spec.tile_plan()
+    spectrum_recipe = None
+    if isinstance(spec.generator, dict):
+        recipe = spec.generator.get("spectrum")
+        if isinstance(recipe, dict):
+            spectrum_recipe = recipe
     if store is None and spec.store_path:
         from ..io.store import SurfaceStore
 
         grid = generator.grid
+        meta = {"seed": spec.seed}
+        if spectrum_recipe is not None:
+            meta["spectrum"] = spectrum_recipe
         store = SurfaceStore.create(
             spec.store_path, shape=(plan.total_nx, plan.total_ny),
             chunk=(plan.tile_nx, plan.tile_ny),
-            dx=grid.dx, dy=grid.dy, meta={"seed": spec.seed},
+            dx=grid.dx, dy=grid.dy, meta=meta,
         )
     if fault_plan is None and spec.faults:
         fault_plan = FaultPlan.from_dicts(spec.faults)
-    return run_tiled(
+    surface = run_tiled(
         generator, noise, plan,
         checkpoint=checkpoint, backend=backend, workers=workers,
         retry=retry, fault_plan=fault_plan,
         checkpoint_every=checkpoint_every,
         rebuild=spec.generator, store=store, on_tile=on_tile,
     )
+    if verify:
+        from ..verify import (
+            REPORT_NAME, verify_heights, verify_store, write_report,
+        )
+
+        spectrum = None
+        if spectrum_recipe is not None:
+            from ..core.spectra import spectrum_from_dict
+
+            spectrum = spectrum_from_dict(spectrum_recipe)
+        if store is not None:
+            report = verify_store(store, spectrum)
+        else:
+            grid = generator.grid
+            report = verify_heights(
+                surface.heights, spectrum, dx=grid.dx, dy=grid.dy)
+        write_report(report, Path(checkpoint) / REPORT_NAME)
+        surface.provenance["verify"] = report.to_dict()
+    return surface
 
 
 def resume(

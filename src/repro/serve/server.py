@@ -146,6 +146,8 @@ class ServeServer:
                 handler, args = self._h_heights, (rest[0],)
             elif len(rest) == 2 and rest[1] == "result":
                 handler, args = self._h_result, (rest[0],)
+            elif len(rest) == 2 and rest[1] == "verify":
+                handler, args = self._h_verify, (rest[0],)
         if handler is None:
             raise HttpError(404, f"no route for {request.path!r}")
         if method not in ("GET", "POST", "HEAD"):
@@ -360,6 +362,22 @@ class ServeServer:
         return await self._reply(writer, 200, body,
                                  content_type="application/octet-stream",
                                  head_only=request.method == "HEAD")
+
+    async def _h_verify(self, request: Request,
+                        writer: asyncio.StreamWriter, job_id: str) -> bool:
+        # the streaming pass can take a moment on big stores — keep it
+        # off the event loop (the result is cached in the job record)
+        loop = asyncio.get_running_loop()
+        try:
+            doc = await loop.run_in_executor(
+                None, self.service.verify_doc, job_id
+            )
+        except KeyError as exc:
+            raise HttpError(404, str(exc))
+        except LookupError as exc:
+            raise HttpError(409, str(exc), headers={"Retry-After": "1"})
+        return await self._reply_json(writer, 200, doc,
+                                      head_only=request.method == "HEAD")
 
 
 async def start_server(service: SurfaceService, *, host: str = "127.0.0.1",

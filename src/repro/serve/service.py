@@ -106,6 +106,7 @@ class _Job:
     store_dir: Optional[Path] = None
     checkpoint_dir: Optional[Path] = None
     reader: Optional[SurfaceStore] = None
+    verify_report: Optional[Dict[str, Any]] = None
 
 
 def _utc_stamp() -> str:
@@ -343,10 +344,13 @@ class SurfaceService:
                     if spec.generator.get("kind") == "convolution" \
                     else spec.build_generator()
                 grid = generator.grid
+                store_meta: Dict[str, Any] = {"seed": spec.seed}
+                if isinstance(spec.generator.get("spectrum"), dict):
+                    store_meta["spectrum"] = spec.generator["spectrum"]
                 store = SurfaceStore.create(
                     store_dir, shape=(nx, ny),
                     chunk=(plan.tile_nx, plan.tile_ny),
-                    dx=grid.dx, dy=grid.dy, meta={"seed": spec.seed},
+                    dx=grid.dx, dy=grid.dy, meta=store_meta,
                 )
                 with self._lock:
                     job.store_dir = store_dir
@@ -592,6 +596,51 @@ class SurfaceService:
         store = self._reader(job)
         path = Path(store.heights_path)
         return path, path.stat().st_size
+
+    def verify_doc(self, job_id: str) -> Dict[str, Any]:
+        """``repro.verify/v1`` report for a completed job, computed lazily.
+
+        The first call runs the streaming verification pass (out of core
+        for store-backed jobs: the report is also persisted next to the
+        job's checkpoint as ``verify.json``); subsequent calls return the
+        cached document.  Incomplete jobs raise :class:`LookupError`
+        (mapped to 409 + Retry-After by the server), unknown jobs
+        :class:`KeyError` (404).
+        """
+        job = self._get(job_id)
+        if job.state == "failed":
+            raise LookupError(f"job {job.id} failed: {job.error}")
+        if job.state != "complete":
+            raise LookupError(f"job {job.id} is {job.state}")
+        with self._lock:
+            if job.verify_report is not None:
+                return job.verify_report
+        from ..core.spectra import spectrum_from_dict
+        from ..verify import (REPORT_NAME, verify_heights, verify_store,
+                              write_report)
+
+        spectrum = None
+        recipe = job.spec.generator.get("spectrum") \
+            if isinstance(job.spec.generator, dict) else None
+        if isinstance(recipe, dict):
+            spectrum = spectrum_from_dict(recipe)
+        if job.store_dir is not None:
+            report = verify_store(self._reader(job), spectrum)
+            if job.checkpoint_dir is not None:
+                write_report(report, Path(job.checkpoint_dir) / REPORT_NAME)
+        else:
+            if job.result is None:
+                raise KeyError(f"job {job.id} has no result to verify")
+            grid = job.spec.build_generator().grid
+            report = verify_heights(np.asarray(job.result), spectrum,
+                                    dx=grid.dx, dy=grid.dy)
+        doc = report.to_dict()
+        doc["id"] = job.id
+        with self._lock:
+            if job.verify_report is None:
+                job.verify_report = doc
+        obs.add("serve.verifies")
+        return job.verify_report
 
     def result_npy(self, job_id: str) -> bytes:
         """The completed surface as ``.npy`` bytes (inline jobs only).

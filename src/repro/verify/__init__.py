@@ -1,0 +1,41 @@
+"""Out-of-core verification of generated surfaces against their spectra.
+
+Closes the generate -> measure -> assert loop: a single streaming pass
+over a memmapped :class:`~repro.io.store.SurfaceStore` (or an in-memory
+array through the identical code path) measures RMS height/gradient, the
+ACF at the correlation length, and the radially averaged Welch PSD, then
+gates each against targets derived from the requested spectrum's
+discrete weight array.  Results are versioned ``repro.verify/v1``
+reports consumed by ``repro verify``, the jobs post-generation stage,
+and ``GET /v1/jobs/{id}/verify``.
+"""
+
+from .report import VERIFY_SCHEMA, MetricResult, ReportError, VerifyReport
+from .streaming import choose_segment, stream_statistics
+from .verifier import (
+    REPORT_NAME,
+    VerifyConfig,
+    VerifyError,
+    load_report,
+    verify_heights,
+    verify_job,
+    verify_store,
+    write_report,
+)
+
+__all__ = [
+    "VERIFY_SCHEMA",
+    "MetricResult",
+    "ReportError",
+    "VerifyReport",
+    "choose_segment",
+    "stream_statistics",
+    "REPORT_NAME",
+    "VerifyConfig",
+    "VerifyError",
+    "load_report",
+    "verify_heights",
+    "verify_job",
+    "verify_store",
+    "write_report",
+]

@@ -1,0 +1,174 @@
+"""The versioned ``repro.verify/v1`` report document.
+
+A verification run reduces a generated surface to a small set of
+spectrum-derived metrics, each compared against a target with an
+explicit tolerance.  The report is the durable artefact: jobs
+checkpoint it next to the manifest, ``repro verify`` prints it, and
+serve returns it from ``GET /v1/jobs/{id}/verify`` — so its shape is
+versioned and round-trips exactly (``to_dict``/``from_dict``,
+``to_json``/``from_json``), like ``repro.spec/v1`` and
+``repro.store/v1`` before it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["VERIFY_SCHEMA", "MetricResult", "VerifyReport", "ReportError"]
+
+#: Schema tag of the verification report document.
+VERIFY_SCHEMA = "repro.verify/v1"
+
+
+class ReportError(ValueError):
+    """A report document does not conform to ``repro.verify/v1``."""
+
+
+@dataclass(frozen=True)
+class MetricResult:
+    """One verified statistic.
+
+    ``passed`` is ``True``/``False`` for gated metrics and ``None`` for
+    informational ones (e.g. a Hurst fit whose trusted band was too
+    narrow to gate on) — ``None`` never fails a report.
+    """
+
+    name: str
+    measured: Optional[float]
+    target: Optional[float]
+    tolerance: Optional[float]
+    passed: Optional[bool]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "measured": self.measured,
+            "target": self.target,
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "MetricResult":
+        try:
+            return cls(
+                name=str(doc["name"]),
+                measured=doc.get("measured"),
+                target=doc.get("target"),
+                tolerance=doc.get("tolerance"),
+                passed=doc.get("passed"),
+                detail=dict(doc.get("detail") or {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ReportError(f"malformed metric entry: {exc!r}") from None
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, MetricResult):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:  # detail dicts are unhashable; key on name
+        return hash((self.name, self.measured, self.target))
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """A full ``repro.verify/v1`` verification document.
+
+    Attributes
+    ----------
+    surface:
+        Geometry and provenance of what was verified: ``shape``,
+        ``dx``/``dy``, ``store`` (path or None), ``coverage`` (fraction
+        of samples inside the streamed segment tiling).
+    spectrum:
+        The requested spectrum's ``to_dict()`` (None when verification
+        ran without a target spectrum — then only measured values are
+        reported and nothing is gated).
+    metrics:
+        Per-metric measured/target/tolerance/pass tuples.
+    config:
+        The streaming configuration used (segment size, ACF lags, PSD
+        bins, n-sigma) — enough to reproduce the pass bit-for-bit.
+    timings:
+        Wall-clock accounting; excluded from :meth:`core_dict` so
+        determinism checks can compare reports across runs.
+    """
+
+    surface: Dict[str, Any]
+    spectrum: Optional[Dict[str, Any]]
+    metrics: Tuple[MetricResult, ...]
+    config: Dict[str, Any]
+    passed: bool
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def metric(self, name: str) -> MetricResult:
+        for m in self.metrics:
+            if m.name == name:
+                return m
+        raise KeyError(f"report has no metric {name!r}")
+
+    def failures(self) -> List[MetricResult]:
+        return [m for m in self.metrics if m.passed is False]
+
+    def core_dict(self) -> Dict[str, Any]:
+        """The deterministic part of the document (no timings)."""
+        return {
+            "schema": VERIFY_SCHEMA,
+            "surface": dict(self.surface),
+            "spectrum": dict(self.spectrum) if self.spectrum else None,
+            "config": dict(self.config),
+            "metrics": [m.to_dict() for m in self.metrics],
+            "passed": self.passed,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = self.core_dict()
+        doc["timings"] = dict(self.timings)
+        return doc
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "VerifyReport":
+        if not isinstance(doc, dict):
+            raise ReportError(f"report must be a dict, got {type(doc)}")
+        schema = doc.get("schema")
+        if schema != VERIFY_SCHEMA:
+            raise ReportError(
+                f"unsupported report schema {schema!r} "
+                f"(this build reads {VERIFY_SCHEMA!r})"
+            )
+        metrics = doc.get("metrics")
+        if not isinstance(metrics, list):
+            raise ReportError("report 'metrics' must be a list")
+        return cls(
+            surface=dict(doc.get("surface") or {}),
+            spectrum=(dict(doc["spectrum"])
+                      if doc.get("spectrum") is not None else None),
+            metrics=tuple(MetricResult.from_dict(m) for m in metrics),
+            config=dict(doc.get("config") or {}),
+            passed=bool(doc.get("passed")),
+            timings=dict(doc.get("timings") or {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerifyReport":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReportError(f"invalid JSON: {exc}") from None
+        return cls.from_dict(doc)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, VerifyReport):
+            return NotImplemented
+        return self.core_dict() == other.core_dict()
+
+    def __hash__(self) -> int:
+        return hash((self.passed, tuple(m.name for m in self.metrics)))

@@ -32,14 +32,18 @@ from repro.core.spectra import (
     GaussianSpectrum,
     PowerLawSpectrum,
 )
+from repro.core.spectra_ext import SelfAffineSpectrum
 from repro.core.weights import weight_array, weight_autocorrelation
 from repro.io.store import SurfaceStore
 from repro.parallel import TilePlan, generate_tiled
 from repro.stats.acf import acf2d_unbiased
+from repro.stats.spectral import periodogram, radial_spectrum
 from repro.validation.ensemble import ensemble_variance
 
 from tests.tolerances import (
     FLOAT32_SAFE,
+    SELF_AFFINE_HURST_ATOL,
+    SELF_AFFINE_PLATEAU_LOG_MAX,
     acf_lag_cl_atol,
     ensemble_variance_rtol,
     float32_vs_float64_atol,
@@ -54,10 +58,17 @@ SEED0 = 100
 NSEEDS = 8
 POOL_STRIDE = 7  # decimate pooled samples to tame spatial correlation
 
+# The self-affine cell uses the roll-off form: qr = 0.4 puts the
+# plateau corner well inside the resolved band (dK ~ 0.065, K_nyq ~ pi)
+# and gives an effective correlation length clx = 1/qr = 2.5.
+QR = 0.4
+HURST = 0.8
+
 SPECTRA = [
     GaussianSpectrum(h=1.0, clx=CL, cly=CL),
     ExponentialSpectrum(h=1.0, clx=CL, cly=CL),
     PowerLawSpectrum(h=1.0, clx=CL, cly=CL, order=2.0),
+    SelfAffineSpectrum(sigma=1.0, hurst=HURST, qr=QR),
 ]
 
 
@@ -193,4 +204,56 @@ def test_acf_at_lag_cl(spectrum, dtype, gen, fields, discrete_variance):
     assert diff < acf_lag_cl_atol(spectrum), (
         f"{spectrum.kind}: ACF({CL}, 0) = {acf[LAG, 0]:.4f} vs target "
         f"{target:.4f} (normalised diff {diff:.4f})"
+    )
+
+
+def _radial_profiles(spectrum, gen, fields, n_bins=32):
+    """Ensemble-averaged measured radial PSD and the target spectrum
+    binned over the *same* annuli (cancels the within-bin averaging
+    bias of a steep power law)."""
+    grid = gen.grid
+    est = np.zeros(grid.shape)
+    for f in fields:
+        est += periodogram(np.asarray(f, dtype=np.float64), grid)
+    est /= len(fields)
+    k, measured = radial_spectrum(est, grid, n_bins=n_bins)
+    kx, ky = grid.k_meshgrid(signed=True)
+    _, target = radial_spectrum(np.asarray(spectrum.spectrum(kx, ky)),
+                                grid, n_bins=n_bins)
+    return k, measured, target
+
+
+def test_radial_psd_slope_recovers_hurst(spectrum, dtype, gen, fields):
+    """Log-log radial-PSD slope over the scaling band returns ``H``:
+    the generated surface really is self-affine with the requested
+    exponent, not merely variance-correct."""
+    if spectrum.kind != "self_affine":
+        pytest.skip("Hurst slope gate applies to the self-affine cell")
+    _require_float32_safe(spectrum, dtype, "psd")
+    k, measured, _ = _radial_profiles(spectrum, gen, fields)
+    sel = (k >= 1.5 * QR) & (k <= 0.55 * np.pi) & (measured > 0)
+    assert sel.sum() >= 5, "fit band collapsed; fixture geometry changed?"
+    slope = np.polyfit(np.log(k[sel]), np.log(measured[sel]), 1)[0]
+    h_fit = -(slope + 2.0) / 2.0
+    assert abs(h_fit - HURST) < SELF_AFFINE_HURST_ATOL, (
+        f"fitted H {h_fit:.4f} vs requested {HURST} "
+        f"(slope {slope:.4f})"
+    )
+
+
+def test_radial_psd_qr_plateau(spectrum, dtype, gen, fields):
+    """Below the roll-off wavevector the measured radial PSD sits on
+    the requested plateau (checked in log ratio, bin for bin)."""
+    if spectrum.kind != "self_affine":
+        pytest.skip("plateau gate applies to the self-affine cell")
+    _require_float32_safe(spectrum, dtype, "psd")
+    k, measured, target = _radial_profiles(spectrum, gen, fields,
+                                           n_bins=48)
+    dk = 2.0 * np.pi / N
+    sel = (k >= 1.5 * dk) & (k <= 0.6 * QR) & (measured > 0)
+    assert sel.sum() >= 1, "no plateau bins; fixture geometry changed?"
+    worst = float(np.max(np.abs(np.log(measured[sel] / target[sel]))))
+    assert worst < SELF_AFFINE_PLATEAU_LOG_MAX, (
+        f"plateau deviates by up to {worst:.3f} in log ratio "
+        f"over {int(sel.sum())} bins"
     )

@@ -70,7 +70,8 @@ def _write_pair(tmp_path, results=None, inhomo=None):
     return [str(engine_path), "--inhomo-results", str(inhomo_path),
             "--skip-obs-overhead", "--skip-jobs-overhead",
             "--skip-store-overhead", "--skip-dtype-speedup",
-            "--skip-dist", "--skip-telemetry", "--skip-circulant"]
+            "--skip-dist", "--skip-telemetry", "--skip-serve",
+            "--skip-circulant", "--skip-verify"]
 
 
 class TestCheck:
@@ -197,5 +198,5 @@ class TestMain:
             pytest.skip("bench output not present")
         assert gate.main(["--skip-obs-overhead", "--skip-jobs-overhead",
                           "--skip-store-overhead", "--skip-dtype-speedup",
-                          "--skip-dist", "--skip-telemetry",
-                          "--skip-circulant"]) == 0
+                          "--skip-dist", "--skip-telemetry", "--skip-serve",
+                          "--skip-circulant", "--skip-verify"]) == 0

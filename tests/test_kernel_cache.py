@@ -255,3 +255,62 @@ class TestDtypeKeying:
         cache = KernelPlanCache()
         with pytest.raises(ValueError, match="float16"):
             cache.get_plan(_kernel(grid), (32, 32), np.float16)
+
+
+class TestSelfAffineKeys:
+    """Cache-key behaviour of the self-affine family: distinct
+    ``(hurst, qr)`` must never share a plan, while sigma — the linear
+    amplitude, aliased to ``h`` by ``with_params`` — must."""
+
+    def _kernel(self, grid, sigma=1.0, hurst=0.8, qr=0.4, trunc=(12, 12)):
+        from repro.core.spectra_ext import SelfAffineSpectrum
+
+        return resolve_kernel(
+            SelfAffineSpectrum(sigma=sigma, hurst=hurst, qr=qr),
+            grid, trunc,
+        )
+
+    def test_sigma_shares_plan(self, grid):
+        a = self._kernel(grid, sigma=1.0)
+        b = self._kernel(grid, sigma=3.0)
+        assert a.plan_key == b.plan_key
+        assert a.plan_key[0] == "id"  # hashable identity, not fingerprint
+
+    def test_hurst_does_not_share(self, grid):
+        assert (self._kernel(grid, hurst=0.5).plan_key
+                != self._kernel(grid, hurst=0.8).plan_key)
+
+    def test_qr_does_not_share(self, grid):
+        assert (self._kernel(grid, qr=0.2).plan_key
+                != self._kernel(grid, qr=0.4).plan_key)
+
+    def test_distinct_from_other_families(self, grid):
+        assert self._kernel(grid).plan_key != _kernel(grid).plan_key
+
+    def test_property_key_distinctness(self, grid):
+        """Any two parameter points that differ in (hurst, qr) map to
+        different plan keys; any two that differ only in sigma map to
+        the same one."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        params = st.tuples(
+            st.floats(min_value=0.1, max_value=5.0,
+                      allow_nan=False, allow_infinity=False),
+            st.floats(min_value=0.05, max_value=1.0,
+                      allow_nan=False, allow_infinity=False),
+            st.floats(min_value=0.1, max_value=1.5,
+                      allow_nan=False, allow_infinity=False),
+        )
+
+        @given(a=params, b=params)
+        @settings(max_examples=40, deadline=None)
+        def check(a, b):
+            ka = self._kernel(grid, sigma=a[0], hurst=a[1], qr=a[2])
+            kb = self._kernel(grid, sigma=b[0], hurst=b[1], qr=b[2])
+            if (a[1], a[2]) == (b[1], b[2]):
+                assert ka.plan_key == kb.plan_key
+            else:
+                assert ka.plan_key != kb.plan_key
+
+        check()

@@ -458,3 +458,80 @@ class TestHttp:
         status, _, text = harness.request("/metrics")
         assert status == 200
         assert b"repro_serve_jobs_complete" in text
+
+
+class TestVerifyEndpoint:
+    """``GET /v1/jobs/{id}/verify``: the serve front door returns the
+    same ``repro.verify/v1`` report the offline verifier produces."""
+
+    def _sa_doc(self, seed=37, n=128):
+        doc = spec_doc(seed=seed, n=n)
+        doc["generator"]["spectrum"] = {
+            "kind": "self_affine", "sigma": 1.0, "hurst": 0.8, "qr": 0.4,
+        }
+        return doc
+
+    def test_verify_doc_inline(self, service):
+        from repro.verify import VERIFY_SCHEMA
+
+        job = service.submit(self._sa_doc())
+        wait_complete(service.job_doc, job["id"])
+        doc = service.verify_doc(job["id"])
+        assert doc["schema"] == VERIFY_SCHEMA
+        assert doc["id"] == job["id"]
+        assert doc["passed"] is True
+        assert {m["name"] for m in doc["metrics"]} >= {
+            "rms_height", "hurst_fit", "qr_plateau"}
+        # second call returns the cached document, not a recomputation
+        assert service.verify_doc(job["id"]) is doc
+
+    def test_verify_doc_unknown_job(self, service):
+        with pytest.raises(KeyError):
+            service.verify_doc("nope")
+
+    def test_http_verify_store_backed(self, harness):
+        from repro.verify import REPORT_NAME, VERIFY_SCHEMA, load_report
+
+        _, _, body = harness.submit(self._sa_doc(seed=38, n=640))
+        job = json.loads(body)
+        harness.poll(job["id"])
+
+        status, doc = harness.get_json(f"/v1/jobs/{job['id']}/verify")
+        assert status == 200
+        assert doc["schema"] == VERIFY_SCHEMA
+        assert doc["passed"] is True
+        assert doc["surface"]["store"]  # verified out of core
+
+        # the report is checkpointed next to the job manifest and equals
+        # the served document (minus the job id the server stamps on)
+        record = harness.service._jobs[job["id"]]
+        persisted = load_report(record.checkpoint_dir / REPORT_NAME)
+        served = dict(doc)
+        served.pop("id")
+        assert persisted.to_dict() == served
+
+        # cached on repeat
+        status2, doc2 = harness.get_json(f"/v1/jobs/{job['id']}/verify")
+        assert (status2, doc2) == (200, doc)
+
+    def test_http_verify_incomplete_is_409(self, harness):
+        _, _, body = harness.submit(self._sa_doc(seed=39))
+        job = json.loads(body)
+        harness.poll(job["id"])
+        record = harness.service._jobs[job["id"]]
+        with harness.service._lock:
+            record.state = "running"
+        try:
+            status, headers, _ = harness.request(
+                f"/v1/jobs/{job['id']}/verify")
+            assert status == 409
+            assert "Retry-After" in headers
+        finally:
+            with harness.service._lock:
+                record.state = "complete"
+        status, doc = harness.get_json(f"/v1/jobs/{job['id']}/verify")
+        assert (status, doc["passed"]) == (200, True)
+
+    def test_http_verify_unknown_is_404(self, harness):
+        status, _, _ = harness.request("/v1/jobs/nope/verify")
+        assert status == 404

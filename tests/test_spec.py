@@ -106,6 +106,31 @@ class TestRoundTrip:
         assert GenerationSpec.from_json(spec.to_json()) == spec
         assert GenerationSpec.from_wire(spec.to_wire()) == spec
 
+    @given(
+        sigma=st.floats(min_value=1e-3, max_value=1e3,
+                        allow_nan=False, allow_infinity=False),
+        hurst=st.floats(min_value=0.01, max_value=1.0,
+                        allow_nan=False, allow_infinity=False),
+        qr=st.none() | st.floats(min_value=1e-3, max_value=10.0,
+                                 allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_self_affine_round_trip_property(self, sigma, hurst, qr, seed):
+        """Self-affine spectra survive the spec round trip — including
+        the optional roll-off wavevector (``qr: null`` in JSON) — and
+        rebuild to an equal generator."""
+        spec = conv_spec(seed=seed)
+        generator = dict(spec.generator)
+        generator["spectrum"] = {"kind": "self_affine", "sigma": sigma,
+                                 "hurst": hurst, "qr": qr}
+        spec = conv_spec(seed=seed, generator=generator, store_path="/s")
+        again = GenerationSpec.from_json(spec.to_json())
+        assert again == spec
+        assert GenerationSpec.from_wire(spec.to_wire()) == spec
+        rebuilt = again.build_generator().spectrum
+        assert rebuilt.to_dict() == generator["spectrum"]
+
 
 class TestValidationNamesField:
     @pytest.mark.parametrize("mutate, field_path", [
